@@ -1,0 +1,398 @@
+// Experiment C6 — §4.3: registry-coordinated sharing vs WiFi contention.
+//
+// Four APs in a line with a skewed client population (6/2/1/3 UEs) on one
+// co-channel allocation. Compared:
+//   * WiFi DCF       — CSMA/CA with physics-derived sensing/interference
+//                      relations (the far AP pair is mutually hidden);
+//   * dLTE isolated  — LTE waveform but no coordination: co-channel
+//                      interference limits the cell edge;
+//   * dLTE fair-share— live PeerCoordinators converge to max-min shares,
+//                      orthogonal spectrum (no co-channel interference);
+//   * dLTE cooperative— demand-proportional shares plus best-AP client
+//                      assignment (resource fusion).
+// Plus the registry sub-table: time for a *new* AP to join and reach its
+// first coordinated share under the three registry designs.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/radio_env.h"
+#include "mac/lte_cell_mac.h"
+#include "mac/wifi_dcf.h"
+#include "phy/wifi_phy.h"
+#include "spectrum/coordinator.h"
+#include "spectrum/fair_share.h"
+#include "spectrum/registry.h"
+
+namespace {
+using namespace dlte;
+
+constexpr int kAps = 4;
+const double kApX[kAps] = {0.0, 1200.0, 2400.0, 3600.0};
+const int kUesPerAp[kAps] = {6, 2, 1, 3};
+
+struct UePlace {
+  Position pos;
+  int home;
+};
+
+std::vector<UePlace> place_ues() {
+  std::vector<UePlace> out;
+  for (int a = 0; a < kAps; ++a) {
+    for (int u = 0; u < kUesPerAp[a]; ++u) {
+      // Spread clients to ±600 m of their AP, alternating sides.
+      const double off = (u % 2 == 0 ? 1.0 : -1.0) * (150.0 + 90.0 * u);
+      out.push_back(UePlace{Position{kApX[a] + off, 200.0}, a});
+    }
+  }
+  return out;
+}
+
+struct ModeResult {
+  double aggregate_mbps{0.0};
+  double fairness{0.0};
+  double min_ue_mbps{1e9};
+  std::string note;
+};
+
+// ---- LTE modes (isolated / fair-share / cooperative) -------------------
+
+ModeResult run_lte(lte::DlteMode mode,
+                   mac::SchedulerPolicy policy =
+                       mac::SchedulerPolicy::kProportionalFair) {
+  core::RadioEnvironment env;
+  // Same 20 MHz of spectrum as the WiFi channel, for a like-for-like
+  // comparison of the coordination discipline rather than the allocation.
+  auto lte_profile = phy::DeviceProfiles::lte_enb_rural();
+  lte_profile.bandwidth = Hertz::mhz(20.0);
+  for (int a = 0; a < kAps; ++a) {
+    env.add_cell(core::CellSiteConfig{
+        CellId{static_cast<std::uint32_t>(a + 1)}, Position{kApX[a], 0.0},
+        lte_profile});
+    if (mode != lte::DlteMode::kIsolated) {
+      env.set_coordinated(CellId{static_cast<std::uint32_t>(a + 1)}, true);
+    }
+  }
+  const auto ues = place_ues();
+
+  // Demands proportional to client population.
+  std::vector<double> demands;
+  const double max_ues =
+      *std::max_element(std::begin(kUesPerAp), std::end(kUesPerAp));
+  for (int a = 0; a < kAps; ++a) demands.push_back(kUesPerAp[a] / max_ues);
+
+  std::vector<double> shares(kAps, 1.0);
+  if (mode == lte::DlteMode::kFairShare) {
+    shares = spectrum::max_min_fair_shares(demands);
+  } else if (mode == lte::DlteMode::kCooperative) {
+    shares = spectrum::proportional_shares(demands);
+  }
+
+  // Client → cell assignment: cooperative mode may move a client to the
+  // strongest AP; otherwise clients stay with their home AP.
+  std::vector<int> serving(ues.size());
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    serving[i] = ues[i].home;
+    if (mode == lte::DlteMode::kCooperative) {
+      const auto best = env.best_cell(ues[i].pos);
+      if (best) serving[i] = static_cast<int>(best->value()) - 1;
+    }
+  }
+
+  // Build one MAC per cell and run.
+  std::vector<std::unique_ptr<mac::LteCellMac>> cells;
+  for (int a = 0; a < kAps; ++a) {
+    mac::CellMacConfig mc;
+    mc.bandwidth = Hertz::mhz(20.0);
+    mc.policy = policy;
+    mc.prb_share = shares[static_cast<std::size_t>(a)];
+    mc.seed = static_cast<std::uint64_t>(a + 1);
+    cells.push_back(std::make_unique<mac::LteCellMac>(mc));
+  }
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    const int cell_index = serving[i];
+    const CellId cell{static_cast<std::uint32_t>(cell_index + 1)};
+    const Position pos = ues[i].pos;
+    const core::RadioEnvironment* envp = &env;
+    cells[static_cast<std::size_t>(cell_index)]->add_ue(
+        UeId{static_cast<std::uint32_t>(i + 1)},
+        [envp, cell, pos] { return envp->downlink_sinr(cell, pos); },
+        mac::UeTrafficConfig{.full_buffer = true});
+  }
+  for (auto& c : cells) c->run(Duration::seconds(2.0));
+
+  ModeResult r;
+  std::vector<double> per_ue;
+  for (int a = 0; a < kAps; ++a) {
+    for (UeId id : cells[static_cast<std::size_t>(a)]->ue_ids()) {
+      const double mbps = cells[static_cast<std::size_t>(a)]
+                              ->stats(id)
+                              .goodput(cells[static_cast<std::size_t>(a)]
+                                           ->elapsed())
+                              .to_mbps();
+      per_ue.push_back(mbps);
+      r.aggregate_mbps += mbps;
+      r.min_ue_mbps = std::min(r.min_ue_mbps, mbps);
+    }
+  }
+  r.fairness = jain_fairness(per_ue);
+  return r;
+}
+
+// ---- WiFi DCF baseline --------------------------------------------------
+
+ModeResult run_wifi() {
+  const auto ues = place_ues();
+  // WiFi APs sit on rooftops (~10 m) in town clutter, not on 30 m masts
+  // in the open: a log-distance clutter exponent governs both AP-AP
+  // carrier sensing and AP-client links. This is what makes distant AP
+  // pairs mutually hidden while their transmissions still collide at
+  // clients in between.
+  const phy::LogDistanceModel model{2.6};
+  auto ap_prof = phy::DeviceProfiles::wifi_ap_outdoor();
+  ap_prof.antenna_height_m = 10.0;
+  const auto cl_prof = phy::DeviceProfiles::wifi_client();
+
+  // Per-AP operating rate from its median client SNR.
+  std::vector<int> rate(kAps);
+  std::vector<Position> median_ue(kAps);
+  for (int a = 0; a < kAps; ++a) {
+    Quantiles snrs;
+    for (const auto& u : ues) {
+      if (u.home != a) continue;
+      snrs.add(phy::link_snr(ap_prof, cl_prof, model, Hertz::ghz(2.4),
+                             distance_m(Position{kApX[a], 0.0}, u.pos))
+                   .value());
+    }
+    rate[a] = std::max(0, phy::select_wifi_rate(Decibels{snrs.median()}));
+    median_ue[a] = Position{kApX[a], 200.0};
+  }
+
+  mac::DcfSimulator dcf{99};
+  for (int a = 0; a < kAps; ++a) {
+    dcf.add_station(mac::DcfStationConfig{.rate_index = rate[a]});
+  }
+  // Physics-derived relations.
+  constexpr double kCsThresholdDbm = -82.0;
+  constexpr double kInterferenceDbm = -88.0;
+  int hidden_pairs = 0;
+  for (int i = 0; i < kAps; ++i) {
+    for (int j = 0; j < kAps; ++j) {
+      if (i == j) continue;
+      const double ap_ap =
+          phy::received_power(ap_prof, ap_prof, model, Hertz::ghz(2.4),
+                              std::abs(kApX[i] - kApX[j]))
+              .value();
+      const bool senses = ap_ap > kCsThresholdDbm;
+      if (i < j) {
+        dcf.set_sensing(i, j, senses);
+        if (!senses) ++hidden_pairs;
+      }
+      const double at_victim =
+          phy::received_power(ap_prof, cl_prof, model, Hertz::ghz(2.4),
+                              distance_m(Position{kApX[i], 0.0},
+                                         median_ue[static_cast<std::size_t>(
+                                             j)]))
+              .value();
+      dcf.set_interference(i, j, at_victim > kInterferenceDbm);
+    }
+  }
+  dcf.run(Duration::seconds(2.0));
+
+  ModeResult r;
+  std::vector<double> per_ue;
+  std::int64_t collisions = 0;
+  for (int a = 0; a < kAps; ++a) {
+    const double ap_mbps = dcf.stats(a).goodput(dcf.elapsed()).to_mbps();
+    collisions += dcf.stats(a).collisions;
+    for (int u = 0; u < kUesPerAp[a]; ++u) {
+      const double share = ap_mbps / kUesPerAp[a];
+      per_ue.push_back(share);
+      r.aggregate_mbps += share;
+      r.min_ue_mbps = std::min(r.min_ue_mbps, share);
+    }
+  }
+  r.fairness = jain_fairness(per_ue);
+  r.note = std::to_string(hidden_pairs) + " hidden pair(s), " +
+           std::to_string(collisions) + " collisions";
+  return r;
+}
+
+// ---- Fractional frequency reuse (ablation) ------------------------------
+//
+// The isolated row shows reuse-1's high aggregate but starved edge; the
+// coordinated rows show the reverse. FFR is the standard compromise the
+// cooperative mode could negotiate: cell-center clients share a reuse-1
+// band (beta of the spectrum, with interference), cell-edge clients get
+// orthogonal slices of the rest.
+ModeResult run_ffr(double beta) {
+  core::RadioEnvironment reuse_env;   // Nobody coordinated: interference.
+  core::RadioEnvironment clean_env;   // Everyone coordinated: orthogonal.
+  auto lte_profile = phy::DeviceProfiles::lte_enb_rural();
+  lte_profile.bandwidth = Hertz::mhz(20.0);
+  for (int a = 0; a < kAps; ++a) {
+    const CellId cell{static_cast<std::uint32_t>(a + 1)};
+    reuse_env.add_cell(core::CellSiteConfig{cell, Position{kApX[a], 0.0},
+                                            lte_profile});
+    clean_env.add_cell(core::CellSiteConfig{cell, Position{kApX[a], 0.0},
+                                            lte_profile});
+    clean_env.set_coordinated(cell, true);
+  }
+  const auto ues = place_ues();
+  constexpr double kEdgeSinrDb = 9.0;  // Below this under reuse-1: edge.
+
+  // Two MACs per cell: the reuse-1 center subband and this cell's
+  // orthogonal edge slice.
+  std::vector<std::unique_ptr<mac::LteCellMac>> center, edge;
+  for (int a = 0; a < kAps; ++a) {
+    mac::CellMacConfig cc;
+    cc.bandwidth = Hertz::mhz(20.0);
+    cc.prb_share = beta;
+    cc.seed = static_cast<std::uint64_t>(a + 31);
+    center.push_back(std::make_unique<mac::LteCellMac>(cc));
+    mac::CellMacConfig ec;
+    ec.bandwidth = Hertz::mhz(20.0);
+    ec.prb_share = (1.0 - beta) / kAps;
+    ec.seed = static_cast<std::uint64_t>(a + 61);
+    edge.push_back(std::make_unique<mac::LteCellMac>(ec));
+  }
+  for (std::size_t i = 0; i < ues.size(); ++i) {
+    const int a = ues[i].home;
+    const CellId cell{static_cast<std::uint32_t>(a + 1)};
+    const Position pos = ues[i].pos;
+    const bool is_edge =
+        reuse_env.downlink_sinr(cell, pos).value() < kEdgeSinrDb;
+    const core::RadioEnvironment* envp = is_edge ? &clean_env : &reuse_env;
+    auto& macs = is_edge ? edge : center;
+    macs[static_cast<std::size_t>(a)]->add_ue(
+        UeId{static_cast<std::uint32_t>(i + 1)},
+        [envp, cell, pos] { return envp->downlink_sinr(cell, pos); },
+        mac::UeTrafficConfig{.full_buffer = true});
+  }
+  ModeResult r;
+  std::vector<double> per_ue;
+  for (auto* group : {&center, &edge}) {
+    for (auto& c : *group) {
+      c->run(Duration::seconds(2.0));
+      for (UeId id : c->ue_ids()) {
+        const double mbps =
+            c->stats(id).goodput(c->elapsed()).to_mbps();
+        per_ue.push_back(mbps);
+        r.aggregate_mbps += mbps;
+        r.min_ue_mbps = std::min(r.min_ue_mbps, mbps);
+      }
+    }
+  }
+  r.fairness = jain_fairness(per_ue);
+  r.note = "beta=" + std::to_string(beta).substr(0, 4);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_bench_header(std::cout, "C6", "paper §4.3, Out-of-Band Coordination",
+                     "registry + X2 coordination beats CSMA contention; "
+                     "cooperation beats plain fair sharing under skewed "
+                     "load");
+
+  TextTable t{{"scheme", "aggregate", "Jain fairness", "worst UE", "notes"}};
+  {
+    const ModeResult w = run_wifi();
+    t.row()
+        .add("WiFi DCF (CSMA/CA)")
+        .num(w.aggregate_mbps, 2, "Mb/s")
+        .num(w.fairness, 3)
+        .num(w.min_ue_mbps, 2, "Mb/s")
+        .add(w.note);
+  }
+  struct Mode {
+    const char* name;
+    lte::DlteMode mode;
+  };
+  for (const auto& m :
+       {Mode{"dLTE isolated (no coord)", lte::DlteMode::kIsolated},
+        Mode{"dLTE fair-share", lte::DlteMode::kFairShare},
+        Mode{"dLTE cooperative", lte::DlteMode::kCooperative}}) {
+    const ModeResult r = run_lte(m.mode);
+    t.row()
+        .add(m.name)
+        .num(r.aggregate_mbps, 2, "Mb/s")
+        .num(r.fairness, 3)
+        .num(r.min_ue_mbps, 2, "Mb/s")
+        .add(m.mode == lte::DlteMode::kIsolated ? "co-channel interference"
+                                                : "orthogonal shares");
+  }
+  t.print(std::cout);
+
+  // FFR ablation: reuse-1 center + orthogonal edge slices.
+  std::cout << "\nFractional frequency reuse (a coordination agreement the "
+               "cooperative mode could\nnegotiate): reuse-1 for the cell "
+               "center, orthogonal slices for the edge:\n";
+  TextTable ffr{{"scheme", "aggregate", "Jain fairness", "worst UE",
+                 "notes"}};
+  for (double beta : {0.3, 0.5, 0.7}) {
+    const ModeResult r = run_ffr(beta);
+    ffr.row()
+        .add("dLTE FFR")
+        .num(r.aggregate_mbps, 2, "Mb/s")
+        .num(r.fairness, 3)
+        .num(r.min_ue_mbps, 2, "Mb/s")
+        .add(r.note);
+  }
+  ffr.print(std::cout);
+
+  // Scheduler ablation (DESIGN.md §5): within cooperative mode, the
+  // per-cell scheduling policy trades peak for tail exactly as textbook.
+  std::cout << "\nScheduler ablation (cooperative mode):\n";
+  TextTable sched{{"scheduler", "aggregate", "Jain fairness", "worst UE"}};
+  for (auto [name, pol] :
+       {std::pair{"proportional fair", mac::SchedulerPolicy::kProportionalFair},
+        std::pair{"round robin", mac::SchedulerPolicy::kRoundRobin},
+        std::pair{"max C/I", mac::SchedulerPolicy::kMaxCi}}) {
+    const ModeResult r = run_lte(lte::DlteMode::kCooperative, pol);
+    sched.row()
+        .add(name)
+        .num(r.aggregate_mbps, 2, "Mb/s")
+        .num(r.fairness, 3)
+        .num(r.min_ue_mbps, 2, "Mb/s");
+  }
+  sched.print(std::cout);
+
+  // Registry design ablation: join-to-coordinated latency.
+  std::cout << "\nRegistry designs — time for a joining AP to acquire a "
+               "grant, discover peers and receive its first share:\n";
+  TextTable reg{{"registry", "grant commit", "domain query",
+                 "join-to-coordinated (1 s reports)"}};
+  for (auto kind : {spectrum::RegistryKind::kCentralizedSas,
+                    spectrum::RegistryKind::kFederated,
+                    spectrum::RegistryKind::kBlockchain}) {
+    const auto lat = spectrum::registry_latency(kind);
+    const char* name =
+        kind == spectrum::RegistryKind::kCentralizedSas ? "centralized SAS"
+        : kind == spectrum::RegistryKind::kFederated    ? "federated (DNS-like)"
+                                                        : "blockchain";
+    // Join path: commit + query + one report round (status out, proposal
+    // back) over a 30 ms backhaul RTT.
+    const double join_s = lat.commit.to_seconds() + lat.query.to_seconds() +
+                          1.0 + 0.06;
+    reg.row()
+        .add(name)
+        .num(lat.commit.to_seconds(), 2, "s")
+        .num(lat.query.to_seconds(), 2, "s")
+        .num(join_s, 2, "s");
+  }
+  reg.print(std::cout);
+
+  std::cout << "\nShape check: all dLTE modes beat DCF's contention-limited "
+               "aggregate. Uncoordinated\nco-channel reuse posts a high "
+               "aggregate from near-in clients but starves the cell edge\n"
+               "(worst UE, fairness); fair sharing restores a WiFi-like "
+               "equilibrium, and cooperative\nmode adds demand-proportional "
+               "fusion + best-AP steering (best worst-UE service).\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): throughput of the primitives the
+// simulation rests on. Not a paper experiment — a performance-regression
+// harness for the library itself (a local core stub is supposed to run
+// on an "off the shelf computer", §5, so the protocol work must be
+// cheap).
+#include <benchmark/benchmark.h>
+
+#include "crypto/milenage.h"
+#include "crypto/sha256.h"
+#include "lte/nas.h"
+#include "lte/x2ap.h"
+#include "mac/lte_scheduler.h"
+#include "mac/wifi_dcf.h"
+#include "phy/propagation.h"
+#include "sim/simulator.h"
+
+namespace {
+using namespace dlte;
+
+void BM_Aes128Encrypt(benchmark::State& state) {
+  crypto::Key128 key{};
+  key[0] = 0x2b;
+  crypto::Aes128 aes{key};
+  crypto::Block128 block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Aes128Encrypt);
+
+void BM_MilenageAuthVector(benchmark::State& state) {
+  crypto::Key128 k{};
+  k[0] = 0x46;
+  crypto::Block128 opc{};
+  opc[0] = 0xcd;
+  crypto::Milenage m{k, opc};
+  crypto::Rand128 rand{};
+  crypto::Sqn48 sqn{};
+  crypto::Amf16 amf{0x80, 0x00};
+  for (auto _ : state) {
+    auto f1 = m.f1(rand, sqn, amf);
+    auto f25 = m.f2_f5(rand);
+    auto ck = m.f3(rand);
+    auto ik = m.f4(rand);
+    benchmark::DoNotOptimize(f1);
+    benchmark::DoNotOptimize(f25);
+    benchmark::DoNotOptimize(ck);
+    benchmark::DoNotOptimize(ik);
+    rand[0] = static_cast<std::uint8_t>(rand[0] + 1);
+  }
+}
+BENCHMARK(BM_MilenageAuthVector);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    auto d = crypto::sha256(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_NasRoundTrip(benchmark::State& state) {
+  const lte::NasMessage msg{lte::AttachAccept{Tmsi{7}, 0x0a2d0001,
+                                              BearerId{5}}};
+  for (auto _ : state) {
+    auto bytes = lte::encode_nas(msg);
+    auto back = lte::decode_nas(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_NasRoundTrip);
+
+void BM_X2ShareProposalRoundTrip(benchmark::State& state) {
+  lte::DlteShareProposal p;
+  p.round = 1;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    p.ap_ids.push_back(i);
+    p.shares.push_back(1.0 / 16);
+  }
+  const lte::X2Message msg{p};
+  for (auto _ : state) {
+    auto bytes = lte::encode_x2(msg);
+    auto back = lte::decode_x2(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_X2ShareProposalRoundTrip);
+
+void BM_HataPathLoss(benchmark::State& state) {
+  phy::OkumuraHataModel model{phy::Environment::kOpenRural};
+  double d = 1000.0;
+  for (auto _ : state) {
+    auto loss = model.path_loss(Hertz::mhz(850.0),
+                                phy::LinkGeometry{d, 30.0, 1.5});
+    benchmark::DoNotOptimize(loss);
+    d = d < 20'000.0 ? d + 1.0 : 1000.0;
+  }
+}
+BENCHMARK(BM_HataPathLoss);
+
+void BM_PfScheduler32Ues(benchmark::State& state) {
+  mac::ProportionalFairScheduler sched;
+  std::vector<mac::SchedUe> ues;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    ues.push_back(mac::SchedUe{UeId{i}, static_cast<int>(1 + i % 15), 1e6,
+                               1e5 + i});
+  }
+  for (auto _ : state) {
+    auto grants = sched.schedule(ues, 100);
+    benchmark::DoNotOptimize(grants);
+  }
+}
+BENCHMARK(BM_PfScheduler32Ues);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(Duration::micros(i), [&count] { ++count; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_DcfSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    mac::DcfSimulator dcf{1};
+    dcf.add_station(mac::DcfStationConfig{});
+    dcf.add_station(mac::DcfStationConfig{});
+    dcf.run(Duration::millis(100));
+    benchmark::DoNotOptimize(dcf.stats(0).delivered_frames);
+  }
+}
+BENCHMARK(BM_DcfSimulatedSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

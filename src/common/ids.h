@@ -1,0 +1,93 @@
+// Strong identifier types used across the dLTE stack.
+//
+// Every protocol-visible identifier gets its own distinct C++ type so that
+// an IMSI can never be passed where a TEID is expected. The wrapper is a
+// trivially copyable value type with ordering and hashing, suitable as a
+// map key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dlte {
+
+// Generic strong typedef over an integral representation. `Tag` is a unique
+// empty struct per identifier family.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(StrongId a, StrongId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(StrongId a, StrongId b) {
+    return a.value_ >= b.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+// International Mobile Subscriber Identity (15 decimal digits, stored as an
+// integer; MCC/MNC/MSIN split is handled by the HSS subscriber database).
+using Imsi = StrongId<struct ImsiTag>;
+
+// E-UTRAN Cell Global Identifier (simplified to a flat 64-bit id).
+using CellId = StrongId<struct CellIdTag, std::uint32_t>;
+
+// Simulator-local UE handle (not a protocol identifier).
+using UeId = StrongId<struct UeIdTag, std::uint32_t>;
+
+// GTP Tunnel Endpoint Identifier.
+using Teid = StrongId<struct TeidTag, std::uint32_t>;
+
+// EPS bearer identity (4 bits on the wire; 5..15 valid for dedicated).
+using BearerId = StrongId<struct BearerIdTag, std::uint8_t>;
+
+// Access point identity in the dLTE registry (one per site).
+using ApId = StrongId<struct ApIdTag, std::uint32_t>;
+
+// Spectrum grant handle issued by a registry.
+using GrantId = StrongId<struct GrantIdTag>;
+
+// Node in the IP substrate (router, host, AP backhaul port, EPC site).
+using NodeId = StrongId<struct NodeIdTag, std::uint32_t>;
+
+// Transport-level connection identifier (QUIC-like CID).
+using ConnectionId = StrongId<struct ConnectionIdTag>;
+
+// Temporary identity assigned at attach (GUTI/M-TMSI analogue).
+using Tmsi = StrongId<struct TmsiTag, std::uint32_t>;
+
+// MME UE S1AP ID / eNB UE S1AP ID analogues.
+using MmeUeId = StrongId<struct MmeUeIdTag, std::uint32_t>;
+using EnbUeId = StrongId<struct EnbUeIdTag, std::uint32_t>;
+
+}  // namespace dlte
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<dlte::StrongId<Tag, Rep>> {
+  size_t operator()(dlte::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace dlte {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::num(double value, int precision, std::string unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  std::string cell{buf};
+  if (!unit.empty()) {
+    cell += ' ';
+    cell += unit;
+  }
+  return add(std::move(cell));
+}
+
+TextTable& TextTable::integer(long long value) {
+  return add(std::to_string(value));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[i])) << c
+         << ' ';
+    }
+    os << "|\n";
+  };
+  auto print_rule = [&] {
+    for (std::size_t w : widths) {
+      os << '+' << std::string(w + 2, '-');
+    }
+    os << "+\n";
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& r : rows_) print_row(r);
+  print_rule();
+}
+
+void print_bench_header(std::ostream& os, const std::string& experiment_id,
+                        const std::string& paper_anchor,
+                        const std::string& claim) {
+  os << "================================================================\n";
+  os << "Experiment " << experiment_id << "  [" << paper_anchor << "]\n";
+  os << "Claim: " << claim << "\n";
+  os << "================================================================\n";
+}
+
+}  // namespace dlte

@@ -1,0 +1,38 @@
+// Aligned text-table printer for the benchmark harnesses.
+//
+// Each bench binary reproduces one table/figure from the paper (or one of
+// its quantitative claims) and prints its rows through this formatter so
+// output across benches is uniform and diffable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dlte {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Begin a new row. Subsequent add()/num() calls fill its cells.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  // Formats with the given precision; trailing unit is appended verbatim.
+  TextTable& num(double value, int precision = 2, std::string unit = "");
+  TextTable& integer(long long value);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints the standard bench banner: experiment id, paper anchor, and the
+// claim under test.
+void print_bench_header(std::ostream& os, const std::string& experiment_id,
+                        const std::string& paper_anchor,
+                        const std::string& claim);
+
+}  // namespace dlte

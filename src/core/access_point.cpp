@@ -1,0 +1,190 @@
+#include "core/access_point.h"
+
+namespace dlte::core {
+
+DlteAccessPoint::DlteAccessPoint(sim::Simulator& sim, net::Network& net,
+                                 NodeId backhaul_node,
+                                 RadioEnvironment& radio_env, ApConfig config)
+    : sim_(sim),
+      net_(net),
+      node_(backhaul_node),
+      radio_env_(radio_env),
+      config_(config),
+      network_id_("dlte-ap-" + std::to_string(config.id.value())),
+      cell_mac_([&] {
+        mac::CellMacConfig mc = config.mac;
+        mc.bandwidth = config.radio.bandwidth;
+        mc.seed = config.seed ^ 0x9e37;
+        return mc;
+      }()) {
+  // Local core stub (§4.1): every EPC function the client needs, on-box.
+  epc::EpcConfig ec;
+  ec.deployment = epc::CoreDeployment::kLocalStub;
+  ec.network_id = network_id_;
+  // Each AP hands out addresses from its own block: dLTE addresses are
+  // scoped to the serving AP (§4.2 — a move means a new address).
+  ec.ip_pool_base = 0x0A2D0000u + (config_.id.value() << 8);
+  core_ = std::make_unique<epc::EpcCore>(
+      sim_, ec, sim::RngStream::derive(config_.seed, "hss"));
+
+  fabric_ = std::make_unique<S1Fabric>(sim_, core_->mme());
+  EnbConfig enb_cfg = config_.enb;
+  enb_cfg.cell = config_.cell;
+  enodeb_ = std::make_unique<EnodeB>(sim_, *fabric_, enb_cfg);
+  fabric_->register_enb_direct(
+      config_.cell, config_.stub_s1_latency,
+      [this](const lte::S1apMessage& m) { enodeb_->on_s1ap(m); });
+
+  coordinator_ = std::make_unique<spectrum::PeerCoordinator>(
+      sim_, net_, node_,
+      spectrum::CoordinatorConfig{config_.id, config_.mode,
+                                  config_.coordination_period});
+  coordinator_->attach_cell(&cell_mac_);
+
+  // Put the cell on the air (in the shared radio environment).
+  radio_env_.add_cell(CellSiteConfig{config_.cell, config_.position,
+                                     config_.radio, config_.frequency});
+}
+
+DlteAccessPoint::~DlteAccessPoint() { *alive_ = false; }
+
+void DlteAccessPoint::set_trace(sim::TraceLog* trace) {
+  trace_ = trace;
+  coordinator_->set_share_observer([this](double share) {
+    this->trace(sim::TraceCategory::kCoordination,
+                "applied spectrum share " + std::to_string(share));
+  });
+}
+
+void DlteAccessPoint::trace(sim::TraceCategory category,
+                            std::string message) {
+  if (trace_ != nullptr) {
+    trace_->record(category, network_id_, std::move(message));
+  }
+}
+
+void DlteAccessPoint::bring_up(spectrum::Registry& registry,
+                               std::function<void(bool)> on_done) {
+  spectrum::GrantRequest req;
+  req.ap = config_.id;
+  req.location = config_.position;
+  req.center_frequency = config_.frequency;
+  req.bandwidth = config_.radio.bandwidth;
+  req.max_eirp = config_.radio.tx_power + config_.radio.tx_antenna_gain;
+  req.operator_contact = config_.operator_contact;
+  req.coordination_node = node_;
+
+  registry.request_grant(
+      std::move(req),
+      [this, &registry, alive = alive_, on_done = std::move(on_done)](
+          Result<spectrum::SpectrumGrant> grant) {
+        if (!*alive) return;  // AP torn down while the grant was pending.
+        if (!grant) {
+          trace(sim::TraceCategory::kRegistry,
+                "grant refused: " + grant.error());
+          if (on_done) on_done(false);
+          return;
+        }
+        grant_ = *grant;
+        trace(sim::TraceCategory::kRegistry,
+              "grant acquired at " +
+                  std::to_string(grant_->center_frequency.to_mhz()) +
+                  " MHz");
+        // Leased grants must be kept alive (a dead AP's grant lapses and
+        // frees its neighbours' spectrum).
+        if (!registry.grant_lifetime().is_zero()) {
+          lease_heartbeat_ = sim_.every_cancellable(
+              registry.grant_lifetime() / 3, [this, &registry] {
+                if (!grant_) return;
+                if (!registry.heartbeat(grant_->id).ok()) {
+                  trace(sim::TraceCategory::kRegistry,
+                        "grant lapsed; lost the lease");
+                  grant_.reset();
+                }
+              });
+        }
+        // Discover the contention domain and peer up.
+        registry.query_region(
+            config_.position,
+            [this, alive,
+             on_done](std::vector<spectrum::SpectrumGrant> grants) {
+              if (!*alive) return;
+              int peers = 0;
+              for (const auto& g : grants) {
+                if (g.ap == config_.id) continue;
+                coordinator_->add_peer(g.ap, g.coordination_node);
+                ++peers;
+              }
+              trace(sim::TraceCategory::kCoordination,
+                    "discovered " + std::to_string(peers) +
+                        " peer(s) in contention domain");
+              coordinator_->send_hello(config_.operator_contact);
+              if (config_.mode != lte::DlteMode::kIsolated) {
+                radio_env_.set_coordinated(config_.cell, true);
+              }
+              coordinator_->start();
+              if (on_done) on_done(true);
+            });
+      });
+}
+
+std::size_t DlteAccessPoint::import_published_subscribers(
+    const spectrum::Registry& registry) {
+  std::size_t imported = 0;
+  for (const auto& keys : registry.published_subscribers()) {
+    if (!core_->hss().has_subscriber(keys.imsi)) {
+      core_->hss().provision_with_opc(keys.imsi, keys.k, keys.opc);
+      ++imported;
+    }
+  }
+  return imported;
+}
+
+void DlteAccessPoint::provision_subscriber(Imsi imsi, const crypto::Key128& k,
+                                           const crypto::Block128& opc) {
+  core_->hss().provision_with_opc(imsi, k, opc);
+}
+
+void DlteAccessPoint::attach(UeDevice& ue, mac::UeTrafficConfig traffic,
+                             std::function<void(AttachOutcome)> on_done) {
+  auto& client = ue.begin_attachment(network_id_);
+  UeDevice* ue_ptr = &ue;
+  enodeb_->attach_ue(
+      client, [this, ue_ptr, traffic,
+               on_done = std::move(on_done)](AttachOutcome outcome) {
+        trace(sim::TraceCategory::kAttach,
+              "attach of IMSI " + std::to_string(ue_ptr->imsi().value()) +
+                  (outcome.success ? " completed in " +
+                                         std::to_string(
+                                             outcome.elapsed.to_millis()) +
+                                         " ms"
+                                   : " failed"));
+        if (outcome.success) adopt_ue(*ue_ptr, traffic);
+        if (on_done) on_done(outcome);
+      });
+}
+
+void DlteAccessPoint::adopt_ue(UeDevice& ue, mac::UeTrafficConfig traffic) {
+  // Register the UE's bearer with the cell MAC; its SINR follows its
+  // position in the shared radio environment.
+  const UeId mac_ue{next_ue_++};
+  mac_ue_ids_[ue.imsi()] = mac_ue;
+  const CellId cell = config_.cell;
+  RadioEnvironment* env = &radio_env_;
+  UeDevice* ue_ptr = &ue;
+  cell_mac_.add_ue(
+      mac_ue,
+      [env, cell, ue_ptr] {
+        return env->downlink_sinr(cell, ue_ptr->position());
+      },
+      traffic);
+}
+
+void DlteAccessPoint::drop_ue(UeDevice& ue) {
+  const auto it = mac_ue_ids_.find(ue.imsi());
+  if (it == mac_ue_ids_.end()) return;
+  if (cell_mac_.has_ue(it->second)) cell_mac_.remove_ue(it->second);
+  mac_ue_ids_.erase(it);
+}
+
+}  // namespace dlte::core

@@ -1,0 +1,125 @@
+// DlteAccessPoint: the paper's unit of deployment (§4).
+//
+// One box on a silo roof: eNodeB + collapsed local core (MME/HSS/S-GW/
+// P-GW stub) + registry client + X2 peer coordinator + local Internet
+// breakout. Bringing one up is the paper's "organic expansion" story:
+//   1. apply for a grant at the open registry,
+//   2. query the registry for the local contention domain,
+//   3. say hello to the peers and start coordinated sharing,
+//   4. serve any client whose keys are published (or locally provisioned).
+// No human coordination, no carrier, no shared core.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/enodeb.h"
+#include "core/radio_env.h"
+#include "core/s1_fabric.h"
+#include "core/ue_device.h"
+#include "epc/epc.h"
+#include "mac/lte_cell_mac.h"
+#include "sim/trace.h"
+#include "spectrum/coordinator.h"
+#include "spectrum/registry.h"
+
+namespace dlte::core {
+
+struct ApConfig {
+  ApId id;
+  CellId cell;
+  Position position;
+  Hertz frequency{Hertz::mhz(850.0)};
+  phy::RadioProfile radio{phy::DeviceProfiles::lte_enb_rural()};
+  lte::DlteMode mode{lte::DlteMode::kFairShare};
+  std::string operator_contact{"ops@example.net"};
+  Duration coordination_period{Duration::seconds(1.0)};
+  // One-way S1 latency to the on-box core stub (loopback-scale).
+  Duration stub_s1_latency{Duration::micros(50)};
+  mac::CellMacConfig mac{};
+  EnbConfig enb{};
+  std::uint64_t seed{1};
+};
+
+class DlteAccessPoint {
+ public:
+  DlteAccessPoint(sim::Simulator& sim, net::Network& net,
+                  NodeId backhaul_node, RadioEnvironment& radio_env,
+                  ApConfig config);
+  ~DlteAccessPoint();
+  DlteAccessPoint(const DlteAccessPoint&) = delete;
+  DlteAccessPoint& operator=(const DlteAccessPoint&) = delete;
+
+  // Async bring-up against the registry (grant → discovery → hello →
+  // coordination). Callback fires with success once the grant is held.
+  void bring_up(spectrum::Registry& registry,
+                std::function<void(bool)> on_done = nullptr);
+
+  // Pull every published open identity from the registry into the local
+  // HSS (§4.2: published keys let any AP authenticate the subscriber).
+  std::size_t import_published_subscribers(
+      const spectrum::Registry& registry);
+
+  // Directly provision a subscriber on this AP's local HSS.
+  void provision_subscriber(Imsi imsi, const crypto::Key128& k,
+                            const crypto::Block128& opc);
+
+  // Radio-level attach of a UE camping on this cell. Also registers the
+  // UE's traffic with the cell MAC using the radio environment's SINR.
+  void attach(UeDevice& ue, mac::UeTrafficConfig traffic,
+              std::function<void(AttachOutcome)> on_done = nullptr);
+
+  // Cooperative-handover radio plumbing: register an admitted UE's bearer
+  // with this cell's MAC without an attach dialogue (the core context was
+  // created by Mme::admit_handover), and drop a departed UE's bearer.
+  void adopt_ue(UeDevice& ue, mac::UeTrafficConfig traffic);
+  void drop_ue(UeDevice& ue);
+
+  // Optional structured event tracing (grant, attach, share decisions).
+  void set_trace(sim::TraceLog* trace);
+
+  [[nodiscard]] ApId id() const { return config_.id; }
+  [[nodiscard]] CellId cell_id() const { return config_.cell; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& network_id() const { return network_id_; }
+  [[nodiscard]] bool has_grant() const { return grant_.has_value(); }
+  [[nodiscard]] const spectrum::SpectrumGrant& grant() const {
+    return *grant_;
+  }
+
+  [[nodiscard]] epc::EpcCore& core() { return *core_; }
+  [[nodiscard]] EnodeB& enodeb() { return *enodeb_; }
+  [[nodiscard]] mac::LteCellMac& cell_mac() { return cell_mac_; }
+  [[nodiscard]] spectrum::PeerCoordinator& coordinator() {
+    return *coordinator_;
+  }
+  [[nodiscard]] RadioEnvironment& radio_env() { return radio_env_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId node_;
+  RadioEnvironment& radio_env_;
+  ApConfig config_;
+  std::string network_id_;
+
+  std::unique_ptr<epc::EpcCore> core_;
+  std::unique_ptr<S1Fabric> fabric_;
+  std::unique_ptr<EnodeB> enodeb_;
+  mac::LteCellMac cell_mac_;
+  std::unique_ptr<spectrum::PeerCoordinator> coordinator_;
+  std::optional<spectrum::SpectrumGrant> grant_;
+  std::uint32_t next_ue_{1};
+  std::unordered_map<Imsi, UeId> mac_ue_ids_;
+  sim::TraceLog* trace_{nullptr};
+  sim::Simulator::PeriodicHandle lease_heartbeat_;
+  // Guards `this`-capturing async callbacks (registry grant/query) that
+  // may still be in flight when the AP is torn down.
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+
+  void trace(sim::TraceCategory category, std::string message);
+};
+
+}  // namespace dlte::core

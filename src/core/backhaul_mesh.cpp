@@ -1,0 +1,99 @@
+#include "core/backhaul_mesh.h"
+
+#include "phy/link_budget.h"
+#include "phy/propagation.h"
+
+namespace dlte::core {
+
+BackhaulMesh::BackhaulMesh(sim::Simulator& sim, net::Network& net,
+                           RadioEnvironment& radio, NodeId internet)
+    : sim_(sim), net_(net), radio_(radio), internet_(internet) {}
+
+DataRate BackhaulMesh::relay_rate(double distance_m) {
+  // Tower-to-tower link at the deployment band: both ends elevated with
+  // sector antennas, so the budget is far better than an AP↔handset link.
+  const auto profile = phy::DeviceProfiles::lte_enb_rural();
+  const auto model = phy::make_rural_model(Hertz::mhz(850.0));
+  const Decibels snr = phy::link_snr(profile, profile, *model,
+                                     Hertz::mhz(850.0), distance_m);
+  return phy::peak_rate(snr, profile.bandwidth);
+}
+
+void BackhaulMesh::add_member(DlteAccessPoint& ap) {
+  MeshMemberInfo info{ap.id(), ap.node(), ap.cell_id(),
+                      radio_.cell(ap.cell_id()).position};
+  const std::size_t index = members_.size();
+  // Provision standby relays to every member in usable radio range: the
+  // link budget must support useful backhaul AND the hop must stay within
+  // mesh planning range (one LTE cell radius).
+  constexpr double kMaxRelayRangeM = 30'000.0;
+  for (std::size_t other = 0; other < members_.size(); ++other) {
+    const double d = distance_m(info.position, members_[other].position);
+    const DataRate rate = relay_rate(d);
+    if (d > kMaxRelayRangeM || rate.to_mbps() < 1.0) continue;
+    // Relay latency: one LTE scheduling hop.
+    net_.add_link(info.node, members_[other].node,
+                  net::LinkConfig{rate, Duration::millis(8), 256 * 1024});
+    net_.set_link_enabled(info.node, members_[other].node, false);
+    relays_.push_back(Relay{index, other, false});
+    ++stats_.relays_provisioned;
+  }
+  members_.push_back(info);
+}
+
+void BackhaulMesh::enable(Duration check_period) {
+  if (enabled_) return;
+  enabled_ = true;
+  watchdog_ = sim_.every_cancellable(check_period,
+                                     [this] { check_health(); });
+}
+
+bool BackhaulMesh::backhaul_alive(std::size_t member) const {
+  return net_.has_route(members_[member].node, internet_);
+}
+
+void BackhaulMesh::check_health() {
+  // Probe own-backhaul health with every relay down, so an active relay
+  // doesn't mask a still-broken uplink.
+  std::vector<bool> was_active(relays_.size());
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    was_active[i] = relays_[i].active;
+    if (relays_[i].active) {
+      net_.set_link_enabled(members_[relays_[i].a].node,
+                            members_[relays_[i].b].node, false);
+      relays_[i].active = false;
+    }
+  }
+
+  std::vector<bool> alive(members_.size());
+  bool any_dead = false;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    alive[m] = backhaul_alive(m);
+    any_dead |= !alive[m];
+  }
+
+  if (any_dead) {
+    // Bring up every relay touching a dead member: the routing plane then
+    // finds a path — possibly multi-hop through other dead members — to
+    // one whose backhaul still works (§7's emergency redundancy).
+    for (std::size_t i = 0; i < relays_.size(); ++i) {
+      Relay& r = relays_[i];
+      if (!alive[r.a] || !alive[r.b]) {
+        net_.set_link_enabled(members_[r.a].node, members_[r.b].node, true);
+        r.active = true;
+        if (!was_active[i]) ++stats_.activations;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    if (was_active[i] && !relays_[i].active) ++stats_.deactivations;
+  }
+}
+
+int BackhaulMesh::active_relays() const {
+  int n = 0;
+  for (const auto& r : relays_) n += r.active ? 1 : 0;
+  return n;
+}
+
+}  // namespace dlte::core

@@ -1,0 +1,81 @@
+// BackhaulMesh: §7's multi-hop backhaul sharing between neighboring APs.
+//
+// "Such networks could provide redundancy for users in emergencies when
+// the backhaul link goes down, and bring LTE's scheduling primitives and
+// beamforming to bear on mesh designs."
+//
+// Cooperative peers within radio range of each other provision standby
+// inter-AP relay links (capacity from the AP↔AP link budget at their
+// band). A watchdog probes each member's route to the Internet; when a
+// member's own backhaul dies, its best standby relay is activated and the
+// routing plane carries its users' traffic out through the neighbor.
+// When the backhaul heals, the relay is torn down so member APs don't
+// become permanent transit.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/access_point.h"
+#include "phy/lte_amc.h"
+
+namespace dlte::core {
+
+struct MeshMemberInfo {
+  ApId ap;
+  NodeId node;
+  CellId cell;
+  Position position;
+};
+
+struct MeshStats {
+  int relays_provisioned{0};
+  int activations{0};
+  int deactivations{0};
+};
+
+class BackhaulMesh {
+ public:
+  // `internet` is the probe target: a member is "up" iff it can route
+  // there on its own (relays are excluded from the health probe by
+  // checking before activation and after deactivation).
+  BackhaulMesh(sim::Simulator& sim, net::Network& net,
+               RadioEnvironment& radio, NodeId internet);
+
+  // Membership: provisions standby relay links to every earlier member in
+  // radio range (relay rate from the inter-AP link budget).
+  void add_member(DlteAccessPoint& ap);
+
+  // Start the watchdog.
+  void enable(Duration check_period = Duration::seconds(1.0));
+
+  [[nodiscard]] const MeshStats& stats() const { return stats_; }
+  [[nodiscard]] int active_relays() const;
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+
+  // Achievable relay rate between two member positions at the mesh band
+  // (exposed for dimensioning and tests).
+  [[nodiscard]] static DataRate relay_rate(double distance_m);
+
+ private:
+  struct Relay {
+    std::size_t a;  // Member indices.
+    std::size_t b;
+    bool active{false};
+  };
+
+  void check_health();
+  [[nodiscard]] bool backhaul_alive(std::size_t member) const;
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  RadioEnvironment& radio_;
+  NodeId internet_;
+  std::vector<MeshMemberInfo> members_;
+  std::vector<Relay> relays_;
+  sim::Simulator::PeriodicHandle watchdog_;
+  MeshStats stats_;
+  bool enabled_{false};
+};
+
+}  // namespace dlte::core

@@ -1,0 +1,151 @@
+#include "core/enodeb.h"
+
+namespace dlte::core {
+
+EnodeB::EnodeB(sim::Simulator& sim, S1Fabric& fabric, EnbConfig config)
+    : sim_(sim), fabric_(fabric), config_(config) {}
+
+void EnodeB::attach_ue(ue::NasClient& client,
+                       std::function<void(AttachOutcome)> on_done) {
+  const EnbUeId id{next_enb_ue_id_++};
+  PendingUe ue;
+  ue.client = &client;
+  ue.on_done = std::move(on_done);
+  ue.started_at = sim_.now();
+  pending_.emplace(id.value(), std::move(ue));
+  ++started_;
+
+  // RRC connection establishment, then the initial NAS message.
+  sim_.schedule(config_.rrc_setup + config_.radio_one_way, [this, id] {
+    auto it = pending_.find(id.value());
+    if (it == pending_.end()) return;
+    lte::InitialUeMessage init;
+    init.enb_ue_id = id;
+    init.cell = config_.cell;
+    init.nas_pdu = lte::encode_nas(it->second.client->start_attach());
+    fabric_.enb_send(config_.cell, lte::S1apMessage{init});
+  });
+  // Guard timer: bounded state when the core never answers.
+  sim_.schedule(config_.attach_guard, [this, id] {
+    auto it = pending_.find(id.value());
+    if (it == pending_.end() || it->second.done) return;
+    ++failed_;
+    AttachOutcome out;
+    out.success = false;
+    out.elapsed = sim_.now() - it->second.started_at;
+    auto cb = std::move(it->second.on_done);
+    pending_.erase(it);
+    if (cb) cb(out);
+  });
+}
+
+void EnodeB::detach_ue(ue::NasClient& client) {
+  const auto it = camped_.find(client.tmsi().value());
+  if (it == camped_.end()) return;
+  lte::UplinkNasTransport up;
+  up.enb_ue_id = it->second.enb_ue_id;
+  up.mme_ue_id = it->second.mme_ue_id;
+  up.nas_pdu = lte::encode_nas(lte::NasMessage{lte::DetachRequest{}});
+  camped_.erase(it);
+  sim_.schedule(config_.radio_one_way, [this, up = std::move(up)] {
+    fabric_.enb_send(config_.cell, lte::S1apMessage{up});
+  });
+}
+
+void EnodeB::on_s1ap(const lte::S1apMessage& message) {
+  if (const auto* down = std::get_if<lte::DownlinkNasTransport>(&message)) {
+    auto it = pending_.find(down->enb_ue_id.value());
+    if (it == pending_.end()) return;
+    // Radio latency down to the UE; reply (if any) pays it back up.
+    const EnbUeId enb_id = down->enb_ue_id;
+    const MmeUeId mme_id = down->mme_ue_id;
+    it->second.mme_ue_id = mme_id;
+    const auto pdu = down->nas_pdu;
+    sim_.schedule(config_.radio_one_way, [this, enb_id, mme_id, pdu] {
+      auto it2 = pending_.find(enb_id.value());
+      if (it2 == pending_.end()) return;
+      PendingUe& ue = it2->second;
+      auto nas = lte::decode_nas(pdu);
+      if (!nas) return;
+      auto reply = ue.client->handle(*nas);
+      if (reply) {
+        sim_.schedule(config_.radio_one_way,
+                      [this, enb_id, mme_id, r = *reply] {
+                        send_nas_to_mme(enb_id, mme_id, r);
+                      });
+      }
+      check_completion(enb_id, ue);
+    });
+    return;
+  }
+  if (const auto* paging = std::get_if<lte::Paging>(&message)) {
+    ++pages_received_;
+    const auto it = camped_.find(paging->tmsi.value());
+    if (it == camped_.end()) return;  // Not camped here.
+    // Paging occasion + RRC re-establishment, then the service request
+    // rides an InitialUeMessage (as in ECM-idle → connected).
+    const Tmsi tmsi = paging->tmsi;
+    sim_.schedule(config_.rrc_setup + config_.radio_one_way, [this, tmsi] {
+      ++pages_answered_;
+      lte::InitialUeMessage init;
+      init.enb_ue_id = EnbUeId{next_enb_ue_id_++};
+      init.cell = config_.cell;
+      init.nas_pdu =
+          lte::encode_nas(lte::NasMessage{lte::ServiceRequest{tmsi}});
+      fabric_.enb_send(config_.cell, lte::S1apMessage{init});
+    });
+    return;
+  }
+  if (const auto* ctx =
+          std::get_if<lte::InitialContextSetupRequest>(&message)) {
+    auto it = pending_.find(ctx->enb_ue_id.value());
+    if (it == pending_.end()) return;
+    it->second.context_setup = true;
+    lte::InitialContextSetupResponse resp;
+    resp.enb_ue_id = ctx->enb_ue_id;
+    resp.mme_ue_id = ctx->mme_ue_id;
+    resp.enb_downlink_teid =
+        Teid{config_.downlink_teid_base.value() + ctx->enb_ue_id.value()};
+    fabric_.enb_send(config_.cell, lte::S1apMessage{resp});
+    check_completion(ctx->enb_ue_id, it->second);
+    return;
+  }
+}
+
+void EnodeB::send_nas_to_mme(EnbUeId enb_id, MmeUeId mme_id,
+                             const lte::NasMessage& nas) {
+  lte::UplinkNasTransport up;
+  up.enb_ue_id = enb_id;
+  up.mme_ue_id = mme_id;
+  up.nas_pdu = lte::encode_nas(nas);
+  fabric_.enb_send(config_.cell, lte::S1apMessage{up});
+}
+
+void EnodeB::check_completion(EnbUeId id, PendingUe& ue) {
+  if (ue.done) return;
+  if (ue.client->state() == ue::NasClientState::kRejected) {
+    ue.done = true;
+    ++failed_;
+    AttachOutcome out;
+    out.success = false;
+    out.elapsed = sim_.now() - ue.started_at;
+    if (ue.on_done) ue.on_done(out);
+    pending_.erase(id.value());
+    return;
+  }
+  if (ue.client->registered() && ue.context_setup) {
+    ue.done = true;
+    ++succeeded_;
+    AttachOutcome out;
+    out.success = true;
+    out.elapsed = sim_.now() - ue.started_at;
+    out.ue_ip = ue.client->ue_ip();
+    // Pageable / detachable from now on.
+    camped_[ue.client->tmsi().value()] =
+        CampedUe{ue.client, id, ue.mme_ue_id};
+    if (ue.on_done) ue.on_done(out);
+    pending_.erase(id.value());
+  }
+}
+
+}  // namespace dlte::core

@@ -1,0 +1,131 @@
+#include "core/handover.h"
+
+namespace dlte::core {
+
+HandoverManager::HandoverManager(sim::Simulator& sim, DlteAccessPoint& ap)
+    : sim_(sim), ap_(ap) {
+  ap_.coordinator().set_handover_sink(
+      [this](const lte::X2Message& m, NodeId from) { on_x2(m, from); });
+}
+
+void HandoverManager::initiate(UeDevice& ue, ApId target_ap,
+                               mac::UeTrafficConfig traffic,
+                               std::function<void(HandoverOutcome)> on_done) {
+  const Imsi imsi = ue.imsi();
+  HandoverOutcome fail_out;
+  if (ap_.coordinator().mode() != lte::DlteMode::kCooperative) {
+    fail_out.failure_reason = "source AP not in cooperative mode";
+    if (on_done) on_done(fail_out);
+    return;
+  }
+  if (!ap_.core().mme().is_registered(imsi)) {
+    fail_out.failure_reason = "UE not registered at source";
+    if (on_done) on_done(fail_out);
+    return;
+  }
+  if (!ap_.coordinator().peer_node(target_ap)) {
+    fail_out.failure_reason = "target AP is not a known peer";
+    if (on_done) on_done(fail_out);
+    return;
+  }
+  ++initiated_;
+  Pending p;
+  p.ue = &ue;
+  p.traffic = traffic;
+  p.on_done = std::move(on_done);
+  p.started_at = sim_.now();
+  p.target = target_ap;
+  pending_[imsi.value()] = std::move(p);
+
+  // Forward the UE context (K_eNB* stands in for the derived chain).
+  lte::X2HandoverRequest req;
+  req.source_cell = ap_.cell_id();
+  req.target_cell = CellId{target_ap.value()};
+  req.imsi = imsi;
+  req.tmsi = ue.nas() != nullptr ? ue.nas()->tmsi() : Tmsi{0};
+  req.security_context.assign(32, 0x5a);
+  if (ue.nas() != nullptr) {
+    const auto& kasme = ue.nas()->kasme();
+    req.security_context.assign(kasme.begin(), kasme.end());
+  }
+  ap_.coordinator().send_to_peer(target_ap, lte::X2Message{req});
+
+  // Admission timeout: a non-cooperative or unreachable target never
+  // answers; the source falls back (the caller decides how — typically a
+  // plain re-attach).
+  sim_.schedule(Duration::millis(300), [this, imsi] {
+    const auto it = pending_.find(imsi.value());
+    if (it == pending_.end()) return;  // Completed in time.
+    HandoverOutcome out;
+    out.failure_reason = "handover admission timed out";
+    auto cb = std::move(it->second.on_done);
+    pending_.erase(it);
+    if (cb) cb(out);
+  });
+}
+
+void HandoverManager::on_x2(const lte::X2Message& message, NodeId from) {
+  if (const auto* req = std::get_if<lte::X2HandoverRequest>(&message)) {
+    handle_request(*req, from);
+    return;
+  }
+  if (const auto* ack = std::get_if<lte::X2HandoverRequestAck>(&message)) {
+    handle_ack(*ack);
+    return;
+  }
+  if (const auto* rel = std::get_if<lte::X2UeContextRelease>(&message)) {
+    // Source confirms it released the UE; nothing further to do — the
+    // target admitted the context at request time.
+    (void)rel;
+    return;
+  }
+}
+
+void HandoverManager::handle_request(const lte::X2HandoverRequest& request,
+                                     NodeId from) {
+  // Cooperation is consensual: refuse silently unless we opted in.
+  if (ap_.coordinator().mode() != lte::DlteMode::kCooperative) {
+    ++refused_;
+    return;
+  }
+  auto bearer = ap_.core().mme().admit_handover(
+      request.imsi, ap_.cell_id(), request.security_context);
+  if (!bearer) {
+    ++refused_;
+    return;
+  }
+  ++admitted_;
+  lte::X2HandoverRequestAck ack;
+  ack.target_cell = ap_.cell_id();
+  ack.imsi = request.imsi;
+  ack.forwarding_teid = bearer->uplink_teid;
+  ack.new_ue_ip = bearer->ue_ip.addr;
+  ap_.coordinator().send_to_node(from, lte::X2Message{ack});
+}
+
+void HandoverManager::handle_ack(const lte::X2HandoverRequestAck& ack) {
+  const auto it = pending_.find(ack.imsi.value());
+  if (it == pending_.end()) return;  // Timed out already.
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  // Release our side and command the UE over RRC: the radio interruption
+  // is one reconfiguration, not a fresh attach.
+  ap_.core().mme().release_ue(ack.imsi);
+  if (pending.ue != nullptr) ap_.drop_ue(*pending.ue);
+  ap_.coordinator().send_to_peer(
+      pending.target,
+      lte::X2Message{lte::X2UeContextRelease{ap_.cell_id(), ack.imsi}});
+
+  sim_.schedule(kRrcReconfiguration, [this, pending = std::move(pending),
+                                      ack]() mutable {
+    HandoverOutcome out;
+    out.success = true;
+    out.interruption = kRrcReconfiguration;
+    out.total = sim_.now() - pending.started_at;
+    out.new_ue_ip = ack.new_ue_ip;
+    if (pending.on_done) pending.on_done(out);
+  });
+}
+
+}  // namespace dlte::core

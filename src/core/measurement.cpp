@@ -1,0 +1,79 @@
+#include "core/measurement.h"
+
+namespace dlte::core {
+
+MeasurementEngine::MeasurementEngine(sim::Simulator& sim,
+                                     RadioEnvironment& radio,
+                                     lte::RrcMeasurementConfig config)
+    : sim_(sim), radio_(radio), config_(config) {}
+
+void MeasurementEngine::start(UeDevice& ue, CellId serving,
+                              ReportCallback on_report) {
+  ue_ = &ue;
+  serving_ = serving;
+  on_report_ = std::move(on_report);
+  armed_ = true;
+  above_for_ = Duration{};
+  candidate_.reset();
+  if (!running_) {
+    running_ = true;
+    ticker_ = sim_.every_cancellable(
+        Duration::millis(config_.sample_period_ms), [this] {
+          if (running_) sample();
+        });
+  }
+}
+
+void MeasurementEngine::stop() {
+  running_ = false;
+  ticker_.cancel();
+}
+
+void MeasurementEngine::set_serving(CellId serving) {
+  serving_ = serving;
+  armed_ = true;
+  above_for_ = Duration{};
+  candidate_.reset();
+}
+
+void MeasurementEngine::sample() {
+  if (ue_ == nullptr || !armed_) return;
+  const Position pos = ue_->position();
+  const double serving_rsrp = radio_.rsrp(serving_, pos).value();
+
+  // Strongest neighbour.
+  std::optional<CellId> best;
+  double best_rsrp = -1e9;
+  for (CellId cell : radio_.cell_ids()) {
+    if (cell == serving_) continue;
+    const double p = radio_.rsrp(cell, pos).value();
+    if (p > best_rsrp) {
+      best_rsrp = p;
+      best = cell;
+    }
+  }
+  if (!best) return;
+
+  const bool entering = best_rsrp > serving_rsrp + config_.a3_offset_db;
+  if (!entering || (candidate_ && *candidate_ != *best)) {
+    // Condition broken or candidate changed: restart the TTT clock.
+    above_for_ = Duration{};
+    candidate_ = entering ? best : std::nullopt;
+    return;
+  }
+  candidate_ = best;
+  above_for_ += Duration::millis(config_.sample_period_ms);
+  if (above_for_.to_millis() + 1e-9 <
+      static_cast<double>(config_.time_to_trigger_ms)) {
+    return;
+  }
+  // A3 event: fire once, disarm until the serving cell changes.
+  armed_ = false;
+  ++reports_;
+  if (on_report_) {
+    on_report_(lte::RrcMeasurementReport{serving_, serving_rsrp, *best,
+                                         best_rsrp});
+  }
+}
+
+}  // namespace dlte::core

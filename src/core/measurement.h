@@ -1,0 +1,56 @@
+// MeasurementEngine: UE-side A3 measurement events.
+//
+// The UE periodically samples RSRP of the serving cell and the strongest
+// neighbour in the shared radio environment. When the neighbour stays
+// `a3_offset_db` better than serving for the full time-to-trigger, one
+// RrcMeasurementReport fires — the input that drives handover decisions
+// (core/handover.h) in cooperative mode, or tells the scenario it is
+// time to re-attach in plain dLTE. Hysteresis + TTT is what suppresses
+// ping-pong at cell borders.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/radio_env.h"
+#include "core/ue_device.h"
+#include "lte/rrc.h"
+#include "sim/simulator.h"
+
+namespace dlte::core {
+
+class MeasurementEngine {
+ public:
+  using ReportCallback = std::function<void(const lte::RrcMeasurementReport&)>;
+
+  MeasurementEngine(sim::Simulator& sim, RadioEnvironment& radio,
+                    lte::RrcMeasurementConfig config);
+
+  // Begin sampling for `ue`, served by `serving`. Each qualifying A3
+  // event produces exactly one report; the engine re-arms after
+  // set_serving() (i.e. once the handover happened).
+  void start(UeDevice& ue, CellId serving, ReportCallback on_report);
+  void stop();
+  void set_serving(CellId serving);
+
+  [[nodiscard]] int reports_fired() const { return reports_; }
+  [[nodiscard]] CellId serving() const { return serving_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  RadioEnvironment& radio_;
+  lte::RrcMeasurementConfig config_;
+  sim::Simulator::PeriodicHandle ticker_;
+  UeDevice* ue_{nullptr};
+  CellId serving_{};
+  ReportCallback on_report_;
+  bool running_{false};
+  bool armed_{true};        // One report per event.
+  Duration above_for_{};    // Accumulated time-above-threshold (TTT).
+  std::optional<CellId> candidate_;
+  int reports_{0};
+};
+
+}  // namespace dlte::core

@@ -1,0 +1,107 @@
+#include "core/radio_env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dlte::core {
+
+RadioEnvironment::RadioEnvironment(phy::Environment terrain)
+    : terrain_(terrain) {}
+
+void RadioEnvironment::add_cell(const CellSiteConfig& config) {
+  Site site;
+  site.config = config;
+  // Rural deployments use the band-appropriate empirical model; other
+  // terrains use the same family with the terrain variant.
+  if (terrain_ == phy::Environment::kOpenRural) {
+    site.model = phy::make_rural_model(config.frequency);
+  } else if (config.frequency.to_mhz() <= 1500.0) {
+    site.model = std::make_unique<phy::OkumuraHataModel>(terrain_);
+  } else if (config.frequency.to_mhz() <= 2600.0) {
+    site.model = std::make_unique<phy::Cost231HataModel>(terrain_);
+  } else {
+    site.model = std::make_unique<phy::LogDistanceModel>(3.2);
+  }
+  cells_.emplace(config.id, std::move(site));
+}
+
+std::vector<CellId> RadioEnvironment::cell_ids() const {
+  std::vector<CellId> out;
+  out.reserve(cells_.size());
+  for (const auto& [id, site] : cells_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RadioEnvironment::set_coordinated(CellId id, bool coordinated) {
+  cells_.at(id).coordinated = coordinated;
+}
+
+void RadioEnvironment::set_activity(CellId id, double duty_cycle) {
+  cells_.at(id).activity = std::clamp(duty_cycle, 0.0, 1.0);
+}
+
+bool RadioEnvironment::co_channel(const Site& a, const Site& b) const {
+  const double half = (a.config.profile.bandwidth.hz() +
+                       b.config.profile.bandwidth.hz()) /
+                      2.0;
+  return std::abs(a.config.frequency.hz() - b.config.frequency.hz()) < half;
+}
+
+PowerDbm RadioEnvironment::rx_power(const Site& site, Position ue) const {
+  const double d = distance_m(site.config.position, ue);
+  return phy::received_power(site.config.profile, ue_profile_, *site.model,
+                             site.config.frequency, d);
+}
+
+PowerDbm RadioEnvironment::rsrp(CellId cell, Position ue) const {
+  return rx_power(cells_.at(cell), ue);
+}
+
+Decibels RadioEnvironment::downlink_sinr(CellId serving, Position ue) const {
+  const Site& s = cells_.at(serving);
+  const PowerDbm desired = rx_power(s, ue);
+  const PowerDbm noise =
+      thermal_noise(ue_profile_.bandwidth, ue_profile_.noise_figure);
+
+  double denom_mw = noise.milliwatts();
+  for (const auto& [id, other] : cells_) {
+    if (id == serving) continue;
+    if (!co_channel(s, other)) continue;
+    // Coordinated cells hold orthogonal shares: no mutual interference.
+    if (s.coordinated && other.coordinated) continue;
+    denom_mw += rx_power(other, ue).milliwatts() * other.activity;
+  }
+  return Decibels::from_linear(desired.milliwatts() / denom_mw);
+}
+
+Decibels RadioEnvironment::uplink_sinr(CellId serving, Position ue) const {
+  const Site& s = cells_.at(serving);
+  const double d = distance_m(s.config.position, ue);
+  return phy::link_snr(ue_profile_, s.config.profile, *s.model,
+                       s.config.frequency, d);
+}
+
+std::optional<CellId> RadioEnvironment::best_cell(Position ue) const {
+  std::optional<CellId> best;
+  double best_dbm = kDetectionFloorDbm;
+  for (const auto& [id, site] : cells_) {
+    const double p = rx_power(site, ue).value();
+    if (p > best_dbm) {
+      best_dbm = p;
+      best = id;
+    }
+  }
+  return best;
+}
+
+const CellSiteConfig& RadioEnvironment::cell(CellId id) const {
+  return cells_.at(id).config;
+}
+
+double RadioEnvironment::cell_distance_m(CellId id, Position ue) const {
+  return distance_m(cells_.at(id).config.position, ue);
+}
+
+}  // namespace dlte::core

@@ -1,0 +1,70 @@
+// S1Fabric: the control-plane wiring between eNodeBs and an MME.
+//
+// The same MME code serves both architectures; what differs is the pipe:
+//   * a dLTE local core stub sits on the AP itself — S1 is an in-process
+//     call with microseconds of latency;
+//   * a centralized core is across the backhaul — S1 rides real packets
+//     through the Network substrate, paying serialization + propagation
+//     and sharing links with user traffic.
+// The fabric installs itself as the MME's sender and routes downlink
+// S1AP by cell to the registered eNodeB handler.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "epc/mme.h"
+#include "lte/s1ap.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace dlte::core {
+
+// Network protocol tag for S1AP packets.
+inline constexpr std::uint16_t kS1apProtocol = 0x5331;  // "S1".
+
+class S1Fabric {
+ public:
+  using EnbHandler = std::function<void(const lte::S1apMessage&)>;
+
+  S1Fabric(sim::Simulator& sim, epc::Mme& mme);
+
+  // In-process stub attachment (dLTE local core): one-way `latency`.
+  void register_enb_direct(CellId cell, Duration latency,
+                           EnbHandler handler);
+
+  // Backhaul attachment (centralized core): S1AP rides `net` between the
+  // eNodeB's node and the core site's node.
+  void register_enb_networked(net::Network& net, CellId cell,
+                              NodeId enb_node, NodeId core_node,
+                              EnbHandler handler);
+
+  // eNodeB → MME direction.
+  void enb_send(CellId cell, lte::S1apMessage message);
+
+  [[nodiscard]] std::uint64_t uplink_messages() const { return up_count_; }
+  [[nodiscard]] std::uint64_t downlink_messages() const { return down_count_; }
+
+ private:
+  struct Endpoint {
+    bool networked{false};
+    Duration latency{};
+    net::Network* net{nullptr};
+    NodeId enb_node;
+    NodeId core_node;
+    EnbHandler handler;
+  };
+
+  void mme_send(CellId cell, lte::S1apMessage message);
+  void install_core_handler(net::Network& net, NodeId core_node);
+
+  sim::Simulator& sim_;
+  epc::Mme& mme_;
+  std::unordered_map<CellId, Endpoint> endpoints_;
+  bool core_handler_installed_{false};
+  std::uint64_t up_count_{0};
+  std::uint64_t down_count_{0};
+};
+
+}  // namespace dlte::core

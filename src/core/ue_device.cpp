@@ -1,0 +1,19 @@
+#include "core/ue_device.h"
+
+namespace dlte::core {
+
+UeDevice::UeDevice(ue::SimProfile profile,
+                   std::unique_ptr<ue::MobilityModel> mobility)
+    : primary_imsi_(profile.imsi), mobility_(std::move(mobility)) {
+  esim_.add_profile(std::move(profile));
+}
+
+ue::NasClient& UeDevice::begin_attachment(
+    const std::string& serving_network_id) {
+  const ue::SimProfile* profile = esim_.find_open();
+  if (profile == nullptr) profile = esim_.find_by_imsi(primary_imsi_);
+  nas_.emplace(ue::Usim{*profile}, serving_network_id);
+  return *nas_;
+}
+
+}  // namespace dlte::core

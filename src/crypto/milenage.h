@@ -1,0 +1,60 @@
+// Milenage authentication-and-key-agreement kernel (3GPP TS 35.205/35.206).
+//
+// The HSS uses f1–f5 to build authentication vectors; the USIM uses the
+// same functions to verify the network and answer the challenge. dLTE's
+// "open key" mode (paper §4.2) publishes K/OPc in the registry so any AP's
+// local core can run this same procedure — the cryptography is unchanged,
+// only the key distribution differs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/aes128.h"
+
+namespace dlte::crypto {
+
+using Rand128 = Block128;
+using Sqn48 = std::array<std::uint8_t, 6>;
+using Amf16 = std::array<std::uint8_t, 2>;
+using Mac64 = std::array<std::uint8_t, 8>;
+using Res64 = std::array<std::uint8_t, 8>;
+using Ak48 = std::array<std::uint8_t, 6>;
+using Ck128 = Block128;
+using Ik128 = Block128;
+
+// Derive OPc from the operator variant constant OP and subscriber key K:
+//   OPc = OP xor E_K(OP).
+[[nodiscard]] Block128 derive_opc(const Key128& k, const Block128& op);
+
+class Milenage {
+ public:
+  // K is the subscriber secret key; opc the precomputed operator constant.
+  Milenage(const Key128& k, const Block128& opc);
+
+  struct F1Output {
+    Mac64 mac_a;  // Network authentication code (f1).
+    Mac64 mac_s;  // Resynchronisation code (f1*).
+  };
+  [[nodiscard]] F1Output f1(const Rand128& rand, const Sqn48& sqn,
+                            const Amf16& amf) const;
+
+  struct F2F5Output {
+    Res64 res;  // Expected user response (f2).
+    Ak48 ak;    // Anonymity key (f5).
+  };
+  [[nodiscard]] F2F5Output f2_f5(const Rand128& rand) const;
+
+  [[nodiscard]] Ck128 f3(const Rand128& rand) const;  // Cipher key.
+  [[nodiscard]] Ik128 f4(const Rand128& rand) const;  // Integrity key.
+  [[nodiscard]] Ak48 f5_star(const Rand128& rand) const;  // Resync AK.
+
+ private:
+  [[nodiscard]] Block128 out_block(const Rand128& rand, int rotate_bits,
+                                   std::uint8_t c_last_byte) const;
+
+  Aes128 cipher_;
+  Block128 opc_;
+};
+
+}  // namespace dlte::crypto

@@ -1,0 +1,26 @@
+#include "epc/epc.h"
+
+namespace dlte::epc {
+
+EpcCore::EpcCore(sim::Simulator& sim, EpcConfig config, sim::RngStream rng)
+    : config_(std::move(config)),
+      hss_(std::move(rng)),
+      gateway_(config_.ip_pool_base),
+      mme_(sim, hss_, gateway_,
+           [this] {
+             MmeConfig c = config_.mme;
+             c.serving_network_id = config_.network_id;
+             return c;
+           }()) {}
+
+void EpcCore::record_usage(Imsi imsi, std::uint64_t bytes) {
+  if (!bills_subscribers()) return;
+  cdrs_[imsi] += bytes;
+}
+
+std::uint64_t EpcCore::usage_bytes(Imsi imsi) const {
+  const auto it = cdrs_.find(imsi);
+  return it == cdrs_.end() ? 0 : it->second;
+}
+
+}  // namespace dlte::epc

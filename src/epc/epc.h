@@ -1,0 +1,70 @@
+// EpcCore: one deployable core — centralized or dLTE local stub.
+//
+// Both deployments are built from the identical HSS/MME/Gateway parts;
+// the deployment flag controls only what the paper says should differ
+// (§4.1): the local stub does not anchor mobility, does not bill, and is
+// expected to sit on the AP itself (so its S1 latency is ~zero), while
+// the centralized core anchors every tunnel and meters every subscriber
+// at a remote site.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "epc/gateway.h"
+#include "epc/hss.h"
+#include "epc/mme.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace dlte::epc {
+
+enum class CoreDeployment {
+  kCentralized,  // Telecom LTE: one core, all traffic tromboned through it.
+  kLocalStub,    // dLTE: collapsed per-AP core with local breakout.
+};
+
+struct EpcConfig {
+  CoreDeployment deployment{CoreDeployment::kLocalStub};
+  std::string network_id{"dlte-ap"};
+  MmeConfig mme{};
+  std::uint32_t ip_pool_base{0x0A2D0000};  // 10.45.0.0.
+};
+
+class EpcCore {
+ public:
+  EpcCore(sim::Simulator& sim, EpcConfig config, sim::RngStream rng);
+
+  [[nodiscard]] Hss& hss() { return hss_; }
+  [[nodiscard]] Mme& mme() { return mme_; }
+  [[nodiscard]] Gateway& gateway() { return gateway_; }
+  [[nodiscard]] const EpcConfig& config() const { return config_; }
+
+  // Capability predicates per §4.1 / §4.4: the stub strips everything the
+  // client doesn't strictly require.
+  [[nodiscard]] bool anchors_mobility() const {
+    return config_.deployment == CoreDeployment::kCentralized;
+  }
+  [[nodiscard]] bool bills_subscribers() const {
+    return config_.deployment == CoreDeployment::kCentralized;
+  }
+  [[nodiscard]] bool tunnels_user_traffic() const {
+    return config_.deployment == CoreDeployment::kCentralized;
+  }
+
+  // Usage metering (CDRs). No-op on a local stub — dLTE explicitly leaves
+  // billing to OTT services.
+  void record_usage(Imsi imsi, std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t usage_bytes(Imsi imsi) const;
+  [[nodiscard]] std::size_t cdr_count() const { return cdrs_.size(); }
+
+ private:
+  EpcConfig config_;
+  Hss hss_;
+  Gateway gateway_;
+  Mme mme_;
+  std::unordered_map<Imsi, std::uint64_t> cdrs_;
+};
+
+}  // namespace dlte::epc

@@ -1,0 +1,41 @@
+#include "epc/gateway.h"
+
+namespace dlte::epc {
+
+BearerContext& Gateway::create_session(Imsi imsi, BearerId bearer) {
+  BearerContext ctx;
+  ctx.imsi = imsi;
+  ctx.bearer = bearer;
+  ctx.uplink_teid = Teid{next_teid_++};
+  ctx.ue_ip = net::Ipv4{ip_pool_base_ + next_host_++};
+  return by_imsi_.insert_or_assign(imsi, ctx).first->second;
+}
+
+void Gateway::complete_session(Imsi imsi, Teid enb_downlink_teid) {
+  if (auto it = by_imsi_.find(imsi); it != by_imsi_.end()) {
+    it->second.downlink_teid = enb_downlink_teid;
+  }
+}
+
+void Gateway::delete_session(Imsi imsi) { by_imsi_.erase(imsi); }
+
+const BearerContext* Gateway::find_by_imsi(Imsi imsi) const {
+  const auto it = by_imsi_.find(imsi);
+  return it == by_imsi_.end() ? nullptr : &it->second;
+}
+
+const BearerContext* Gateway::find_by_uplink_teid(Teid teid) const {
+  for (const auto& [imsi, ctx] : by_imsi_) {
+    if (ctx.uplink_teid == teid) return &ctx;
+  }
+  return nullptr;
+}
+
+const BearerContext* Gateway::find_by_ue_ip(net::Ipv4 ip) const {
+  for (const auto& [imsi, ctx] : by_imsi_) {
+    if (ctx.ue_ip == ip) return &ctx;
+  }
+  return nullptr;
+}
+
+}  // namespace dlte::epc

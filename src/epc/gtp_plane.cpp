@@ -1,0 +1,146 @@
+#include "epc/gtp_plane.h"
+
+#include "common/bytes.h"
+
+namespace dlte::epc {
+
+std::vector<std::uint8_t> encode_inner(const InnerDatagram& d) {
+  ByteWriter w;
+  w.u32(d.ue_ip.addr);
+  w.u32(d.remote.value());
+  w.u32(static_cast<std::uint32_t>(d.size_bytes));
+  return w.take();
+}
+
+Result<InnerDatagram> decode_inner(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  InnerDatagram d;
+  auto ip = r.u32();
+  if (!ip) return Err{ip.error()};
+  d.ue_ip = net::Ipv4{*ip};
+  auto remote = r.u32();
+  if (!remote) return Err{remote.error()};
+  d.remote = NodeId{*remote};
+  auto size = r.u32();
+  if (!size) return Err{size.error()};
+  d.size_bytes = static_cast<int>(*size);
+  return d;
+}
+
+namespace {
+// GTP-U frame: the real 12-byte header followed by the inner descriptor.
+std::vector<std::uint8_t> frame_gtp(Teid teid, std::uint16_t seq,
+                                    const InnerDatagram& inner) {
+  auto bytes = lte::encode_gtpu(lte::GtpUHeader{
+      teid, static_cast<std::uint16_t>(inner.size_bytes), seq});
+  const auto inner_bytes = encode_inner(inner);
+  bytes.insert(bytes.end(), inner_bytes.begin(), inner_bytes.end());
+  return bytes;
+}
+
+struct DeframedGtp {
+  lte::GtpUHeader header;
+  InnerDatagram inner;
+};
+
+Result<DeframedGtp> deframe_gtp(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < static_cast<std::size_t>(lte::kGtpUHeaderBytes)) {
+    return fail("short GTP-U frame");
+  }
+  auto header = lte::decode_gtpu(bytes.first(
+      static_cast<std::size_t>(lte::kGtpUHeaderBytes)));
+  if (!header) return Err{header.error()};
+  auto inner = decode_inner(bytes.subspan(
+      static_cast<std::size_t>(lte::kGtpUHeaderBytes)));
+  if (!inner) return Err{inner.error()};
+  return DeframedGtp{*header, *inner};
+}
+}  // namespace
+
+// ------------------------------------------------------------ Gateway --
+
+GatewayDataPlane::GatewayDataPlane(net::Network& net, NodeId gw_node,
+                                   Gateway& gateway)
+    : net_(net), node_(gw_node), gateway_(gateway) {
+  net_.set_protocol_handler(node_, kGtpUProtocol,
+                            [this](net::Packet&& p) { on_gtp(p); });
+  net_.set_protocol_handler(node_, kUserIpProtocol,
+                            [this](net::Packet&& p) { on_user_ip(p); });
+}
+
+void GatewayDataPlane::bind_enb(Teid enb_downlink_teid, NodeId enb_node) {
+  enb_nodes_[enb_downlink_teid] = enb_node;
+}
+
+void GatewayDataPlane::on_gtp(const net::Packet& packet) {
+  auto frame = deframe_gtp(packet.payload);
+  if (!frame) return;
+  const auto* bearer = gateway_.find_by_uplink_teid(frame->header.teid);
+  if (bearer == nullptr) {
+    ++unknown_teid_;
+    return;
+  }
+  gateway_.count_uplink(frame->inner.size_bytes);
+  ++up_count_;
+  // Decapsulate: the inner datagram continues to its Internet endpoint.
+  net_.send(net::Packet{node_, frame->inner.remote, frame->inner.size_bytes,
+                        kUserIpProtocol, encode_inner(frame->inner)});
+}
+
+void GatewayDataPlane::on_user_ip(const net::Packet& packet) {
+  auto inner = decode_inner(packet.payload);
+  if (!inner) return;
+  const auto* bearer = gateway_.find_by_ue_ip(inner->ue_ip);
+  if (bearer == nullptr) {
+    ++unknown_ue_;
+    return;
+  }
+  const auto node_it = enb_nodes_.find(bearer->downlink_teid);
+  if (node_it == enb_nodes_.end()) {
+    ++unknown_ue_;
+    return;
+  }
+  gateway_.count_downlink(inner->size_bytes);
+  ++down_count_;
+  net_.send(net::Packet{
+      node_, node_it->second,
+      inner->size_bytes + lte::kGtpTunnelOverheadBytes, kGtpUProtocol,
+      frame_gtp(bearer->downlink_teid, 0, *inner)});
+}
+
+// ---------------------------------------------------------------- eNB --
+
+EnbDataPlane::EnbDataPlane(net::Network& net, NodeId enb_node,
+                           NodeId gw_node)
+    : net_(net), node_(enb_node), gw_node_(gw_node) {
+  net_.set_protocol_handler(node_, kGtpUProtocol,
+                            [this](net::Packet&& p) { on_gtp(p); });
+}
+
+void EnbDataPlane::configure_bearer(net::Ipv4 ue_ip, Teid sgw_uplink_teid) {
+  uplink_teids_[ue_ip.addr] = sgw_uplink_teid;
+}
+
+void EnbDataPlane::send_uplink(net::Ipv4 ue_ip, NodeId remote,
+                               int size_bytes) {
+  const auto it = uplink_teids_.find(ue_ip.addr);
+  if (it == uplink_teids_.end()) {
+    ++unconfigured_;
+    return;
+  }
+  InnerDatagram inner{ue_ip, remote, size_bytes};
+  ++up_count_;
+  net_.send(net::Packet{node_, gw_node_,
+                        size_bytes + lte::kGtpTunnelOverheadBytes,
+                        kGtpUProtocol,
+                        frame_gtp(it->second, next_seq_++, inner)});
+}
+
+void EnbDataPlane::on_gtp(const net::Packet& packet) {
+  auto frame = deframe_gtp(packet.payload);
+  if (!frame) return;
+  ++down_count_;
+  if (on_downlink_) on_downlink_(frame->inner);
+}
+
+}  // namespace dlte::epc

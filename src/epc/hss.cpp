@@ -1,0 +1,63 @@
+#include "epc/hss.h"
+
+#include <cstring>
+
+namespace dlte::epc {
+
+namespace {
+crypto::Sqn48 to_sqn48(std::uint64_t sqn) {
+  crypto::Sqn48 out{};
+  for (int i = 0; i < 6; ++i) {
+    out[static_cast<std::size_t>(5 - i)] =
+        static_cast<std::uint8_t>(sqn >> (8 * i));
+  }
+  return out;
+}
+}  // namespace
+
+void Hss::provision(Imsi imsi, const crypto::Key128& k,
+                    const crypto::Block128& op) {
+  provision_with_opc(imsi, k, crypto::derive_opc(k, op));
+}
+
+void Hss::provision_with_opc(Imsi imsi, const crypto::Key128& k,
+                             const crypto::Block128& opc) {
+  subscribers_[imsi] = Subscriber{k, opc, 0, false};
+}
+
+Result<AuthVector> Hss::generate_auth_vector(
+    Imsi imsi, const std::string& serving_network_id) {
+  auto it = subscribers_.find(imsi);
+  if (it == subscribers_.end()) return fail("unknown IMSI");
+  Subscriber& sub = it->second;
+
+  AuthVector v;
+  for (auto& b : v.rand) {
+    b = static_cast<std::uint8_t>(rng_.uniform_int(0, 255));
+  }
+  sub.sqn += 1;
+  const crypto::Sqn48 sqn = to_sqn48(sub.sqn);
+  v.amf = {0x80, 0x00};
+
+  const crypto::Milenage m{sub.k, sub.opc};
+  const auto f1 = m.f1(v.rand, sqn, v.amf);
+  v.mac_a = f1.mac_a;
+  const auto f25 = m.f2_f5(v.rand);
+  v.xres = f25.res;
+  for (std::size_t i = 0; i < 6; ++i) {
+    v.sqn_xor_ak[i] = static_cast<std::uint8_t>(sqn[i] ^ f25.ak[i]);
+  }
+  const auto ck = m.f3(v.rand);
+  const auto ik = m.f4(v.rand);
+  v.kasme = crypto::derive_kasme(ck, ik, serving_network_id, v.sqn_xor_ak);
+  return v;
+}
+
+Result<PublishedKeys> Hss::published_keys(Imsi imsi) const {
+  const auto it = subscribers_.find(imsi);
+  if (it == subscribers_.end()) return fail("unknown IMSI");
+  if (!it->second.published) return fail("keys not published");
+  return PublishedKeys{imsi, it->second.k, it->second.opc};
+}
+
+}  // namespace dlte::epc

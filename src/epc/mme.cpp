@@ -1,0 +1,320 @@
+#include "epc/mme.h"
+
+#include <algorithm>
+
+#include "crypto/key_derivation.h"
+
+namespace dlte::epc {
+
+Mme::Mme(sim::Simulator& sim, Hss& hss, Gateway& gateway, MmeConfig config)
+    : sim_(sim), hss_(hss), gateway_(gateway), config_(config) {}
+
+void Mme::handle_s1ap(CellId from_cell, lte::S1apMessage message) {
+  // Single-server processing queue: messages wait for MME CPU.
+  const TimePoint now = sim_.now();
+  const TimePoint start = std::max(now, busy_until_);
+  busy_until_ = start + config_.nas_processing;
+  stats_.queueing_delay_ms.add((start - now).to_millis());
+  sim_.schedule_at(busy_until_, [this, from_cell, m = std::move(message)] {
+    ++stats_.messages_processed;
+    process(from_cell, m);
+  });
+}
+
+void Mme::process(CellId from_cell, const lte::S1apMessage& message) {
+  if (const auto* init = std::get_if<lte::InitialUeMessage>(&message)) {
+    auto nas = lte::decode_nas(init->nas_pdu);
+    if (!nas) return;
+    if (const auto* attach = std::get_if<lte::AttachRequest>(&*nas)) {
+      start_attach(init->cell, init->enb_ue_id, *attach);
+      return;
+    }
+    if (const auto* service = std::get_if<lte::ServiceRequest>(&*nas)) {
+      // Paging response: an idle UE re-established RRC and asks back in.
+      for (auto& [imsi, ue] : ues_) {
+        if (ue.tmsi == service->tmsi &&
+            ue.state == EmmState::kRegistered && ue.ecm_idle) {
+          ue.ecm_idle = false;
+          ue.cell = init->cell;
+          ue.enb_ue_id = init->enb_ue_id;
+          ++stats_.service_requests;
+          if (ue.on_paged) {
+            auto cb = std::move(ue.on_paged);
+            ue.on_paged = nullptr;
+            cb();
+          }
+          return;
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* up = std::get_if<lte::UplinkNasTransport>(&message)) {
+    UeContext* ue = find_by_mme_id(up->mme_ue_id);
+    if (ue == nullptr) return;
+    auto nas = lte::decode_nas(up->nas_pdu);
+    if (!nas) return;
+    handle_nas(*ue, *nas);
+    return;
+  }
+  if (const auto* resp =
+          std::get_if<lte::InitialContextSetupResponse>(&message)) {
+    UeContext* ue = find_by_mme_id(resp->mme_ue_id);
+    if (ue == nullptr) return;
+    gateway_.complete_session(ue->imsi, resp->enb_downlink_teid);
+    ue->context_setup_done = true;
+    maybe_finish_attach(*ue);
+    return;
+  }
+  (void)from_cell;
+}
+
+void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
+                       const lte::AttachRequest& request) {
+  auto vector =
+      hss_.generate_auth_vector(request.imsi, config_.serving_network_id);
+  if (!vector) {
+    // Unknown subscriber: reject outright.
+    UeContext ghost;
+    ghost.enb_ue_id = enb_ue_id;
+    ghost.mme_ue_id = MmeUeId{next_mme_id_++};
+    ghost.cell = cell;
+    send_nas(ghost, lte::NasMessage{lte::AttachReject{/*cause=*/0x0f}});
+    ++stats_.auth_failures;
+    return;
+  }
+
+  UeContext& ue = ues_[request.imsi];
+  ue.imsi = request.imsi;
+  ue.enb_ue_id = enb_ue_id;
+  if (ue.mme_ue_id.value() == 0) {
+    ue.mme_ue_id = MmeUeId{next_mme_id_++};
+    by_mme_id_[ue.mme_ue_id.value()] = ue.imsi;
+  }
+  ue.cell = cell;
+  ue.state = EmmState::kAuthPending;
+  ue.xres = vector->xres;
+  ue.kasme = vector->kasme;
+  ue.context_setup_done = false;
+  ue.attach_complete_seen = false;
+
+  lte::AuthenticationRequest auth;
+  auth.rand = vector->rand;
+  auth.autn.sqn_xor_ak = vector->sqn_xor_ak;
+  auth.autn.amf = vector->amf;
+  auth.autn.mac_a = vector->mac_a;
+  send_nas(ue, lte::NasMessage{auth});
+}
+
+void Mme::handle_nas(UeContext& ue, const lte::NasMessage& nas) {
+  switch (ue.state) {
+    case EmmState::kAuthPending: {
+      const auto* resp = std::get_if<lte::AuthenticationResponse>(&nas);
+      if (resp == nullptr) return;
+      if (resp->res != ue.xres) {
+        ++stats_.auth_failures;
+        ue.state = EmmState::kDeregistered;
+        send_nas(ue, lte::NasMessage{lte::AuthenticationReject{}});
+        return;
+      }
+      ue.state = EmmState::kSecurityPending;
+      send_nas(ue, lte::NasMessage{lte::SecurityModeCommand{}});
+      return;
+    }
+    case EmmState::kSecurityPending: {
+      if (!std::holds_alternative<lte::SecurityModeComplete>(nas)) return;
+      // Session setup: allocate bearer + UE address, push the radio-side
+      // context, and accept the attach.
+      BearerContext& bearer = gateway_.create_session(ue.imsi, BearerId{5});
+      ue.tmsi = Tmsi{next_tmsi_++};
+      ue.state = EmmState::kAttachAccepted;
+
+      const auto kenb = crypto::derive_kenb(ue.kasme, 0);
+      lte::InitialContextSetupRequest ctx;
+      ctx.enb_ue_id = ue.enb_ue_id;
+      ctx.mme_ue_id = ue.mme_ue_id;
+      ctx.sgw_uplink_teid = bearer.uplink_teid;
+      ctx.security_key.assign(kenb.begin(), kenb.end());
+      sender_(ue.cell, lte::S1apMessage{ctx});
+
+      lte::AttachAccept accept;
+      accept.tmsi = ue.tmsi;
+      accept.ue_ip = bearer.ue_ip.addr;
+      accept.default_bearer = bearer.bearer;
+      send_nas(ue, lte::NasMessage{accept});
+      return;
+    }
+    case EmmState::kAttachAccepted: {
+      if (std::holds_alternative<lte::AttachComplete>(nas)) {
+        ue.attach_complete_seen = true;
+        maybe_finish_attach(ue);
+      }
+      return;
+    }
+    case EmmState::kRegistered: {
+      if (std::holds_alternative<lte::DetachRequest>(nas)) {
+        gateway_.delete_session(ue.imsi);
+        by_mme_id_.erase(ue.mme_ue_id.value());
+        ++stats_.detaches;
+        ues_.erase(ue.imsi);  // `ue` invalid beyond this point.
+      }
+      return;
+    }
+    case EmmState::kDeregistered:
+      return;
+  }
+}
+
+void Mme::maybe_finish_attach(UeContext& ue) {
+  if (ue.state == EmmState::kAttachAccepted && ue.context_setup_done &&
+      ue.attach_complete_seen) {
+    ue.state = EmmState::kRegistered;
+    ++stats_.attaches_completed;
+  }
+}
+
+void Mme::send_nas(UeContext& ue, const lte::NasMessage& nas) {
+  lte::DownlinkNasTransport transport;
+  transport.enb_ue_id = ue.enb_ue_id;
+  transport.mme_ue_id = ue.mme_ue_id;
+  transport.nas_pdu = lte::encode_nas(nas);
+  // Record for retransmission until the dialogue advances.
+  ue.retx_pdu = transport.nas_pdu;
+  ue.retx_state = ue.state;
+  ue.retx_left = config_.nas_max_retx;
+  arm_nas_retx(ue);
+  sender_(ue.cell, lte::S1apMessage{transport});
+}
+
+void Mme::arm_nas_retx(UeContext& ue) {
+  if (config_.nas_max_retx <= 0) return;
+  const std::uint64_t epoch = ++ue.retx_epoch;
+  const Imsi imsi = ue.imsi;
+  sim_.schedule(config_.nas_retx_timeout, [this, imsi, epoch] {
+    const auto it = ues_.find(imsi);
+    if (it == ues_.end()) return;  // Detached/released meanwhile.
+    UeContext& u = it->second;
+    if (u.retx_epoch != epoch) return;       // Newer message superseded.
+    if (u.state != u.retx_state) return;     // Dialogue advanced.
+    if (u.state == EmmState::kRegistered || u.retx_left <= 0) return;
+    --u.retx_left;
+    ++stats_.nas_retransmissions;
+    // If the radio-side context setup is also outstanding, the original
+    // InitialContextSetupRequest may have been the lost message: re-issue
+    // it alongside the NAS retransmission.
+    if (u.state == EmmState::kAttachAccepted && !u.context_setup_done) {
+      if (const auto* bearer = gateway_.find_by_imsi(imsi)) {
+        const auto kenb = crypto::derive_kenb(u.kasme, 0);
+        lte::InitialContextSetupRequest ctx;
+        ctx.enb_ue_id = u.enb_ue_id;
+        ctx.mme_ue_id = u.mme_ue_id;
+        ctx.sgw_uplink_teid = bearer->uplink_teid;
+        ctx.security_key.assign(kenb.begin(), kenb.end());
+        sender_(u.cell, lte::S1apMessage{ctx});
+      }
+    }
+    lte::DownlinkNasTransport transport;
+    transport.enb_ue_id = u.enb_ue_id;
+    transport.mme_ue_id = u.mme_ue_id;
+    transport.nas_pdu = u.retx_pdu;
+    arm_nas_retx(u);
+    sender_(u.cell, lte::S1apMessage{transport});
+  });
+}
+
+void Mme::path_switch(Imsi imsi, CellId new_cell, Teid new_enb_teid) {
+  const TimePoint now = sim_.now();
+  const TimePoint start = std::max(now, busy_until_);
+  busy_until_ = start + config_.nas_processing;
+  stats_.queueing_delay_ms.add((start - now).to_millis());
+  sim_.schedule_at(busy_until_, [this, imsi, new_cell, new_enb_teid] {
+    ++stats_.messages_processed;
+    auto it = ues_.find(imsi);
+    if (it == ues_.end()) return;
+    it->second.cell = new_cell;
+    gateway_.complete_session(imsi, new_enb_teid);
+    ++stats_.path_switches;
+  });
+}
+
+void Mme::release_to_idle(Imsi imsi) {
+  const auto it = ues_.find(imsi);
+  if (it == ues_.end() || it->second.state != EmmState::kRegistered) return;
+  it->second.ecm_idle = true;
+}
+
+bool Mme::is_idle(Imsi imsi) const {
+  const auto it = ues_.find(imsi);
+  return it != ues_.end() && it->second.ecm_idle;
+}
+
+void Mme::page(Imsi imsi, std::function<void()> on_connected) {
+  const auto it = ues_.find(imsi);
+  if (it == ues_.end() || !it->second.ecm_idle) {
+    if (on_connected) on_connected();  // Already connected: no page needed.
+    return;
+  }
+  UeContext& ue = it->second;
+  ue.on_paged = std::move(on_connected);
+  // Page the last-known cell and the configured tracking area: the stub's
+  // TA is its single cell; the centralized core fans out.
+  const lte::Paging message{ue.tmsi};
+  sender_(ue.cell, lte::S1apMessage{message});
+  ++stats_.paging_messages;
+  for (CellId cell : config_.tracking_area) {
+    if (cell == ue.cell) continue;
+    sender_(cell, lte::S1apMessage{message});
+    ++stats_.paging_messages;
+  }
+}
+
+Result<BearerContext> Mme::admit_handover(
+    Imsi imsi, CellId cell, std::span<const std::uint8_t> security_context) {
+  if (security_context.empty()) {
+    return fail("handover requires a forwarded security context");
+  }
+  UeContext& ue = ues_[imsi];
+  ue.imsi = imsi;
+  if (ue.mme_ue_id.value() == 0) {
+    ue.mme_ue_id = MmeUeId{next_mme_id_++};
+    by_mme_id_[ue.mme_ue_id.value()] = imsi;
+  }
+  ue.cell = cell;
+  ue.tmsi = Tmsi{next_tmsi_++};
+  ue.state = EmmState::kRegistered;
+  ue.context_setup_done = true;
+  ue.attach_complete_seen = true;
+  ++stats_.handovers_in;
+  return gateway_.create_session(imsi, BearerId{5});
+}
+
+void Mme::release_ue(Imsi imsi) {
+  const auto it = ues_.find(imsi);
+  if (it == ues_.end()) return;
+  gateway_.delete_session(imsi);
+  by_mme_id_.erase(it->second.mme_ue_id.value());
+  ues_.erase(it);
+  ++stats_.handovers_out;
+}
+
+Mme::UeContext* Mme::find_by_mme_id(MmeUeId id) {
+  const auto it = by_mme_id_.find(id.value());
+  if (it == by_mme_id_.end()) return nullptr;
+  const auto ue_it = ues_.find(it->second);
+  return ue_it == ues_.end() ? nullptr : &ue_it->second;
+}
+
+bool Mme::is_registered(Imsi imsi) const {
+  const auto it = ues_.find(imsi);
+  return it != ues_.end() && it->second.state == EmmState::kRegistered;
+}
+
+std::size_t Mme::registered_count() const {
+  std::size_t n = 0;
+  for (const auto& [imsi, ue] : ues_) {
+    if (ue.state == EmmState::kRegistered) ++n;
+  }
+  return n;
+}
+
+}  // namespace dlte::epc

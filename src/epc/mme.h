@@ -1,0 +1,150 @@
+// MME: mobility management entity — the EMM/ECM state machine.
+//
+// Drives attach, EPS-AKA, security mode, and session setup over S1AP.
+// One Mme instance serves either a whole centralized network (many cells,
+// one signaling queue — the §4.1 chokepoint) or a single dLTE AP (the
+// local stub, one queue per site). Message processing consumes simulated
+// CPU time through a single-server queue, which is what saturates in the
+// C4 core-scaling experiment.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "epc/gateway.h"
+#include "epc/hss.h"
+#include "lte/nas.h"
+#include "lte/s1ap.h"
+#include "sim/simulator.h"
+
+namespace dlte::epc {
+
+enum class EmmState {
+  kDeregistered,
+  kAuthPending,
+  kSecurityPending,
+  kAttachAccepted,   // Waiting for AttachComplete / context setup.
+  kRegistered,
+};
+
+struct MmeConfig {
+  std::string serving_network_id{"dlte-net"};
+  // CPU cost of handling one signaling message (single-server queue).
+  Duration nas_processing{Duration::micros(500)};
+  // Cells paged in addition to the UE's last cell. A centralized core
+  // pages a whole tracking area; a dLTE stub has exactly one cell, so
+  // this stays empty and paging costs one message.
+  std::vector<CellId> tracking_area{};
+  // NAS retransmission (T3460/T3450-style): a downlink NAS message that
+  // has not advanced the UE's state is re-sent up to `nas_max_retx`
+  // times, `nas_retx_timeout` apart. Lets an attach survive transient
+  // S1/backhaul loss instead of stalling until the UE gives up.
+  Duration nas_retx_timeout{Duration::seconds(2.0)};
+  int nas_max_retx{4};
+};
+
+struct MmeStats {
+  std::uint64_t messages_processed{0};
+  std::uint64_t attaches_completed{0};
+  std::uint64_t auth_failures{0};
+  std::uint64_t detaches{0};
+  std::uint64_t path_switches{0};
+  std::uint64_t handovers_in{0};
+  std::uint64_t handovers_out{0};
+  std::uint64_t paging_messages{0};
+  std::uint64_t service_requests{0};
+  std::uint64_t nas_retransmissions{0};
+  Quantiles queueing_delay_ms;  // Time spent waiting for MME CPU.
+};
+
+class Mme {
+ public:
+  // Sends an S1AP message toward the eNodeB serving `cell`.
+  using S1apSender = std::function<void(CellId, lte::S1apMessage)>;
+
+  Mme(sim::Simulator& sim, Hss& hss, Gateway& gateway, MmeConfig config);
+
+  void set_sender(S1apSender sender) { sender_ = std::move(sender); }
+
+  // Entry point for S1AP traffic from eNodeBs. Subject to the processing
+  // queue: handling happens after queueing + service time.
+  void handle_s1ap(CellId from_cell, lte::S1apMessage message);
+
+  // S1 path switch after an inter-eNodeB handover (centralized LTE
+  // mobility): repoints the downlink tunnel to the new cell's eNodeB.
+  void path_switch(Imsi imsi, CellId new_cell, Teid new_enb_teid);
+
+  // dLTE cooperative handover admission (§4.3/§6): the source AP forwards
+  // the UE's security context over X2, so the target core creates a
+  // registered session without re-running EPS-AKA. Returns the new bearer
+  // (with this AP's address for the UE). Synchronous — the caller models
+  // the X2/processing latency.
+  [[nodiscard]] Result<BearerContext> admit_handover(
+      Imsi imsi, CellId cell, std::span<const std::uint8_t> security_context);
+  // Release a UE's context (source side of a completed handover).
+  void release_ue(Imsi imsi);
+
+  // ECM state management: S1 release parks a registered UE in idle
+  // (context kept, radio released); downlink data for an idle UE triggers
+  // paging across the cell(s), and the UE's ServiceRequest reconnects it.
+  void release_to_idle(Imsi imsi);
+  [[nodiscard]] bool is_idle(Imsi imsi) const;
+  // `on_connected` fires when the UE answers the page.
+  void page(Imsi imsi, std::function<void()> on_connected = nullptr);
+
+  [[nodiscard]] bool is_registered(Imsi imsi) const;
+  [[nodiscard]] std::size_t registered_count() const;
+  [[nodiscard]] const MmeStats& stats() const { return stats_; }
+
+ private:
+  struct UeContext {
+    Imsi imsi;
+    Tmsi tmsi;
+    EnbUeId enb_ue_id;
+    MmeUeId mme_ue_id;
+    CellId cell;
+    EmmState state{EmmState::kDeregistered};
+    crypto::Res64 xres{};
+    crypto::Kasme kasme{};
+    bool context_setup_done{false};
+    bool attach_complete_seen{false};
+    bool ecm_idle{false};
+    std::function<void()> on_paged;
+    // NAS retransmission state: the last downlink NAS message, re-sent
+    // while the EMM state has not advanced.
+    std::uint64_t retx_epoch{0};
+    int retx_left{0};
+    EmmState retx_state{EmmState::kDeregistered};
+    std::vector<std::uint8_t> retx_pdu;
+  };
+
+  void process(CellId from_cell, const lte::S1apMessage& message);
+  void handle_nas(UeContext& ue, const lte::NasMessage& nas);
+  void send_nas(UeContext& ue, const lte::NasMessage& nas);
+  void arm_nas_retx(UeContext& ue);
+  void start_attach(CellId cell, EnbUeId enb_ue_id,
+                    const lte::AttachRequest& request);
+  void maybe_finish_attach(UeContext& ue);
+  UeContext* find_by_mme_id(MmeUeId id);
+
+  sim::Simulator& sim_;
+  Hss& hss_;
+  Gateway& gateway_;
+  MmeConfig config_;
+  S1apSender sender_;
+  TimePoint busy_until_{};
+
+  std::unordered_map<Imsi, UeContext> ues_;
+  std::unordered_map<std::uint32_t, Imsi> by_mme_id_;
+  std::uint32_t next_mme_id_{1};
+  std::uint32_t next_tmsi_{0x1000};
+  MmeStats stats_;
+};
+
+}  // namespace dlte::epc

@@ -1,0 +1,86 @@
+#include "lte/gtp.h"
+
+#include "common/bytes.h"
+
+namespace dlte::lte {
+
+std::vector<std::uint8_t> encode_gtpu(const GtpUHeader& h) {
+  ByteWriter w;
+  w.u8(0x32);  // Version 1, PT=1, S=1.
+  w.u8(0xff);  // Message type: G-PDU.
+  w.u16(h.length);
+  w.u32(h.teid.value());
+  w.u16(h.sequence);
+  w.u16(0);  // N-PDU + next extension (unused).
+  return w.take();
+}
+
+Result<GtpUHeader> decode_gtpu(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto flags = r.u8();
+  if (!flags) return Err{flags.error()};
+  if ((*flags >> 5) != 1) return fail("unsupported GTP version");
+  auto type = r.u8();
+  if (!type) return Err{type.error()};
+  if (*type != 0xff) return fail("not a G-PDU");
+  GtpUHeader h;
+  auto len = r.u16();
+  if (!len) return Err{len.error()};
+  h.length = *len;
+  auto teid = r.u32();
+  if (!teid) return Err{teid.error()};
+  h.teid = Teid{*teid};
+  auto seq = r.u16();
+  if (!seq) return Err{seq.error()};
+  h.sequence = *seq;
+  return h;
+}
+
+std::vector<std::uint8_t> encode_gtpc_create_req(
+    const CreateSessionRequest& m) {
+  ByteWriter w;
+  w.u8(0x20);  // Create Session Request.
+  w.u64(m.imsi.value());
+  w.u8(m.bearer.value());
+  w.u32(m.uplink_teid.value());
+  return w.take();
+}
+
+Result<CreateSessionRequest> decode_gtpc_create_req(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto type = r.u8();
+  if (!type) return Err{type.error()};
+  if (*type != 0x20) return fail("not a Create Session Request");
+  auto imsi = r.u64();
+  if (!imsi) return Err{imsi.error()};
+  auto bearer = r.u8();
+  if (!bearer) return Err{bearer.error()};
+  auto teid = r.u32();
+  if (!teid) return Err{teid.error()};
+  return CreateSessionRequest{Imsi{*imsi}, BearerId{*bearer}, Teid{*teid}};
+}
+
+std::vector<std::uint8_t> encode_gtpc_create_resp(
+    const CreateSessionResponse& m) {
+  ByteWriter w;
+  w.u8(0x21);  // Create Session Response.
+  w.u32(m.downlink_teid.value());
+  w.u32(m.ue_ip);
+  return w.take();
+}
+
+Result<CreateSessionResponse> decode_gtpc_create_resp(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto type = r.u8();
+  if (!type) return Err{type.error()};
+  if (*type != 0x21) return fail("not a Create Session Response");
+  auto teid = r.u32();
+  if (!teid) return Err{teid.error()};
+  auto ip = r.u32();
+  if (!ip) return Err{ip.error()};
+  return CreateSessionResponse{Teid{*teid}, *ip};
+}
+
+}  // namespace dlte::lte

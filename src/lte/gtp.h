@@ -1,0 +1,61 @@
+// GTP: the tunneling protocol between radio and core.
+//
+// GTP-U carries user IP packets through the access network; GTP-C (here a
+// minimal Create/Delete Session pair) sets the tunnels up. In telecom LTE
+// every user packet is GTP-encapsulated all the way to the remote P-GW —
+// the "trombone" of Fig. 1; in dLTE the tunnel terminates a few
+// centimetres away in the AP's local core stub, and the encapsulation
+// overhead + detour this module models is exactly what experiment F1
+// quantifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace dlte::lte {
+
+// GTP-U v1 header (simplified: no extension headers).
+struct GtpUHeader {
+  Teid teid;
+  std::uint16_t length{0};      // Payload bytes.
+  std::uint16_t sequence{0};
+};
+
+inline constexpr int kGtpUHeaderBytes = 12;
+// Full per-packet tunnel overhead on the wire: outer IP + UDP + GTP-U.
+inline constexpr int kGtpTunnelOverheadBytes = 20 + 8 + kGtpUHeaderBytes;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_gtpu(const GtpUHeader& h);
+[[nodiscard]] Result<GtpUHeader> decode_gtpu(
+    std::span<const std::uint8_t> bytes);
+
+// GTP-C session management (S11/S5 collapsed).
+struct CreateSessionRequest {
+  Imsi imsi;
+  BearerId bearer{5};
+  Teid uplink_teid;    // Where the S-GW wants uplink traffic.
+};
+
+struct CreateSessionResponse {
+  Teid downlink_teid;  // Where the eNodeB should send... (mirror).
+  std::uint32_t ue_ip{0};
+};
+
+struct DeleteSessionRequest {
+  Teid teid;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_gtpc_create_req(
+    const CreateSessionRequest& m);
+[[nodiscard]] Result<CreateSessionRequest> decode_gtpc_create_req(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> encode_gtpc_create_resp(
+    const CreateSessionResponse& m);
+[[nodiscard]] Result<CreateSessionResponse> decode_gtpc_create_resp(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace dlte::lte

@@ -1,0 +1,194 @@
+#include "lte/nas.h"
+
+#include "common/bytes.h"
+
+namespace dlte::lte {
+
+namespace {
+
+enum class NasType : std::uint8_t {
+  kAttachRequest = 0x41,
+  kAuthenticationRequest = 0x52,
+  kAuthenticationResponse = 0x53,
+  kAuthenticationReject = 0x54,
+  kSecurityModeCommand = 0x5d,
+  kSecurityModeComplete = 0x5e,
+  kAttachAccept = 0x42,
+  kAttachComplete = 0x43,
+  kDetachRequest = 0x45,
+  kAttachReject = 0x44,
+  kServiceRequest = 0x4d,
+};
+
+void put_bytes(ByteWriter& w, std::span<const std::uint8_t> b) {
+  w.bytes(b);
+}
+
+template <std::size_t N>
+Result<std::array<std::uint8_t, N>> get_array(ByteReader& r) {
+  auto v = r.bytes(N);
+  if (!v) return Err{v.error()};
+  std::array<std::uint8_t, N> out{};
+  std::copy(v->begin(), v->end(), out.begin());
+  return out;
+}
+
+struct Encoder {
+  ByteWriter& w;
+
+  void operator()(const AttachRequest& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAttachRequest));
+    w.u64(m.imsi.value());
+    w.u32(m.tmsi.value());
+  }
+  void operator()(const AuthenticationRequest& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAuthenticationRequest));
+    put_bytes(w, m.rand);
+    put_bytes(w, m.autn.sqn_xor_ak);
+    put_bytes(w, m.autn.amf);
+    put_bytes(w, m.autn.mac_a);
+  }
+  void operator()(const AuthenticationResponse& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAuthenticationResponse));
+    put_bytes(w, m.res);
+  }
+  void operator()(const AuthenticationReject&) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAuthenticationReject));
+  }
+  void operator()(const SecurityModeCommand& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kSecurityModeCommand));
+    w.u8(m.integrity_algorithm);
+    w.u8(m.ciphering_algorithm);
+  }
+  void operator()(const SecurityModeComplete&) {
+    w.u8(static_cast<std::uint8_t>(NasType::kSecurityModeComplete));
+  }
+  void operator()(const AttachAccept& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAttachAccept));
+    w.u32(m.tmsi.value());
+    w.u32(m.ue_ip);
+    w.u8(m.default_bearer.value());
+  }
+  void operator()(const AttachComplete&) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAttachComplete));
+  }
+  void operator()(const DetachRequest&) {
+    w.u8(static_cast<std::uint8_t>(NasType::kDetachRequest));
+  }
+  void operator()(const AttachReject& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kAttachReject));
+    w.u8(m.cause);
+  }
+  void operator()(const ServiceRequest& m) {
+    w.u8(static_cast<std::uint8_t>(NasType::kServiceRequest));
+    w.u32(m.tmsi.value());
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_nas(const NasMessage& message) {
+  ByteWriter w;
+  std::visit(Encoder{w}, message);
+  return w.take();
+}
+
+Result<NasMessage> decode_nas(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto type = r.u8();
+  if (!type) return Err{type.error()};
+  switch (static_cast<NasType>(*type)) {
+    case NasType::kAttachRequest: {
+      auto imsi = r.u64();
+      if (!imsi) return Err{imsi.error()};
+      auto tmsi = r.u32();
+      if (!tmsi) return Err{tmsi.error()};
+      return NasMessage{AttachRequest{Imsi{*imsi}, Tmsi{*tmsi}}};
+    }
+    case NasType::kAuthenticationRequest: {
+      AuthenticationRequest m;
+      auto rand = get_array<16>(r);
+      if (!rand) return Err{rand.error()};
+      m.rand = *rand;
+      auto sqn = get_array<6>(r);
+      if (!sqn) return Err{sqn.error()};
+      m.autn.sqn_xor_ak = *sqn;
+      auto amf = get_array<2>(r);
+      if (!amf) return Err{amf.error()};
+      m.autn.amf = *amf;
+      auto mac = get_array<8>(r);
+      if (!mac) return Err{mac.error()};
+      m.autn.mac_a = *mac;
+      return NasMessage{m};
+    }
+    case NasType::kAuthenticationResponse: {
+      auto res = get_array<8>(r);
+      if (!res) return Err{res.error()};
+      return NasMessage{AuthenticationResponse{*res}};
+    }
+    case NasType::kAuthenticationReject:
+      return NasMessage{AuthenticationReject{}};
+    case NasType::kSecurityModeCommand: {
+      auto ia = r.u8();
+      if (!ia) return Err{ia.error()};
+      auto ea = r.u8();
+      if (!ea) return Err{ea.error()};
+      return NasMessage{SecurityModeCommand{*ia, *ea}};
+    }
+    case NasType::kSecurityModeComplete:
+      return NasMessage{SecurityModeComplete{}};
+    case NasType::kAttachAccept: {
+      auto tmsi = r.u32();
+      if (!tmsi) return Err{tmsi.error()};
+      auto ip = r.u32();
+      if (!ip) return Err{ip.error()};
+      auto bearer = r.u8();
+      if (!bearer) return Err{bearer.error()};
+      return NasMessage{AttachAccept{Tmsi{*tmsi}, *ip, BearerId{*bearer}}};
+    }
+    case NasType::kAttachComplete:
+      return NasMessage{AttachComplete{}};
+    case NasType::kDetachRequest:
+      return NasMessage{DetachRequest{}};
+    case NasType::kAttachReject: {
+      auto cause = r.u8();
+      if (!cause) return Err{cause.error()};
+      return NasMessage{AttachReject{*cause}};
+    }
+    case NasType::kServiceRequest: {
+      auto tmsi = r.u32();
+      if (!tmsi) return Err{tmsi.error()};
+      return NasMessage{ServiceRequest{Tmsi{*tmsi}}};
+    }
+  }
+  return fail("unknown NAS message type");
+}
+
+const char* nas_message_name(const NasMessage& message) {
+  struct Namer {
+    const char* operator()(const AttachRequest&) { return "AttachRequest"; }
+    const char* operator()(const AuthenticationRequest&) {
+      return "AuthenticationRequest";
+    }
+    const char* operator()(const AuthenticationResponse&) {
+      return "AuthenticationResponse";
+    }
+    const char* operator()(const AuthenticationReject&) {
+      return "AuthenticationReject";
+    }
+    const char* operator()(const SecurityModeCommand&) {
+      return "SecurityModeCommand";
+    }
+    const char* operator()(const SecurityModeComplete&) {
+      return "SecurityModeComplete";
+    }
+    const char* operator()(const AttachAccept&) { return "AttachAccept"; }
+    const char* operator()(const AttachComplete&) { return "AttachComplete"; }
+    const char* operator()(const DetachRequest&) { return "DetachRequest"; }
+    const char* operator()(const AttachReject&) { return "AttachReject"; }
+    const char* operator()(const ServiceRequest&) { return "ServiceRequest"; }
+  };
+  return std::visit(Namer{}, message);
+}
+
+}  // namespace dlte::lte

@@ -1,0 +1,70 @@
+#include "lte/pdcp.h"
+
+#include "common/bytes.h"
+
+namespace dlte::lte {
+
+std::vector<std::uint8_t> encode_pdcp_pdu(const PdcpPdu& pdu) {
+  ByteWriter w;
+  w.u32(pdu.sn);
+  w.u16(static_cast<std::uint16_t>(pdu.payload.size()));
+  w.bytes(pdu.payload);
+  w.bytes(pdu.mac_i);
+  return w.take();
+}
+
+Result<PdcpPdu> decode_pdcp_pdu(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  PdcpPdu pdu;
+  auto sn = r.u32();
+  if (!sn) return Err{sn.error()};
+  pdu.sn = *sn;
+  auto len = r.u16();
+  if (!len) return Err{len.error()};
+  auto payload = r.bytes(*len);
+  if (!payload) return Err{payload.error()};
+  pdu.payload = std::move(*payload);
+  auto mac = r.bytes(4);
+  if (!mac) return Err{mac.error()};
+  std::copy(mac->begin(), mac->end(), pdu.mac_i.begin());
+  return pdu;
+}
+
+MacI compute_mac_i(const PdcpKey& key, std::uint32_t sn,
+                   std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u32(sn);
+  w.bytes(payload);
+  const auto digest = crypto::hmac_sha256(key, w.data());
+  MacI mac;
+  std::copy(digest.begin(), digest.begin() + 4, mac.begin());
+  return mac;
+}
+
+PdcpPdu PdcpTransmitter::protect(std::vector<std::uint8_t> sdu) {
+  PdcpPdu pdu;
+  pdu.sn = next_sn_++;
+  pdu.mac_i = compute_mac_i(key_, pdu.sn, sdu);
+  pdu.payload = std::move(sdu);
+  return pdu;
+}
+
+Result<std::vector<std::uint8_t>> PdcpReceiver::receive(const PdcpPdu& pdu) {
+  if (compute_mac_i(key_, pdu.sn, pdu.payload) != pdu.mac_i) {
+    ++integrity_failures_;
+    return fail("PDCP integrity check failed");
+  }
+  if (pdu.sn < seen_.size() && seen_[pdu.sn]) {
+    ++replays_;
+    return fail("PDCP duplicate/replay discarded");
+  }
+  if (pdu.sn >= seen_.size()) seen_.resize(pdu.sn + 1, false);
+  seen_[pdu.sn] = true;
+  if (!anything_delivered_ || pdu.sn > highest_delivered_) {
+    highest_delivered_ = pdu.sn;
+  }
+  anything_delivered_ = true;
+  return pdu.payload;
+}
+
+}  // namespace dlte::lte

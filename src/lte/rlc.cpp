@@ -1,0 +1,171 @@
+#include "lte/rlc.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace dlte::lte {
+
+std::vector<std::uint8_t> encode_rlc_pdu(const RlcPdu& pdu) {
+  ByteWriter w;
+  w.u32(pdu.sn);
+  w.u8(pdu.last_of_sdu ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(pdu.payload.size()));
+  w.bytes(pdu.payload);
+  return w.take();
+}
+
+Result<RlcPdu> decode_rlc_pdu(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  RlcPdu pdu;
+  auto sn = r.u32();
+  if (!sn) return Err{sn.error()};
+  pdu.sn = *sn;
+  auto last = r.u8();
+  if (!last) return Err{last.error()};
+  if (*last > 1) return fail("invalid RLC framing flag");
+  pdu.last_of_sdu = *last == 1;
+  auto len = r.u16();
+  if (!len) return Err{len.error()};
+  auto payload = r.bytes(*len);
+  if (!payload) return Err{payload.error()};
+  pdu.payload = std::move(*payload);
+  return pdu;
+}
+
+std::vector<std::uint8_t> encode_rlc_status(const RlcStatus& status) {
+  ByteWriter w;
+  w.u32(status.ack_sn);
+  w.u16(static_cast<std::uint16_t>(status.nacks.size()));
+  for (std::uint32_t sn : status.nacks) w.u32(sn);
+  return w.take();
+}
+
+Result<RlcStatus> decode_rlc_status(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  RlcStatus s;
+  auto ack = r.u32();
+  if (!ack) return Err{ack.error()};
+  s.ack_sn = *ack;
+  auto n = r.u16();
+  if (!n) return Err{n.error()};
+  for (int i = 0; i < *n; ++i) {
+    auto sn = r.u32();
+    if (!sn) return Err{sn.error()};
+    s.nacks.push_back(*sn);
+  }
+  return s;
+}
+
+// ----------------------------------------------------------- Transmit --
+
+void RlcTransmitter::queue_sdu(std::vector<std::uint8_t> sdu) {
+  queue_.push_back(std::move(sdu));
+}
+
+std::optional<RlcPdu> RlcTransmitter::next_pdu() {
+  // Retransmissions take priority (they hold back the peer's reassembly).
+  while (!retx_.empty()) {
+    const std::uint32_t sn = retx_.front();
+    retx_.pop_front();
+    const auto it = in_flight_.find(sn);
+    if (it == in_flight_.end()) continue;  // Acked since the NACK.
+    ++retx_count_;
+    ++pdus_sent_;
+    return it->second;
+  }
+  if (queue_.empty()) return std::nullopt;
+
+  const auto& sdu = queue_.front();
+  const std::size_t remaining = sdu.size() - offset_;
+  const std::size_t take = std::min(pdu_payload_, remaining);
+  RlcPdu pdu;
+  pdu.sn = next_sn_++;
+  pdu.last_of_sdu = take == remaining;
+  pdu.payload.assign(sdu.begin() + static_cast<std::ptrdiff_t>(offset_),
+                     sdu.begin() + static_cast<std::ptrdiff_t>(offset_ + take));
+  offset_ += take;
+  if (offset_ >= sdu.size()) {
+    queue_.pop_front();
+    offset_ = 0;
+  }
+  in_flight_.emplace(pdu.sn, pdu);
+  ++pdus_sent_;
+  return pdu;
+}
+
+void RlcTransmitter::handle_status(const RlcStatus& status) {
+  // Cumulative ack releases everything below ack_sn...
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->first < status.ack_sn &&
+        std::find(status.nacks.begin(), status.nacks.end(), it->first) ==
+            status.nacks.end()) {
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // ...and the NACK list schedules retransmissions (deduplicated).
+  for (std::uint32_t sn : status.nacks) {
+    if (in_flight_.contains(sn) &&
+        std::find(retx_.begin(), retx_.end(), sn) == retx_.end()) {
+      retx_.push_back(sn);
+    }
+  }
+  // Tail-loss recovery (t-PollRetransmit semantics): a status is solicited
+  // by a poll, so any PDU the receiver shows no evidence of — at or above
+  // its ACK_SN — must have been lost in flight and is retransmitted too.
+  for (const auto& [sn, pdu] : in_flight_) {
+    if (sn >= status.ack_sn &&
+        std::find(retx_.begin(), retx_.end(), sn) == retx_.end()) {
+      retx_.push_back(sn);
+    }
+  }
+}
+
+// ------------------------------------------------------------ Receive --
+
+void RlcReceiver::handle_pdu(RlcPdu pdu) {
+  if (pdu.sn < next_expected_ || buffer_.contains(pdu.sn)) {
+    ++duplicates_;
+    return;
+  }
+  highest_seen_ = anything_seen_ ? std::max(highest_seen_, pdu.sn) : pdu.sn;
+  anything_seen_ = true;
+  buffer_.emplace(pdu.sn, std::move(pdu));
+  reassemble();
+}
+
+void RlcReceiver::reassemble() {
+  auto it = buffer_.find(next_expected_);
+  while (it != buffer_.end()) {
+    partial_.insert(partial_.end(), it->second.payload.begin(),
+                    it->second.payload.end());
+    if (it->second.last_of_sdu) {
+      ready_.push_back(std::move(partial_));
+      partial_.clear();
+    }
+    buffer_.erase(it);
+    ++next_expected_;
+    it = buffer_.find(next_expected_);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> RlcReceiver::next_sdu() {
+  if (ready_.empty()) return std::nullopt;
+  auto sdu = std::move(ready_.front());
+  ready_.pop_front();
+  return sdu;
+}
+
+RlcStatus RlcReceiver::make_status() const {
+  RlcStatus s;
+  if (!anything_seen_) return s;
+  s.ack_sn = highest_seen_ + 1;
+  for (std::uint32_t sn = next_expected_; sn <= highest_seen_; ++sn) {
+    if (!buffer_.contains(sn)) s.nacks.push_back(sn);
+  }
+  return s;
+}
+
+}  // namespace dlte::lte

@@ -1,0 +1,100 @@
+// RLC Acknowledged Mode: segmentation, reassembly, and ARQ.
+//
+// The layer between PDCP and MAC in the LTE user plane. The transmitter
+// segments SDUs into link-sized PDUs and keeps them until acknowledged;
+// the receiver reassembles in order and reports cumulative ACK + NACK
+// lists in STATUS PDUs. This is the machinery under the §3.2 reliability
+// story: HARQ catches most losses in milliseconds, RLC-AM catches the
+// residue.
+//
+// Simplifications vs TS 36.322: sequence numbers are a widened 32-bit
+// space (no modulus window management), and polling is caller-driven
+// (ask for a status whenever the MAC gives an opportunity).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dlte::lte {
+
+struct RlcPdu {
+  std::uint32_t sn{0};
+  bool last_of_sdu{false};  // Marks an SDU boundary for reassembly.
+  std::vector<std::uint8_t> payload;
+};
+
+struct RlcStatus {
+  std::uint32_t ack_sn{0};  // All SNs below this are received.
+  std::vector<std::uint32_t> nacks;  // Missing SNs below some seen SN.
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_rlc_pdu(const RlcPdu& pdu);
+[[nodiscard]] Result<RlcPdu> decode_rlc_pdu(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<std::uint8_t> encode_rlc_status(
+    const RlcStatus& status);
+[[nodiscard]] Result<RlcStatus> decode_rlc_status(
+    std::span<const std::uint8_t> bytes);
+
+class RlcTransmitter {
+ public:
+  explicit RlcTransmitter(std::size_t pdu_payload_bytes)
+      : pdu_payload_(pdu_payload_bytes) {}
+
+  void queue_sdu(std::vector<std::uint8_t> sdu);
+
+  // Next PDU for the MAC: retransmissions first, then new data.
+  [[nodiscard]] std::optional<RlcPdu> next_pdu();
+  void handle_status(const RlcStatus& status);
+
+  [[nodiscard]] bool idle() const {
+    return queue_.empty() && in_flight_.empty() && retx_.empty();
+  }
+  [[nodiscard]] std::uint64_t pdus_sent() const { return pdus_sent_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retx_count_; }
+  [[nodiscard]] std::size_t unacked() const { return in_flight_.size(); }
+
+ private:
+  std::size_t pdu_payload_;
+  std::deque<std::vector<std::uint8_t>> queue_;  // Pending SDUs.
+  std::size_t offset_{0};                        // Into queue_.front().
+  std::uint32_t next_sn_{0};
+  std::map<std::uint32_t, RlcPdu> in_flight_;    // Sent, unacked.
+  std::deque<std::uint32_t> retx_;               // NACKed SNs to resend.
+  std::uint64_t pdus_sent_{0};
+  std::uint64_t retx_count_{0};
+};
+
+class RlcReceiver {
+ public:
+  void handle_pdu(RlcPdu pdu);
+
+  // In-order reassembled SDUs, as they complete.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next_sdu();
+
+  // Status for the peer: cumulative ack + holes below the highest seen.
+  [[nodiscard]] RlcStatus make_status() const;
+
+  [[nodiscard]] std::uint64_t duplicates_discarded() const {
+    return duplicates_;
+  }
+
+ private:
+  void reassemble();
+
+  std::map<std::uint32_t, RlcPdu> buffer_;   // Received, not yet consumed.
+  std::uint32_t next_expected_{0};           // Reassembly cursor.
+  std::uint32_t highest_seen_{0};
+  bool anything_seen_{false};
+  std::vector<std::uint8_t> partial_;        // SDU under reassembly.
+  std::deque<std::vector<std::uint8_t>> ready_;
+  std::uint64_t duplicates_{0};
+};
+
+}  // namespace dlte::lte

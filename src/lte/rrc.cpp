@@ -1,0 +1,135 @@
+#include "lte/rrc.h"
+
+#include "common/bytes.h"
+
+namespace dlte::lte {
+
+namespace {
+enum class RrcType : std::uint8_t {
+  kConnectionRequest = 1,
+  kConnectionSetup = 2,
+  kConnectionSetupComplete = 3,
+  kMeasurementConfig = 4,
+  kMeasurementReport = 5,
+  kConnectionReconfiguration = 6,
+  kConnectionReconfigurationComplete = 7,
+  kConnectionRelease = 8,
+};
+
+struct Encoder {
+  ByteWriter& w;
+  void operator()(const RrcConnectionRequest& m) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kConnectionRequest));
+    w.u32(m.tmsi.value());
+    w.u8(m.establishment_cause);
+  }
+  void operator()(const RrcConnectionSetup& m) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kConnectionSetup));
+    w.u8(m.srb_identity);
+  }
+  void operator()(const RrcConnectionSetupComplete& m) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kConnectionSetupComplete));
+    w.u16(static_cast<std::uint16_t>(m.nas_pdu.size()));
+    w.bytes(m.nas_pdu);
+  }
+  void operator()(const RrcMeasurementConfig& m) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kMeasurementConfig));
+    w.f64(m.a3_offset_db);
+    w.u32(m.time_to_trigger_ms);
+    w.u32(m.sample_period_ms);
+  }
+  void operator()(const RrcMeasurementReport& m) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kMeasurementReport));
+    w.u32(m.serving.value());
+    w.f64(m.serving_rsrp_dbm);
+    w.u32(m.neighbor.value());
+    w.f64(m.neighbor_rsrp_dbm);
+  }
+  void operator()(const RrcConnectionReconfiguration& m) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kConnectionReconfiguration));
+    w.u8(m.mobility_control ? 1 : 0);
+    w.u32(m.target_cell.value());
+  }
+  void operator()(const RrcConnectionReconfigurationComplete& m) {
+    w.u8(static_cast<std::uint8_t>(
+        RrcType::kConnectionReconfigurationComplete));
+    w.u32(m.cell.value());
+  }
+  void operator()(const RrcConnectionRelease&) {
+    w.u8(static_cast<std::uint8_t>(RrcType::kConnectionRelease));
+  }
+};
+}  // namespace
+
+std::vector<std::uint8_t> encode_rrc(const RrcMessage& m) {
+  ByteWriter w;
+  std::visit(Encoder{w}, m);
+  return w.take();
+}
+
+Result<RrcMessage> decode_rrc(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  auto type = r.u8();
+  if (!type) return Err{type.error()};
+  switch (static_cast<RrcType>(*type)) {
+    case RrcType::kConnectionRequest: {
+      auto tmsi = r.u32();
+      if (!tmsi) return Err{tmsi.error()};
+      auto cause = r.u8();
+      if (!cause) return Err{cause.error()};
+      return RrcMessage{RrcConnectionRequest{Tmsi{*tmsi}, *cause}};
+    }
+    case RrcType::kConnectionSetup: {
+      auto srb = r.u8();
+      if (!srb) return Err{srb.error()};
+      return RrcMessage{RrcConnectionSetup{*srb}};
+    }
+    case RrcType::kConnectionSetupComplete: {
+      auto len = r.u16();
+      if (!len) return Err{len.error()};
+      auto pdu = r.bytes(*len);
+      if (!pdu) return Err{pdu.error()};
+      return RrcMessage{RrcConnectionSetupComplete{std::move(*pdu)}};
+    }
+    case RrcType::kMeasurementConfig: {
+      auto offset = r.f64();
+      if (!offset) return Err{offset.error()};
+      auto ttt = r.u32();
+      if (!ttt) return Err{ttt.error()};
+      auto period = r.u32();
+      if (!period) return Err{period.error()};
+      return RrcMessage{RrcMeasurementConfig{*offset, *ttt, *period}};
+    }
+    case RrcType::kMeasurementReport: {
+      auto serving = r.u32();
+      if (!serving) return Err{serving.error()};
+      auto s_rsrp = r.f64();
+      if (!s_rsrp) return Err{s_rsrp.error()};
+      auto neighbor = r.u32();
+      if (!neighbor) return Err{neighbor.error()};
+      auto n_rsrp = r.f64();
+      if (!n_rsrp) return Err{n_rsrp.error()};
+      return RrcMessage{RrcMeasurementReport{CellId{*serving}, *s_rsrp,
+                                             CellId{*neighbor}, *n_rsrp}};
+    }
+    case RrcType::kConnectionReconfiguration: {
+      auto mob = r.u8();
+      if (!mob) return Err{mob.error()};
+      if (*mob > 1) return fail("invalid mobility flag");
+      auto cell = r.u32();
+      if (!cell) return Err{cell.error()};
+      return RrcMessage{
+          RrcConnectionReconfiguration{*mob == 1, CellId{*cell}}};
+    }
+    case RrcType::kConnectionReconfigurationComplete: {
+      auto cell = r.u32();
+      if (!cell) return Err{cell.error()};
+      return RrcMessage{RrcConnectionReconfigurationComplete{CellId{*cell}}};
+    }
+    case RrcType::kConnectionRelease:
+      return RrcMessage{RrcConnectionRelease{}};
+  }
+  return fail("unknown RRC message type");
+}
+
+}  // namespace dlte::lte

@@ -1,0 +1,71 @@
+// RRC: the radio resource control dialogue between UE and eNodeB.
+//
+// Connection establishment (request/setup/complete with piggybacked NAS),
+// measurement configuration and A3 event reports (the trigger feed for
+// handover decisions), mobility reconfiguration (the handover command),
+// and release (to ECM-idle). The eNodeB timing model in core/enodeb.h
+// charges the latency of these exchanges; the codecs here are the wire
+// form, used directly by the measurement/handover machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace dlte::lte {
+
+struct RrcConnectionRequest {
+  Tmsi tmsi;                          // 0 for IMSI-based initial attach.
+  std::uint8_t establishment_cause{0};  // mo-Data, mt-Access, …
+};
+
+struct RrcConnectionSetup {
+  std::uint8_t srb_identity{1};
+};
+
+struct RrcConnectionSetupComplete {
+  std::vector<std::uint8_t> nas_pdu;  // Piggybacked initial NAS message.
+};
+
+// Measurement configuration: report when a neighbour becomes
+// `a3_offset_db` better than serving for `time_to_trigger_ms`.
+struct RrcMeasurementConfig {
+  double a3_offset_db{3.0};
+  std::uint32_t time_to_trigger_ms{320};
+  std::uint32_t sample_period_ms{40};
+};
+
+struct RrcMeasurementReport {
+  CellId serving;
+  double serving_rsrp_dbm{0.0};
+  CellId neighbor;
+  double neighbor_rsrp_dbm{0.0};
+};
+
+// Handover command (mobilityControlInfo present).
+struct RrcConnectionReconfiguration {
+  bool mobility_control{false};
+  CellId target_cell;
+};
+
+struct RrcConnectionReconfigurationComplete {
+  CellId cell;  // Where the UE completed (the target, on handover).
+};
+
+struct RrcConnectionRelease {};
+
+using RrcMessage =
+    std::variant<RrcConnectionRequest, RrcConnectionSetup,
+                 RrcConnectionSetupComplete, RrcMeasurementConfig,
+                 RrcMeasurementReport, RrcConnectionReconfiguration,
+                 RrcConnectionReconfigurationComplete, RrcConnectionRelease>;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_rrc(const RrcMessage& m);
+[[nodiscard]] Result<RrcMessage> decode_rrc(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace dlte::lte

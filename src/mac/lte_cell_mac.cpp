@@ -1,0 +1,139 @@
+#include "mac/lte_cell_mac.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "phy/lte_amc.h"
+
+namespace dlte::mac {
+
+namespace {
+constexpr double kEwmaAlpha = 0.02;  // PF average-rate smoothing.
+}
+
+LteCellMac::LteCellMac(CellMacConfig config)
+    : config_(config),
+      total_prbs_(phy::prbs_for_bandwidth(config.bandwidth)),
+      scheduler_(make_scheduler(config.policy)),
+      rng_(config.seed) {}
+
+void LteCellMac::add_ue(UeId id, SinrProvider sinr, UeTrafficConfig traffic) {
+  assert(!ues_.contains(id));
+  UeState st;
+  st.sinr = std::move(sinr);
+  st.traffic = traffic;
+  ues_.emplace(id, std::move(st));
+  order_.push_back(id);
+}
+
+void LteCellMac::remove_ue(UeId id) {
+  ues_.erase(id);
+  order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+}
+
+void LteCellMac::set_prb_share(double share) {
+  config_.prb_share = std::clamp(share, 0.0, 1.0);
+}
+
+void LteCellMac::run(Duration duration) {
+  const auto subframes = static_cast<std::int64_t>(
+      duration.ns() / phy::kSubframe.ns());
+  for (std::int64_t i = 0; i < subframes; ++i) run_subframe();
+  elapsed_ += Duration::nanos(subframes * phy::kSubframe.ns());
+}
+
+void LteCellMac::run_subframe() {
+  // 1. Traffic arrival.
+  for (UeId id : order_) {
+    auto& ue = ues_.at(id);
+    if (ue.traffic.full_buffer) {
+      ue.backlog_bits = 1e12;
+    } else {
+      const double arriving =
+          ue.traffic.offered.bps() * phy::kSubframe.to_seconds();
+      ue.backlog_bits += arriving;
+      ue.stats.offered_bits += arriving;
+    }
+  }
+
+  // 2. Channel measurement and scheduling input.
+  std::vector<SchedUe> sched_in;
+  std::unordered_map<UeId, Decibels> sinr_now;
+  for (UeId id : order_) {
+    auto& ue = ues_.at(id);
+    const Decibels s = ue.sinr();
+    sinr_now.emplace(id, s);
+    // A UE with a pending HARQ block stays schedulable even if its queue
+    // is otherwise empty: the retransmission needs a grant.
+    const double effective_backlog =
+        ue.has_pending ? std::max(ue.backlog_bits, ue.pending_bits)
+                       : ue.backlog_bits;
+    sched_in.push_back(SchedUe{
+        .id = id,
+        .cqi = phy::select_cqi(s),
+        .backlog_bits = effective_backlog,
+        .avg_rate_bps = ue.avg_rate_bps,
+    });
+  }
+
+  const int usable_prbs = static_cast<int>(
+      std::floor(total_prbs_ * config_.prb_share));
+  const auto grants = scheduler_->schedule(sched_in, usable_prbs);
+
+  // 3. Transmission, HARQ accounting, average-rate update.
+  std::unordered_map<UeId, double> served_bits;
+  for (const auto& grant : grants) {
+    auto& ue = ues_.at(grant.ue);
+    const Decibels s = sinr_now.at(grant.ue);
+    const int cqi = phy::select_cqi(s);
+    if (cqi == 0) continue;
+    ++ue.stats.scheduled_subframes;
+
+    if (!ue.has_pending) {
+      // New transport block, sized to the grant and the backlog.
+      const double tbs = phy::transport_block_bits(cqi, grant.prbs);
+      ue.pending_bits = std::min(ue.backlog_bits, tbs);
+      if (ue.pending_bits <= 0.0) continue;
+      ue.pending_cqi = cqi;
+      ue.pending_linear_sinr = 0.0;
+      ue.pending_attempts = 0;
+      ue.has_pending = true;
+    } else {
+      ++ue.stats.harq_retransmissions;
+    }
+
+    ++ue.pending_attempts;
+    Decibels decode_sinr = s;
+    if (config_.harq.chase_combining) {
+      ue.pending_linear_sinr += s.linear();
+      decode_sinr = Decibels::from_linear(ue.pending_linear_sinr);
+    }
+    const double p_fail = phy::bler(ue.pending_cqi, decode_sinr);
+    if (!rng_.bernoulli(p_fail)) {
+      ue.stats.delivered_bits += ue.pending_bits;
+      ue.backlog_bits = std::max(0.0, ue.backlog_bits - ue.pending_bits);
+      served_bits[grant.ue] = ue.pending_bits;
+      ue.has_pending = false;
+    } else if (ue.pending_attempts >= config_.harq.max_transmissions) {
+      ue.stats.dropped_bits += ue.pending_bits;
+      ue.backlog_bits = std::max(0.0, ue.backlog_bits - ue.pending_bits);
+      ue.has_pending = false;
+    }
+  }
+
+  for (UeId id : order_) {
+    auto& ue = ues_.at(id);
+    const double inst = served_bits.contains(id)
+                            ? served_bits.at(id) / phy::kSubframe.to_seconds()
+                            : 0.0;
+    ue.avg_rate_bps = (1.0 - kEwmaAlpha) * ue.avg_rate_bps + kEwmaAlpha * inst;
+    ue.stats.backlog_bits = ue.backlog_bits;
+  }
+}
+
+const UeMacStats& LteCellMac::stats(UeId id) const { return ues_.at(id).stats; }
+
+std::vector<UeId> LteCellMac::ue_ids() const { return order_; }
+
+}  // namespace dlte::mac

@@ -1,0 +1,123 @@
+#include "mac/lte_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/lte_amc.h"
+
+namespace dlte::mac {
+
+namespace {
+
+// UEs eligible for a grant this subframe.
+std::vector<SchedUe> eligible(std::span<const SchedUe> ues) {
+  std::vector<SchedUe> out;
+  for (const auto& u : ues) {
+    if (u.cqi > 0 && u.backlog_bits > 0.0) out.push_back(u);
+  }
+  return out;
+}
+
+// PRBs needed to drain a UE's backlog at its CQI, saturated well above any
+// real grid size so huge full-buffer backlogs cannot overflow the cast.
+int prbs_needed(const SchedUe& u) {
+  const int per_prb = phy::transport_block_bits(u.cqi, 1);
+  if (per_prb <= 0) return 0;
+  const double want =
+      std::ceil(u.backlog_bits / static_cast<double>(per_prb));
+  return static_cast<int>(std::min(want, 1e6));
+}
+
+// Greedy fill in priority order: each UE takes what it needs, capped by
+// what remains.
+std::vector<PrbAllocation> greedy_fill(const std::vector<SchedUe>& ordered,
+                                       int total_prbs) {
+  std::vector<PrbAllocation> out;
+  int remaining = total_prbs;
+  for (const auto& u : ordered) {
+    if (remaining <= 0) break;
+    const int want = prbs_needed(u);
+    const int got = std::min(want, remaining);
+    if (got > 0) {
+      out.push_back(PrbAllocation{u.id, got});
+      remaining -= got;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PrbAllocation> RoundRobinScheduler::schedule(
+    std::span<const SchedUe> ues, int total_prbs) {
+  auto el = eligible(ues);
+  if (el.empty() || total_prbs <= 0) return {};
+  // Rotate the eligible list so service starts after the last-served UE.
+  std::rotate(el.begin(),
+              el.begin() + static_cast<std::ptrdiff_t>(next_ % el.size()),
+              el.end());
+  ++next_;
+  // Equal split among eligible UEs, capped by need; leftover PRBs go to
+  // the head of the rotated order.
+  const int base = total_prbs / static_cast<int>(el.size());
+  std::vector<PrbAllocation> out;
+  int remaining = total_prbs;
+  for (const auto& u : el) {
+    const int got = std::min({prbs_needed(u), std::max(base, 1), remaining});
+    if (got > 0) {
+      out.push_back(PrbAllocation{u.id, got});
+      remaining -= got;
+    }
+  }
+  // Second pass: hand unused PRBs to still-hungry UEs in order.
+  for (auto& alloc : out) {
+    if (remaining <= 0) break;
+    const auto it = std::find_if(el.begin(), el.end(), [&](const SchedUe& u) {
+      return u.id == alloc.ue;
+    });
+    const int want = prbs_needed(*it) - alloc.prbs;
+    const int extra = std::min(want, remaining);
+    if (extra > 0) {
+      alloc.prbs += extra;
+      remaining -= extra;
+    }
+  }
+  return out;
+}
+
+std::vector<PrbAllocation> ProportionalFairScheduler::schedule(
+    std::span<const SchedUe> ues, int total_prbs) {
+  auto el = eligible(ues);
+  if (el.empty() || total_prbs <= 0) return {};
+  std::sort(el.begin(), el.end(), [](const SchedUe& a, const SchedUe& b) {
+    const double rate_a = phy::transport_block_bits(a.cqi, 1) * 1000.0;
+    const double rate_b = phy::transport_block_bits(b.cqi, 1) * 1000.0;
+    return rate_a / std::max(a.avg_rate_bps, 1.0) >
+           rate_b / std::max(b.avg_rate_bps, 1.0);
+  });
+  return greedy_fill(el, total_prbs);
+}
+
+std::vector<PrbAllocation> MaxCiScheduler::schedule(
+    std::span<const SchedUe> ues, int total_prbs) {
+  auto el = eligible(ues);
+  if (el.empty() || total_prbs <= 0) return {};
+  std::sort(el.begin(), el.end(), [](const SchedUe& a, const SchedUe& b) {
+    return a.cqi > b.cqi;
+  });
+  return greedy_fill(el, total_prbs);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerPolicy::kProportionalFair:
+      return std::make_unique<ProportionalFairScheduler>();
+    case SchedulerPolicy::kMaxCi:
+      return std::make_unique<MaxCiScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace dlte::mac

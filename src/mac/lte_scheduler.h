@@ -1,0 +1,81 @@
+// LTE downlink/uplink PRB schedulers.
+//
+// The scheduler is the LTE-side contrast to WiFi's contention MAC: capacity
+// is granted, not fought over, so under load the cell stays efficient and
+// fairness is a policy choice. Three textbook policies are provided; the
+// cooperative dLTE mode (spectrum/coordination.h) composes them across
+// cells.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dlte::mac {
+
+// Scheduler's per-UE view for one subframe.
+struct SchedUe {
+  UeId id;
+  int cqi{0};                // Current channel quality (0 = unreachable).
+  double backlog_bits{0.0};  // Queued data.
+  double avg_rate_bps{1.0};  // EWMA served rate, for PF metric.
+};
+
+struct PrbAllocation {
+  UeId ue;
+  int prbs{0};
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Distribute `total_prbs` among `ues` for one subframe. Implementations
+  // must not allocate to UEs with cqi == 0 or zero backlog, and must not
+  // exceed total_prbs in sum.
+  [[nodiscard]] virtual std::vector<PrbAllocation> schedule(
+      std::span<const SchedUe> ues, int total_prbs) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+// Cycles through backlogged UEs, granting each an equal PRB share per
+// subframe (remainder to the earliest in cycle order).
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<PrbAllocation> schedule(
+      std::span<const SchedUe> ues, int total_prbs) override;
+  [[nodiscard]] const char* name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_{0};
+};
+
+// Classic proportional fair: rank by achievable-rate / average-rate and
+// serve the best UE(s) first. Maximizes sum log-throughput over time.
+class ProportionalFairScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<PrbAllocation> schedule(
+      std::span<const SchedUe> ues, int total_prbs) override;
+  [[nodiscard]] const char* name() const override {
+    return "proportional-fair";
+  }
+};
+
+// Max C/I: throughput-optimal, starves cell-edge UEs. Kept as the
+// fairness foil.
+class MaxCiScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<PrbAllocation> schedule(
+      std::span<const SchedUe> ues, int total_prbs) override;
+  [[nodiscard]] const char* name() const override { return "max-ci"; }
+};
+
+enum class SchedulerPolicy { kRoundRobin, kProportionalFair, kMaxCi };
+
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerPolicy policy);
+
+}  // namespace dlte::mac

@@ -1,0 +1,193 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace dlte::net {
+
+std::string Ipv4::to_string() const {
+  return std::to_string((addr >> 24) & 0xff) + "." +
+         std::to_string((addr >> 16) & 0xff) + "." +
+         std::to_string((addr >> 8) & 0xff) + "." +
+         std::to_string(addr & 0xff);
+}
+
+NodeId Network::add_node(std::string name) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  Node node;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
+  routes_dirty_ = true;
+  return id;
+}
+
+void Network::add_link(NodeId a, NodeId b, LinkConfig config) {
+  const auto add_directed = [&](NodeId from, NodeId to) {
+    const std::size_t index = links_.size();
+    links_.push_back(DirectedLink{to, config, {}, {}});
+    link_sources_.push_back(from);
+    nodes_[from.value()].links.push_back(index);
+  };
+  add_directed(a, b);
+  add_directed(b, a);
+  routes_dirty_ = true;
+}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  nodes_[node.value()].handler = std::move(handler);
+}
+
+void Network::set_protocol_handler(NodeId node, std::uint16_t protocol,
+                                   Handler handler) {
+  if (handler == nullptr) {
+    nodes_[node.value()].protocol_handlers.erase(protocol);
+    return;
+  }
+  nodes_[node.value()].protocol_handlers[protocol] = std::move(handler);
+}
+
+void Network::recompute_routes() {
+  const std::size_t n = nodes_.size();
+  next_hop_.assign(n, std::vector<std::size_t>(n, kNoRoute));
+  // Dijkstra from every source over propagation delay.
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<std::int64_t> dist(n, std::numeric_limits<std::int64_t>::max());
+    std::vector<std::size_t> first_link(n, kNoRoute);
+    using Entry = std::pair<std::int64_t, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (std::size_t li : nodes_[u].links) {
+        const auto& link = links_[li];
+        if (!link.enabled) continue;
+        const std::size_t v = link.to.value();
+        const std::int64_t nd = d + link.config.delay.ns();
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          first_link[v] = (u == src) ? li : first_link[u];
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      next_hop_[src][dst] = first_link[dst];
+    }
+  }
+  routes_dirty_ = false;
+}
+
+const Network::DirectedLink* Network::next_hop(NodeId from, NodeId to) const {
+  if (routes_dirty_) {
+    // Routing state is logically part of topology; safe to refresh here.
+    const_cast<Network*>(this)->recompute_routes();
+  }
+  const std::size_t li = next_hop_[from.value()][to.value()];
+  if (li == kNoRoute) return nullptr;
+  return &links_[li];
+}
+
+void Network::send(Packet packet) {
+  const NodeId origin = packet.src;
+  forward(std::move(packet), origin);
+}
+
+void Network::forward(Packet&& packet, NodeId at) {
+  if (at == packet.dst) {
+    Node& node = nodes_[at.value()];
+    if (const auto it = node.protocol_handlers.find(packet.protocol);
+        it != node.protocol_handlers.end()) {
+      it->second(std::move(packet));
+    } else if (node.handler) {
+      node.handler(std::move(packet));
+    }
+    return;
+  }
+  if (routes_dirty_) recompute_routes();
+  const std::size_t li = next_hop_[at.value()][packet.dst.value()];
+  if (li == kNoRoute) return;  // Unroutable: dropped.
+  DirectedLink& link = links_[li];
+
+  const TimePoint now = sim_.now();
+  const TimePoint start = std::max(now, link.busy_until);
+  // Drop-tail bound: bytes already committed but not yet serialized.
+  const double backlog_bytes =
+      (start - now).to_seconds() * link.config.rate.bps() / 8.0;
+  if (backlog_bytes > static_cast<double>(link.config.queue_bytes)) {
+    ++link.stats.packets_dropped;
+    return;
+  }
+  const Duration tx = Duration::seconds(
+      packet.size_bytes * 8.0 / link.config.rate.bps());
+  link.busy_until = start + tx;
+  ++link.stats.packets_sent;
+  link.stats.bytes_sent += static_cast<std::uint64_t>(packet.size_bytes);
+
+  const TimePoint arrival = start + tx + link.config.delay;
+  const NodeId next = link.to;
+  sim_.schedule_at(arrival,
+                   [this, next, p = std::move(packet)]() mutable {
+                     forward(std::move(p), next);
+                   });
+}
+
+Duration Network::path_latency(NodeId from, NodeId to, int size_bytes) const {
+  Duration total{};
+  NodeId at = from;
+  int guard = 0;
+  while (at != to) {
+    const DirectedLink* link = next_hop(at, to);
+    if (link == nullptr) return Duration::seconds(-1.0);
+    total += link->config.delay +
+             Duration::seconds(size_bytes * 8.0 / link->config.rate.bps());
+    at = link->to;
+    if (++guard > static_cast<int>(nodes_.size())) break;
+  }
+  return total;
+}
+
+int Network::hop_count(NodeId from, NodeId to) const {
+  int hops = 0;
+  NodeId at = from;
+  while (at != to) {
+    const DirectedLink* link = next_hop(at, to);
+    if (link == nullptr) return -1;
+    at = link->to;
+    if (++hops > static_cast<int>(nodes_.size())) return -1;
+  }
+  return hops;
+}
+
+bool Network::has_route(NodeId from, NodeId to) const {
+  return from == to || next_hop(from, to) != nullptr;
+}
+
+const LinkStats& Network::link_stats(NodeId a, NodeId b) const {
+  for (std::size_t li : nodes_[a.value()].links) {
+    if (links_[li].to == b) return links_[li].stats;
+  }
+  assert(false && "no such link");
+  static LinkStats empty;
+  return empty;
+}
+
+void Network::set_link_enabled(NodeId a, NodeId b, bool enabled) {
+  for (std::size_t li : nodes_[a.value()].links) {
+    if (links_[li].to == b) links_[li].enabled = enabled;
+  }
+  for (std::size_t li : nodes_[b.value()].links) {
+    if (links_[li].to == a) links_[li].enabled = enabled;
+  }
+  routes_dirty_ = true;
+}
+
+const std::string& Network::node_name(NodeId node) const {
+  return nodes_[node.value()].name;
+}
+
+}  // namespace dlte::net

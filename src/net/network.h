@@ -1,0 +1,125 @@
+// Packet-level IP substrate: nodes, links, static shortest-path routing.
+//
+// This models everything between radio access and application endpoints —
+// AP backhaul links, the Internet core, the path to a centralized EPC site,
+// and the peer-to-peer paths dLTE APs use for X2-over-Internet
+// coordination (Fig. 1 of the paper). Links have a serialization rate,
+// propagation delay, and a drop-tail queue bound; routing is Dijkstra on
+// propagation delay, recomputed on demand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace dlte::net {
+
+// Simplified IPv4 address; the P-GW / local core hands these to UEs.
+struct Ipv4 {
+  std::uint32_t addr{0};
+
+  [[nodiscard]] std::string to_string() const;
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+};
+
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  int size_bytes{0};
+  // Protocol tag for the receiving stack's dispatcher (values defined by
+  // each protocol module).
+  std::uint16_t protocol{0};
+  std::vector<std::uint8_t> payload;
+};
+
+struct LinkConfig {
+  DataRate rate{DataRate::mbps(100.0)};
+  Duration delay{Duration::millis(1)};
+  std::size_t queue_bytes{256 * 1024};
+};
+
+struct LinkStats {
+  std::uint64_t packets_sent{0};
+  std::uint64_t packets_dropped{0};
+  std::uint64_t bytes_sent{0};
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  using Handler = std::function<void(Packet&&)>;
+
+  NodeId add_node(std::string name);
+  // Bidirectional link (two independent directed queues).
+  void add_link(NodeId a, NodeId b, LinkConfig config);
+  // Catch-all handler for packets addressed to `node` (any protocol not
+  // claimed by a protocol handler).
+  void set_handler(NodeId node, Handler handler);
+  // Protocol-specific handler; several stacks (transport, X2, GTP) can
+  // share one node.
+  void set_protocol_handler(NodeId node, std::uint16_t protocol,
+                            Handler handler);
+
+  // Route and deliver; silently drops if no route or a queue overflows
+  // (drop statistics are recorded on the link).
+  void send(Packet packet);
+
+  // One-way latency along the current best path for a packet of the given
+  // size, assuming empty queues (used for experiment reporting).
+  [[nodiscard]] Duration path_latency(NodeId from, NodeId to,
+                                      int size_bytes) const;
+  [[nodiscard]] int hop_count(NodeId from, NodeId to) const;
+  [[nodiscard]] bool has_route(NodeId from, NodeId to) const;
+
+  [[nodiscard]] const LinkStats& link_stats(NodeId a, NodeId b) const;
+  [[nodiscard]] const std::string& node_name(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  // Enable/disable a bidirectional link at runtime (radio attachment
+  // changes during mobility). Disabled links are excluded from routing;
+  // packets with no remaining route are dropped.
+  void set_link_enabled(NodeId a, NodeId b, bool enabled);
+
+  // Recompute routing tables (called lazily after topology changes).
+  void recompute_routes();
+
+ private:
+  struct DirectedLink {
+    NodeId to;
+    LinkConfig config;
+    TimePoint busy_until{};
+    LinkStats stats;
+    bool enabled{true};
+  };
+  struct Node {
+    std::string name;
+    std::vector<std::size_t> links;  // Indices into links_.
+    Handler handler;
+    std::unordered_map<std::uint16_t, Handler> protocol_handlers;
+  };
+
+  void forward(Packet&& packet, NodeId at);
+  [[nodiscard]] const DirectedLink* next_hop(NodeId from, NodeId to) const;
+
+  sim::Simulator& sim_;
+  std::vector<Node> nodes_;
+  std::vector<DirectedLink> links_;
+  std::vector<NodeId> link_sources_;
+  // next_hop_[from][to] = link index, or npos.
+  std::vector<std::vector<std::size_t>> next_hop_;
+  bool routes_dirty_{true};
+
+  static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);
+};
+
+}  // namespace dlte::net

@@ -1,0 +1,27 @@
+#include "phy/harq.h"
+
+#include "phy/lte_amc.h"
+
+namespace dlte::phy {
+
+HarqOutcome HarqProcess::transmit_block(int cqi, Decibels per_tx_sinr) {
+  HarqOutcome out;
+  double combined_linear = 0.0;
+  for (int attempt = 1; attempt <= config_.max_transmissions; ++attempt) {
+    out.transmissions = attempt;
+    Decibels decode_sinr = per_tx_sinr;
+    if (config_.chase_combining) {
+      combined_linear += per_tx_sinr.linear();
+      decode_sinr = Decibels::from_linear(combined_linear);
+    }
+    out.effective_sinr_db = decode_sinr.value();
+    const double p_fail = bler(cqi, decode_sinr);
+    if (!rng_.bernoulli(p_fail)) {
+      out.delivered = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace dlte::phy

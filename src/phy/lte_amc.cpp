@@ -1,0 +1,82 @@
+#include "phy/lte_amc.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace dlte::phy {
+
+namespace {
+// TS 36.213 Table 7.2.3-1 efficiencies with link-level SINR operating
+// points (10% BLER, AWGN-ish).
+constexpr std::array<CqiEntry, 16> kCqiTable{{
+    {0, 0.0, 1e9},        // Out of range.
+    {1, 0.1523, -6.7},
+    {2, 0.2344, -4.7},
+    {3, 0.3770, -2.3},
+    {4, 0.6016, 0.2},
+    {5, 0.8770, 2.4},
+    {6, 1.1758, 4.3},
+    {7, 1.4766, 5.9},
+    {8, 1.9141, 8.1},
+    {9, 2.4063, 10.3},
+    {10, 2.7305, 11.7},
+    {11, 3.3223, 14.1},
+    {12, 3.9023, 16.3},
+    {13, 4.5234, 18.7},
+    {14, 5.1152, 21.0},
+    {15, 5.5547, 22.7},
+}};
+}  // namespace
+
+int prbs_for_bandwidth(Hertz bandwidth) {
+  const double mhz = bandwidth.to_mhz();
+  if (mhz <= 1.4) return 6;
+  if (mhz <= 3.0) return 15;
+  if (mhz <= 5.0) return 25;
+  if (mhz <= 10.0) return 50;
+  if (mhz <= 15.0) return 75;
+  return 100;
+}
+
+int select_cqi(Decibels sinr) {
+  int best = 0;
+  for (int c = 1; c <= 15; ++c) {
+    if (sinr.value() >= kCqiTable[static_cast<std::size_t>(c)].snr_threshold_db) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+const CqiEntry& cqi_entry(int cqi) {
+  assert(cqi >= 0 && cqi <= 15);
+  return kCqiTable[static_cast<std::size_t>(cqi)];
+}
+
+int transport_block_bits(int cqi, int n_prbs) {
+  if (cqi <= 0 || n_prbs <= 0) return 0;
+  const double re_per_prb =
+      kSubcarriersPerPrb * kSymbolsPerSubframe * kDataReFraction;
+  return static_cast<int>(cqi_entry(cqi).efficiency * re_per_prb * n_prbs);
+}
+
+double bler(int cqi, Decibels sinr) {
+  if (cqi <= 0) return 1.0;
+  const double thr = cqi_entry(cqi).snr_threshold_db;
+  // Logistic anchored at BLER = 0.1 when sinr == thr; slope ~2 per dB.
+  const double x = 2.0 * (sinr.value() - thr) + std::log(9.0);
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+DataRate peak_rate(Decibels sinr, Hertz bandwidth) {
+  const int cqi = select_cqi(sinr);
+  const int bits_per_ms = transport_block_bits(cqi, prbs_for_bandwidth(bandwidth));
+  return DataRate{bits_per_ms * 1000.0};
+}
+
+bool within_timing_advance(double distance_m) {
+  return distance_m <= kMaxCellRangeM;
+}
+
+}  // namespace dlte::phy

@@ -1,0 +1,56 @@
+// LTE adaptive modulation & coding abstraction.
+//
+// Maps SINR → CQI → spectral efficiency → transport-block bits per PRB,
+// with a smooth BLER curve around each CQI's 10%-BLER operating point.
+// Table values follow 3GPP TS 36.213 Table 7.2.3-1 (CQI efficiencies) and
+// customary link-level SINR thresholds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "common/units.h"
+
+namespace dlte::phy {
+
+// LTE numerology constants used across MAC and PHY.
+inline constexpr int kSubcarriersPerPrb = 12;
+inline constexpr int kSymbolsPerSubframe = 14;
+// Fraction of resource elements left for data after control/reference
+// overhead (PDCCH, CRS, PSS/SSS, PBCH).
+inline constexpr double kDataReFraction = 0.75;
+inline constexpr Duration kSubframe = Duration::millis(1);
+
+// Number of PRBs for a standard LTE channel bandwidth.
+[[nodiscard]] int prbs_for_bandwidth(Hertz bandwidth);
+
+struct CqiEntry {
+  int cqi;                    // 1..15.
+  double efficiency;          // Information bits per resource element.
+  double snr_threshold_db;    // SINR at ~10% BLER.
+};
+
+// Highest CQI whose threshold is at or below `sinr` (0 = out of range).
+[[nodiscard]] int select_cqi(Decibels sinr);
+
+[[nodiscard]] const CqiEntry& cqi_entry(int cqi);
+
+// Transport-block bits carried by `n_prbs` PRBs in one subframe at `cqi`.
+[[nodiscard]] int transport_block_bits(int cqi, int n_prbs);
+
+// Block error rate for a transmission at `cqi` observed at `sinr`.
+// Calibrated so BLER = 10% when sinr equals the CQI threshold, falling
+// steeply (~2 dB/decade) above it.
+[[nodiscard]] double bler(int cqi, Decibels sinr);
+
+// Peak PHY rate at a given SINR and bandwidth (used for scenario sizing).
+[[nodiscard]] DataRate peak_rate(Decibels sinr, Hertz bandwidth);
+
+// LTE timing advance: the scheduler compensates propagation delay up to
+// TA_max (≈0.67 ms → 100 km). Links beyond this cannot be served at all;
+// links within it suffer no MAC-efficiency penalty from distance —
+// contrast WiFi's ACK-timeout collapse (wifi_phy.h).
+inline constexpr double kMaxCellRangeM = 100'000.0;
+[[nodiscard]] bool within_timing_advance(double distance_m);
+
+}  // namespace dlte::phy

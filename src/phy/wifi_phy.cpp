@@ -1,0 +1,56 @@
+#include "phy/wifi_phy.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace dlte::phy {
+
+namespace {
+// Index 0 is legacy 1 Mb/s DSSS (the robustness floor); 1..8 are HT MCS0-7,
+// 20 MHz, 800 ns GI, one spatial stream.
+constexpr std::array<WifiRate, kWifiRateCount> kRates{{
+    {DataRate::mbps(1.0), 2.0},
+    {DataRate::mbps(6.5), 5.0},
+    {DataRate::mbps(13.0), 8.0},
+    {DataRate::mbps(19.5), 11.0},
+    {DataRate::mbps(26.0), 14.0},
+    {DataRate::mbps(39.0), 18.0},
+    {DataRate::mbps(52.0), 22.0},
+    {DataRate::mbps(58.5), 26.0},
+    {DataRate::mbps(65.0), 28.0},
+}};
+}  // namespace
+
+const WifiRate& wifi_rate(int index) {
+  assert(index >= 0 && index < kWifiRateCount);
+  return kRates[static_cast<std::size_t>(index)];
+}
+
+int select_wifi_rate(Decibels snr) {
+  int best = -1;
+  for (int i = 0; i < kWifiRateCount; ++i) {
+    if (snr.value() >= kRates[static_cast<std::size_t>(i)].snr_threshold_db) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Duration wifi_frame_airtime(int rate, int payload_bytes) {
+  const double bits = payload_bytes * 8.0 + 288.0;  // MAC header + FCS.
+  const double tx_s = bits / wifi_rate(rate).phy_rate.bps();
+  return kPhyPreamble + Duration::seconds(tx_s) + kSifs + kAckDuration;
+}
+
+double wifi_frame_error_rate(int rate, Decibels snr) {
+  const double thr = wifi_rate(rate).snr_threshold_db;
+  const double x = 2.0 * (snr.value() - thr) + std::log(9.0);
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+bool beyond_ack_range(double distance_m) {
+  return distance_m > kWifiAckRangeM;
+}
+
+}  // namespace dlte::phy

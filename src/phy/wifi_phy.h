@@ -1,0 +1,56 @@
+// WiFi (802.11n-class) PHY abstraction: the comparison waveform.
+//
+// Models the rate ladder, per-rate SNR requirements, per-frame airtime
+// (preamble + payload + SIFS + ACK), and the MAC-level range ceiling: the
+// ACK timeout. Unlike LTE, whose scheduler grants timing advance for up to
+// 100 km (lte_amc.h), a stock 802.11 station abandons a frame if the ACK
+// has not arrived within a fixed slot budget, which caps usable range at a
+// couple of kilometres and collapses efficiency just below the cap.
+#pragma once
+
+#include "common/time.h"
+#include "common/units.h"
+
+namespace dlte::phy {
+
+struct WifiRate {
+  DataRate phy_rate;
+  double snr_threshold_db;
+};
+
+// Number of entries in the rate ladder (1 legacy DSSS + 8 HT MCS).
+inline constexpr int kWifiRateCount = 9;
+
+[[nodiscard]] const WifiRate& wifi_rate(int index);
+
+// Highest rate index decodable at `snr`, or -1 if below the lowest rate.
+[[nodiscard]] int select_wifi_rate(Decibels snr);
+
+// 802.11 timing constants (OFDM, 20 MHz).
+inline constexpr Duration kSifs = Duration::micros(16);
+inline constexpr Duration kDifs = Duration::micros(34);
+inline constexpr Duration kSlot = Duration::micros(9);
+inline constexpr Duration kPhyPreamble = Duration::micros(20);
+inline constexpr Duration kAckDuration = Duration::micros(44);
+inline constexpr int kCwMin = 15;
+inline constexpr int kCwMax = 1023;
+
+// Default ACK-timeout range ceiling for stock equipment (~2 km round trip
+// slack). Long-distance WiFi requires nonstandard timeout tuning, which
+// trades away MAC efficiency; we model the stock behaviour.
+inline constexpr double kWifiAckRangeM = 2000.0;
+
+// Airtime to send one MPDU of `payload_bytes` at rate index `rate` and be
+// ACKed (excludes DIFS/backoff, which belong to the MAC).
+[[nodiscard]] Duration wifi_frame_airtime(int rate, int payload_bytes);
+
+// Frame-success probability at `snr` for the chosen rate: a logistic
+// around the rate threshold (mirrors the LTE BLER model so the comparison
+// is apples-to-apples).
+[[nodiscard]] double wifi_frame_error_rate(int rate, Decibels snr);
+
+// True if the link distance exceeds the ACK-timeout ceiling, in which case
+// the MAC cannot complete exchanges regardless of SNR.
+[[nodiscard]] bool beyond_ack_range(double distance_m);
+
+}  // namespace dlte::phy

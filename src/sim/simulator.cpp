@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace dlte::sim {
+
+void Simulator::schedule(Duration delay, Action action) {
+  if (delay.is_negative()) delay = Duration::nanos(0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(TimePoint when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void Simulator::every(Duration period, Action action) {
+  // The lambda reschedules itself; capturing `this` is safe because events
+  // cannot outlive the simulator that owns the queue.
+  auto wrapper = std::make_shared<Action>();
+  *wrapper = [this, period, action = std::move(action), wrapper]() {
+    action();
+    schedule(period, *wrapper);
+  };
+  schedule(period, *wrapper);
+}
+
+Simulator::PeriodicHandle Simulator::every_cancellable(Duration period,
+                                                       Action action) {
+  auto alive = std::make_shared<bool>(true);
+  auto wrapper = std::make_shared<Action>();
+  *wrapper = [this, period, alive, action = std::move(action), wrapper]() {
+    if (!*alive) return;  // Cancelled: stop rescheduling, never call back.
+    action();
+    if (*alive) schedule(period, *wrapper);
+  };
+  schedule(period, *wrapper);
+  return PeriodicHandle{std::move(alive)};
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > deadline) break;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++events_executed_;
+    ev.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++events_executed_;
+    ev.action();
+  }
+}
+
+}  // namespace dlte::sim

@@ -1,0 +1,101 @@
+// Discrete-event simulation engine.
+//
+// Everything in dLTE — radio frames, queue drains, protocol timers, UE
+// movement — is driven from one Simulator instance. Events at equal
+// timestamps execute in scheduling order (a monotone sequence number breaks
+// ties), which keeps runs bit-for-bit reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace dlte::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedule `action` to run `delay` after the current time. Negative
+  // delays are clamped to "immediately after the current event".
+  void schedule(Duration delay, Action action);
+  void schedule_at(TimePoint when, Action action);
+
+  // Cancellation token for a periodic process. Move-only RAII: letting it
+  // die (or calling cancel()) stops the process at its next tick —
+  // components that schedule `this`-capturing periodics MUST hold one so
+  // destruction cannot leave a dangling callback in the queue.
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    explicit PeriodicHandle(std::shared_ptr<bool> alive)
+        : alive_(std::move(alive)) {}
+    PeriodicHandle(const PeriodicHandle&) = delete;
+    PeriodicHandle& operator=(const PeriodicHandle&) = delete;
+    PeriodicHandle(PeriodicHandle&&) = default;
+    PeriodicHandle& operator=(PeriodicHandle&& other) noexcept {
+      cancel();
+      alive_ = std::move(other.alive_);
+      return *this;
+    }
+    ~PeriodicHandle() { cancel(); }
+    void cancel() {
+      if (alive_) *alive_ = false;
+      alive_.reset();
+    }
+
+   private:
+    std::shared_ptr<bool> alive_;
+  };
+
+  // Schedule `action` every `period`, starting one period from now, for
+  // the lifetime of the simulation (for actors that outlive it).
+  void every(Duration period, Action action);
+  // As above, but stops when the returned handle is cancelled/destroyed.
+  [[nodiscard]] PeriodicHandle every_cancellable(Duration period,
+                                                 Action action);
+
+  // Run until the event queue drains or `deadline` passes (whichever is
+  // first). Events scheduled exactly at the deadline still run.
+  void run_until(TimePoint deadline);
+  // Run until the event queue drains entirely.
+  void run_all();
+
+  // Stop after the current event; run_until/run_all return early.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Action action;
+    // Min-heap on (when, seq).
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TimePoint now_{};
+  std::uint64_t next_seq_{0};
+  std::uint64_t events_executed_{0};
+  bool stopped_{false};
+};
+
+}  // namespace dlte::sim

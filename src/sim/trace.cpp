@@ -1,0 +1,65 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+
+namespace dlte::sim {
+
+const char* trace_category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kRegistry:
+      return "registry";
+    case TraceCategory::kAttach:
+      return "attach";
+    case TraceCategory::kCoordination:
+      return "coord";
+    case TraceCategory::kHandover:
+      return "handover";
+    case TraceCategory::kData:
+      return "data";
+    case TraceCategory::kMobility:
+      return "mobility";
+  }
+  return "?";
+}
+
+void TraceLog::record(TraceCategory category, std::string component,
+                      std::string message) {
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{sim_.now(), category, std::move(component),
+                               std::move(message)});
+}
+
+std::vector<const TraceEvent*> TraceLog::by_category(
+    TraceCategory category) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events_) {
+    if (e.category == category) out.push_back(&e);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count(TraceCategory category) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+void TraceLog::print(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << '[' << std::fixed << std::setprecision(3) << std::right
+       << std::setw(9) << e.when.to_seconds() << "s] " << std::left
+       << std::setw(9)
+       << trace_category_name(e.category) << ' ' << e.component << ": "
+       << e.message << '\n';
+  }
+  if (dropped_ > 0) {
+    os << "(" << dropped_ << " older events dropped)\n";
+  }
+}
+
+}  // namespace dlte::sim

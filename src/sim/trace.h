@@ -1,0 +1,65 @@
+// TraceLog: structured event tracing for simulations.
+//
+// Operators of a real dLTE AP need to see what the box decided and when
+// (grants, attaches, share changes, handovers); experiment debugging
+// needs the same. Components record categorized one-line events against
+// the simulated clock into a bounded ring; scenarios filter and print.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace dlte::sim {
+
+enum class TraceCategory {
+  kRegistry,
+  kAttach,
+  kCoordination,
+  kHandover,
+  kData,
+  kMobility,
+};
+
+[[nodiscard]] const char* trace_category_name(TraceCategory category);
+
+struct TraceEvent {
+  TimePoint when;
+  TraceCategory category;
+  std::string component;
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  // `capacity` bounds memory: oldest events are dropped first.
+  explicit TraceLog(const Simulator& sim, std::size_t capacity = 4096)
+      : sim_(sim), capacity_(capacity) {}
+
+  void record(TraceCategory category, std::string component,
+              std::string message);
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::vector<const TraceEvent*> by_category(
+      TraceCategory category) const;
+  [[nodiscard]] std::size_t count(TraceCategory category) const;
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void print(std::ostream& os) const;
+  void clear() { events_.clear(); }
+
+ private:
+  const Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace dlte::sim

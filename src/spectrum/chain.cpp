@@ -1,0 +1,79 @@
+#include "spectrum/chain.h"
+
+#include "common/bytes.h"
+
+namespace dlte::spectrum {
+
+SpectrumChain::SpectrumChain(sim::Simulator& sim, Duration block_interval)
+    : sim_(sim), interval_(block_interval) {
+  // Genesis block.
+  Block genesis;
+  genesis.height = 0;
+  genesis.hash = block_hash(genesis);
+  blocks_.push_back(std::move(genesis));
+}
+
+crypto::Digest256 SpectrumChain::block_hash(const Block& b) {
+  ByteWriter w;
+  w.u64(b.height);
+  w.bytes(b.previous_hash);
+  w.u32(static_cast<std::uint32_t>(b.records.size()));
+  for (const auto& r : b.records) {
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.u32(static_cast<std::uint32_t>(r.payload.size()));
+    w.bytes(r.payload);
+  }
+  return crypto::sha256(w.data());
+}
+
+void SpectrumChain::submit(ChainRecord record, InclusionCallback on_included) {
+  pending_.emplace_back(std::move(record), std::move(on_included));
+}
+
+void SpectrumChain::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.every(interval_, [this] { seal_block(); });
+}
+
+void SpectrumChain::seal_block() {
+  if (pending_.empty()) return;  // No empty blocks.
+  Block b;
+  b.height = blocks_.back().height + 1;
+  b.previous_hash = blocks_.back().hash;
+  std::vector<InclusionCallback> callbacks;
+  for (auto& [record, cb] : pending_) {
+    b.records.push_back(std::move(record));
+    callbacks.push_back(std::move(cb));
+  }
+  pending_.clear();
+  b.hash = block_hash(b);
+  blocks_.push_back(std::move(b));
+  const std::uint64_t height = blocks_.back().height;
+  for (auto& cb : callbacks) {
+    if (cb) cb(height);
+  }
+}
+
+bool SpectrumChain::verify() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (block_hash(blocks_[i]) != blocks_[i].hash) return false;
+    if (i > 0 && blocks_[i].previous_hash != blocks_[i - 1].hash) {
+      return false;
+    }
+    if (blocks_[i].height != i) return false;
+  }
+  return true;
+}
+
+void SpectrumChain::for_each_record(
+    ChainRecordKind kind,
+    const std::function<void(const ChainRecord&)>& visit) const {
+  for (const auto& b : blocks_) {
+    for (const auto& r : b.records) {
+      if (r.kind == kind) visit(r);
+    }
+  }
+}
+
+}  // namespace dlte::spectrum

@@ -1,0 +1,176 @@
+#include "spectrum/coordinator.h"
+
+#include <algorithm>
+
+#include "spectrum/fair_share.h"
+
+namespace dlte::spectrum {
+
+PeerCoordinator::PeerCoordinator(sim::Simulator& sim, net::Network& net,
+                                 NodeId node, CoordinatorConfig config)
+    : sim_(sim), net_(net), node_(node), config_(config) {
+  net_.set_protocol_handler(node_, kX2Protocol, [this](net::Packet&& p) {
+    on_packet(p);
+  });
+}
+
+PeerCoordinator::~PeerCoordinator() {
+  net_.set_protocol_handler(node_, kX2Protocol, nullptr);
+}
+
+void PeerCoordinator::add_peer(ApId ap, NodeId node) {
+  if (ap == config_.ap) return;
+  peers_[ap] = node;
+}
+
+void PeerCoordinator::send_hello(const std::string& operator_contact) {
+  lte::DlteHello hello{config_.ap, config_.mode, operator_contact};
+  broadcast(lte::X2Message{hello});
+}
+
+void PeerCoordinator::set_mode(lte::DlteMode mode) {
+  config_.mode = mode;
+  if (mode == lte::DlteMode::kIsolated) apply_share(1.0);
+}
+
+void PeerCoordinator::start() {
+  if (started_) return;
+  started_ = true;
+  ticker_ = sim_.every_cancellable(config_.report_period, [this] {
+    report_status();
+    maybe_lead_round();
+  });
+}
+
+void PeerCoordinator::send_to(NodeId node, const lte::X2Message& message) {
+  const int size = lte::x2_wire_size(message);
+  net_.send(net::Packet{node_, node, size, kX2Protocol,
+                        lte::encode_x2(message)});
+  ++stats_.messages_sent;
+  stats_.bytes_sent += static_cast<std::uint64_t>(size);
+}
+
+void PeerCoordinator::broadcast(const lte::X2Message& message) {
+  for (const auto& [ap, node] : peers_) send_to(node, message);
+}
+
+void PeerCoordinator::report_status() {
+  if (config_.mode == lte::DlteMode::kIsolated) return;
+  lte::DltePeerStatus status;
+  status.ap = config_.ap;
+  status.mode = config_.mode;
+  status.offered_load = offered_load_;
+  status.prb_utilization = cell_ != nullptr ? cell_->prb_share() : 0.0;
+  status.active_ues =
+      cell_ != nullptr ? static_cast<std::uint32_t>(cell_->ue_ids().size())
+                       : 0;
+  // Record our own status for the leader computation.
+  latest_status_[config_.ap] = status;
+  broadcast(lte::X2Message{status});
+}
+
+bool PeerCoordinator::is_leader() const {
+  // Lowest ApId in the domain leads the round. Deterministic and
+  // leaderless in spirit: any member could compute the same shares.
+  for (const auto& [ap, node] : peers_) {
+    if (ap < config_.ap) return false;
+  }
+  return true;
+}
+
+void PeerCoordinator::maybe_lead_round() {
+  if (config_.mode == lte::DlteMode::kIsolated) return;
+  if (!is_leader()) return;
+  // Need fresh status from every peer before proposing.
+  if (latest_status_.size() < peers_.size() + 1) return;
+
+  std::vector<std::uint32_t> ids;
+  std::vector<double> demands;
+  bool all_cooperative = config_.mode == lte::DlteMode::kCooperative;
+  for (const auto& [ap, status] : latest_status_) {
+    ids.push_back(ap.value());
+    demands.push_back(std::clamp(status.offered_load, 0.0, 1.0));
+    if (status.mode != lte::DlteMode::kCooperative) all_cooperative = false;
+  }
+
+  // Cooperative mode fuses resources (demand-proportional); fair-share
+  // mode guarantees the WiFi-like max-min equilibrium (§4.3).
+  const auto shares = all_cooperative ? proportional_shares(demands)
+                                      : max_min_fair_shares(demands);
+
+  lte::DlteShareProposal proposal;
+  proposal.round = ++round_;
+  proposal.ap_ids = ids;
+  proposal.shares = shares;
+  ++stats_.rounds_led;
+  broadcast(lte::X2Message{proposal});
+  // Apply our own slice directly.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == config_.ap.value()) apply_share(shares[i]);
+  }
+}
+
+void PeerCoordinator::apply_share(double share) {
+  current_share_ = std::clamp(share, 0.0, 1.0);
+  ++stats_.shares_applied;
+  if (cell_ != nullptr) cell_->set_prb_share(current_share_);
+  if (share_observer_) share_observer_(current_share_);
+}
+
+void PeerCoordinator::on_packet(const net::Packet& packet) {
+  auto message = lte::decode_x2(packet.payload);
+  if (!message) return;
+  ++stats_.messages_received;
+
+  if (const auto* hello = std::get_if<lte::DlteHello>(&*message)) {
+    // A new AP announced itself; its reachable node is the packet source.
+    add_peer(hello->ap, packet.src);
+    return;
+  }
+  if (const auto* status = std::get_if<lte::DltePeerStatus>(&*message)) {
+    // Status also (re)establishes peering for APs we had not met yet.
+    latest_status_[status->ap] = *status;
+    if (status->ap != config_.ap) add_peer(status->ap, packet.src);
+    return;
+  }
+  if (const auto* proposal =
+          std::get_if<lte::DlteShareProposal>(&*message)) {
+    for (std::size_t i = 0; i < proposal->ap_ids.size(); ++i) {
+      if (proposal->ap_ids[i] == config_.ap.value() &&
+          i < proposal->shares.size()) {
+        apply_share(proposal->shares[i]);
+        // Acknowledge to the proposer.
+        lte::DlteShareAccept accept{proposal->round, config_.ap};
+        send_to(packet.src, lte::X2Message{accept});
+      }
+    }
+    return;
+  }
+  // Handover family: hand to the registered sink (core::HandoverManager).
+  if (handover_sink_ != nullptr &&
+      (std::holds_alternative<lte::X2HandoverRequest>(*message) ||
+       std::holds_alternative<lte::X2HandoverRequestAck>(*message) ||
+       std::holds_alternative<lte::X2UeContextRelease>(*message))) {
+    handover_sink_(*message, packet.src);
+  }
+}
+
+bool PeerCoordinator::send_to_peer(ApId peer, const lte::X2Message& message) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return false;
+  send_to(it->second, message);
+  return true;
+}
+
+std::optional<NodeId> PeerCoordinator::peer_node(ApId peer) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return std::nullopt;
+  return it->second;
+}
+
+const lte::DltePeerStatus* PeerCoordinator::peer_status(ApId ap) const {
+  const auto it = latest_status_.find(ap);
+  return it == latest_status_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dlte::spectrum

@@ -1,0 +1,126 @@
+// PeerCoordinator: the dLTE X2-over-Internet agent, one per AP.
+//
+// §4.3's operational model made concrete: after the registry hands an AP
+// the membership of its RF contention domain, the coordinators exchange
+// extended-X2 messages over the backhaul Internet path (no carrier core
+// in the loop — the Fig. 1 contrast). Each reporting period every member
+// broadcasts a DltePeerStatus; the lowest ApId acts as round leader,
+// computes the share vector (max-min fair, or demand-proportional when
+// every member opted into cooperative mode), and broadcasts a
+// DlteShareProposal, which members apply to their MAC's PRB quota and
+// acknowledge. "Aside from selecting the mode, all optimization and day
+// to day management is automated."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "lte/x2ap.h"
+#include "mac/lte_cell_mac.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace dlte::spectrum {
+
+// Network protocol tag for X2 traffic.
+inline constexpr std::uint16_t kX2Protocol = 0x5832;  // "X2".
+
+struct CoordinatorConfig {
+  ApId ap;
+  lte::DlteMode mode{lte::DlteMode::kFairShare};
+  Duration report_period{Duration::seconds(1.0)};
+};
+
+struct CoordinatorStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t messages_received{0};
+  std::uint64_t rounds_led{0};
+  std::uint64_t shares_applied{0};
+};
+
+class PeerCoordinator {
+ public:
+  PeerCoordinator(sim::Simulator& sim, net::Network& net, NodeId node,
+                  CoordinatorConfig config);
+  // Unregisters the node's X2 handler: a torn-down AP must not leave a
+  // dangling callback behind in the network.
+  ~PeerCoordinator();
+  PeerCoordinator(const PeerCoordinator&) = delete;
+  PeerCoordinator& operator=(const PeerCoordinator&) = delete;
+
+  // The cell whose PRB quota this coordinator manages (optional: C7
+  // measures pure protocol overhead without a cell attached).
+  void attach_cell(mac::LteCellMac* cell) { cell_ = cell; }
+
+  void add_peer(ApId ap, NodeId node);
+  // Announce ourselves to all known peers (the joining AP's side of
+  // organic expansion); receivers add us to their peer set automatically.
+  void send_hello(const std::string& operator_contact);
+  void set_offered_load(double load) { offered_load_ = load; }
+  void set_mode(lte::DlteMode mode);
+
+  // Begin periodic status reporting + share rounds.
+  void start();
+
+  // Cooperative-mode handover transport: X2 handover messages ride the
+  // same peer links. The owner (core::HandoverManager) registers a sink;
+  // unhandled X2 kinds are silently dropped as before.
+  using HandoverSink =
+      std::function<void(const lte::X2Message&, NodeId from)>;
+  void set_handover_sink(HandoverSink sink) {
+    handover_sink_ = std::move(sink);
+  }
+  // Send an arbitrary X2 message to a peer AP (by id) or node.
+  bool send_to_peer(ApId peer, const lte::X2Message& message);
+  void send_to_node(NodeId node, const lte::X2Message& message) {
+    send_to(node, message);
+  }
+  [[nodiscard]] std::optional<NodeId> peer_node(ApId peer) const;
+
+  // Observe every applied share change (tracing/metrics hook).
+  void set_share_observer(std::function<void(double)> observer) {
+    share_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] double current_share() const { return current_share_; }
+  [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
+  [[nodiscard]] lte::DlteMode mode() const { return config_.mode; }
+  [[nodiscard]] ApId ap() const { return config_.ap; }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  // Latest status heard from a peer (used by cooperative client
+  // assignment in core/).
+  [[nodiscard]] const lte::DltePeerStatus* peer_status(ApId ap) const;
+
+ private:
+  void on_packet(const net::Packet& packet);
+  void send_to(NodeId node, const lte::X2Message& message);
+  void broadcast(const lte::X2Message& message);
+  void report_status();
+  void maybe_lead_round();
+  [[nodiscard]] bool is_leader() const;
+  void apply_share(double share);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId node_;
+  CoordinatorConfig config_;
+  mac::LteCellMac* cell_{nullptr};
+  // Demand defaults to "full": an AP that never reports its load must not
+  // be allocated zero spectrum by its own coordinator.
+  double offered_load_{1.0};
+  double current_share_{1.0};
+  std::uint32_t round_{0};
+  bool started_{false};
+
+  sim::Simulator::PeriodicHandle ticker_;
+  std::map<ApId, NodeId> peers_;
+  std::map<ApId, lte::DltePeerStatus> latest_status_;
+  HandoverSink handover_sink_;
+  std::function<void(double)> share_observer_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace dlte::spectrum

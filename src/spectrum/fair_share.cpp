@@ -1,0 +1,57 @@
+#include "spectrum/fair_share.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dlte::spectrum {
+
+std::vector<double> max_min_fair_shares(std::span<const double> demands) {
+  const std::size_t n = demands.size();
+  std::vector<double> shares(n, 0.0);
+  if (n == 0) return shares;
+
+  // Water-filling: repeatedly satisfy every unsatisfied demand below the
+  // equal split of the remaining capacity.
+  std::vector<bool> satisfied(n, false);
+  double capacity = 1.0;
+  std::size_t remaining = n;
+  for (;;) {
+    const double level = capacity / static_cast<double>(remaining);
+    bool progressed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (satisfied[i]) continue;
+      if (demands[i] <= level) {
+        shares[i] = std::max(demands[i], 0.0);
+        capacity -= shares[i];
+        satisfied[i] = true;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (remaining == 0) break;
+    if (!progressed) {
+      // Everyone left wants more than the level: equal split.
+      const double each = capacity / static_cast<double>(remaining);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!satisfied[i]) shares[i] = each;
+      }
+      break;
+    }
+  }
+  return shares;
+}
+
+std::vector<double> proportional_shares(std::span<const double> demands) {
+  const std::size_t n = demands.size();
+  std::vector<double> shares(n, 0.0);
+  const double total = std::accumulate(demands.begin(), demands.end(), 0.0);
+  if (total <= 0.0) return shares;
+  const double scale = std::min(1.0, 1.0 / total);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i] = std::max(demands[i], 0.0) * (total > 1.0 ? scale : 1.0);
+    shares[i] = std::min(shares[i], std::max(demands[i], 0.0));
+  }
+  return shares;
+}
+
+}  // namespace dlte::spectrum

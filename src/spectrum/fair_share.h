@@ -1,0 +1,31 @@
+// Fair time-frequency sharing: the allocation math of dLTE's default mode.
+//
+// §4.3: in fair-sharing mode APs "programatically coordinate the bare
+// minimum of fair time-frequency sharing of the underlying RF resource …
+// more efficiently achieving an equilibrium with similar fairness
+// characteristics to what WiFi achieves today." The allocation is
+// max-min fair (water-filling) over the APs' offered loads: lightly
+// loaded APs get what they ask, the rest split the remainder equally —
+// unlike CSMA, no airtime is burnt on collisions to find the split.
+//
+// Cooperative mode instead allocates proportionally to demand, modelling
+// joint optimization that lets a busy AP borrow from an idle neighbor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dlte::spectrum {
+
+// Max-min fair split of one unit of spectrum across `demands` (each in
+// [0, 1]). Returns one share per demand; sum(shares) ≤ 1, share_i ≤
+// demand_i, and no share can grow without shrinking a smaller one.
+[[nodiscard]] std::vector<double> max_min_fair_shares(
+    std::span<const double> demands);
+
+// Demand-proportional split (cooperative mode): share_i =
+// demand_i / sum(demands), capped at demand_i, idle capacity unassigned.
+[[nodiscard]] std::vector<double> proportional_shares(
+    std::span<const double> demands);
+
+}  // namespace dlte::spectrum

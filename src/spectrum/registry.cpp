@@ -1,0 +1,215 @@
+#include "spectrum/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "phy/propagation.h"
+#include "spectrum/chain.h"
+
+namespace dlte::spectrum {
+namespace {
+// Chain record payload for a grant: the fields an auditor needs.
+std::vector<std::uint8_t> encode_grant_record(const GrantRequest& r) {
+  ByteWriter w;
+  w.u32(r.ap.value());
+  w.f64(r.location.x_m);
+  w.f64(r.location.y_m);
+  w.f64(r.center_frequency.hz());
+  w.f64(r.bandwidth.hz());
+  w.f64(r.max_eirp.value());
+  w.str(r.operator_contact);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_key_record(const epc::PublishedKeys& k) {
+  ByteWriter w;
+  w.u64(k.imsi.value());
+  w.bytes(k.k);
+  w.bytes(k.opc);
+  return w.take();
+}
+}  // namespace
+}  // namespace dlte::spectrum
+
+namespace dlte::spectrum {
+
+RegistryLatency registry_latency(RegistryKind kind) {
+  switch (kind) {
+    case RegistryKind::kCentralizedSas:
+      // CBRS SAS-class cloud service.
+      return {Duration::millis(50), Duration::millis(200)};
+    case RegistryKind::kFederated:
+      // DNS-like: one referral hop on top of the authoritative query.
+      return {Duration::millis(120), Duration::millis(350)};
+    case RegistryKind::kBlockchain:
+      // Read from a local replica is cheap-ish; a commit waits for block
+      // inclusion (Kotobi & Bilén-style chain, ~1 min block interval).
+      return {Duration::millis(400), Duration::seconds(60.0)};
+  }
+  return {};
+}
+
+double interference_range_m(const SpectrumGrant& grant) {
+  // Find where EIRP - pathloss = -100 dBm under the band's rural model.
+  const auto model = phy::make_rural_model(grant.center_frequency);
+  constexpr double kThresholdDbm = -100.0;
+  double lo = 100.0, hi = 200'000.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const phy::LinkGeometry geo{mid, 30.0, 1.5};
+    const double rx =
+        grant.max_eirp.value() -
+        model->path_loss(grant.center_frequency, geo).value();
+    if (rx > kThresholdDbm) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Registry::Registry(sim::Simulator& sim, RegistryKind kind)
+    : sim_(sim), kind_(kind) {}
+
+void Registry::attach_chain(SpectrumChain* chain) {
+  chain_ = chain;
+  if (chain_ != nullptr) chain_->start();
+}
+
+bool Registry::co_channel(const SpectrumGrant& a,
+                          const SpectrumGrant& b) const {
+  const double half = (a.bandwidth.hz() + b.bandwidth.hz()) / 2.0;
+  return std::abs(a.center_frequency.hz() - b.center_frequency.hz()) < half;
+}
+
+Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
+  if (request.operator_contact.empty()) {
+    return fail("grant requires an operator contact for recourse");
+  }
+  if (request.bandwidth.hz() <= 0.0) {
+    return fail("grant requires positive bandwidth");
+  }
+  SpectrumGrant g;
+  g.id = GrantId{next_grant_++};
+  g.ap = request.ap;
+  g.location = request.location;
+  g.center_frequency = request.center_frequency;
+  g.bandwidth = request.bandwidth;
+  g.max_eirp = request.max_eirp;
+  g.operator_contact = request.operator_contact;
+  g.secondary_use = request.secondary_use;
+  g.coordination_node = request.coordination_node;
+  if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
+  grants_.push_back(g);
+  return g;
+}
+
+Status<> Registry::heartbeat(GrantId id) {
+  prune_expired();
+  for (auto& g : grants_) {
+    if (g.id == id) {
+      if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
+      return {};
+    }
+  }
+  return fail("grant lapsed or unknown: re-apply");
+}
+
+void Registry::prune_expired() {
+  const TimePoint now = sim_.now();
+  const auto first_dead = std::remove_if(
+      grants_.begin(), grants_.end(), [&](const SpectrumGrant& g) {
+        return g.expires_at.ns() != 0 && g.expires_at < now;
+      });
+  lapsed_ += static_cast<std::uint64_t>(grants_.end() - first_dead);
+  grants_.erase(first_dead, grants_.end());
+}
+
+void Registry::request_grant(GrantRequest request, GrantCallback callback) {
+  if (kind_ == RegistryKind::kBlockchain && chain_ != nullptr) {
+    // Commit-by-inclusion: the grant becomes effective when the record is
+    // sealed into a block.
+    auto record_payload = encode_grant_record(request);
+    chain_->submit(
+        ChainRecord{ChainRecordKind::kGrant, std::move(record_payload)},
+        [this, request = std::move(request),
+         callback = std::move(callback)](std::uint64_t) mutable {
+          callback(grant_now(std::move(request)));
+        });
+    return;
+  }
+  const auto latency = registry_latency(kind_);
+  sim_.schedule(latency.commit,
+                [this, request = std::move(request),
+                 callback = std::move(callback)]() mutable {
+                  callback(grant_now(std::move(request)));
+                });
+}
+
+std::vector<SpectrumGrant> Registry::grants_near(Position location) const {
+  const_cast<Registry*>(this)->prune_expired();
+  std::vector<SpectrumGrant> out;
+  for (const auto& g : grants_) {
+    if (distance_m(g.location, location) <= interference_range_m(g)) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+void Registry::query_region(Position location, QueryCallback callback) {
+  const auto latency = registry_latency(kind_);
+  sim_.schedule(latency.query, [this, location,
+                                callback = std::move(callback)] {
+    callback(grants_near(location));
+  });
+}
+
+void Registry::revoke(GrantId id) {
+  grants_.erase(std::remove_if(grants_.begin(), grants_.end(),
+                               [&](const SpectrumGrant& g) {
+                                 return g.id == id;
+                               }),
+                grants_.end());
+}
+
+std::vector<SpectrumGrant> Registry::contention_domain(
+    const SpectrumGrant& grant) const {
+  const_cast<Registry*>(this)->prune_expired();
+  std::vector<SpectrumGrant> out;
+  const double own_range = interference_range_m(grant);
+  for (const auto& g : grants_) {
+    if (g.id == grant.id) continue;
+    if (!co_channel(grant, g)) continue;
+    const double reach = std::max(own_range, interference_range_m(g));
+    if (distance_m(g.location, grant.location) <= reach) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+void Registry::publish_subscriber(const epc::PublishedKeys& keys) {
+  if (chain_ != nullptr) {
+    chain_->submit(
+        ChainRecord{ChainRecordKind::kSubscriberKey, encode_key_record(keys)});
+  }
+  for (auto& existing : published_) {
+    if (existing.imsi == keys.imsi) {
+      existing = keys;
+      return;
+    }
+  }
+  published_.push_back(keys);
+}
+
+Result<epc::PublishedKeys> Registry::lookup_subscriber(Imsi imsi) const {
+  for (const auto& k : published_) {
+    if (k.imsi == imsi) return k;
+  }
+  return fail("subscriber not published");
+}
+
+}  // namespace dlte::spectrum

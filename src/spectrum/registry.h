@@ -1,0 +1,151 @@
+// The open spectrum registry: licensing, peer discovery, key publication.
+//
+// §4.3: "a lightweight open public license database for peer discovery" —
+// the registry ensures all transmitters in a band are known (killing the
+// hidden-terminal problem at the planning level), records a contact for
+// human recourse, and — in dLTE's open-identity flow — hosts published
+// subscriber keys (§4.2). Three designs from the paper/related work are
+// modelled, differing in query/commit latency and trust topology:
+//
+//   * Centralized SAS  — CBRS-style cloud service, fast, single operator.
+//   * Federated        — DNS-like zone referral, one extra lookup hop.
+//   * Blockchain       — no central trust; commits wait for a block.
+//
+// The registry holds state synchronously; latency is modelled at the
+// async facade (request_grant / query_region) through the simulator.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/geo.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/units.h"
+#include "epc/hss.h"
+#include "sim/simulator.h"
+
+namespace dlte::spectrum {
+
+enum class RegistryKind { kCentralizedSas, kFederated, kBlockchain };
+
+struct SpectrumGrant {
+  GrantId id;
+  ApId ap;
+  Position location;
+  Hertz center_frequency;
+  Hertz bandwidth;
+  PowerDbm max_eirp{PowerDbm{52.0}};
+  // §4.3: "recourse for operators to resolve issues via such traditional
+  // means as face to face discussion or email."
+  std::string operator_contact;
+  // §5: the Papua deployment runs under a permissive secondary-use
+  // non-compete license.
+  bool secondary_use{false};
+  NodeId coordination_node;  // Where the AP's X2 agent is reachable.
+  // SAS-style lease end; renewed by heartbeat. Zero ns = perpetual.
+  TimePoint expires_at{};
+};
+
+struct GrantRequest {
+  ApId ap;
+  Position location;
+  Hertz center_frequency;
+  Hertz bandwidth;
+  PowerDbm max_eirp{PowerDbm{52.0}};
+  std::string operator_contact;
+  bool secondary_use{false};
+  NodeId coordination_node;
+};
+
+struct RegistryLatency {
+  Duration query{};
+  Duration commit{};
+};
+
+// Characteristic service times per design (used by the facade and
+// reported in the C6 registry sub-table).
+[[nodiscard]] RegistryLatency registry_latency(RegistryKind kind);
+
+// Predicted interference reach of a grant: the distance at which its
+// signal falls to the -100 dBm coordination threshold under the rural
+// model for its band. Grants whose reaches overlap are put in the same
+// contention domain.
+[[nodiscard]] double interference_range_m(const SpectrumGrant& grant);
+
+class SpectrumChain;
+
+class Registry {
+ public:
+  Registry(sim::Simulator& sim, RegistryKind kind);
+
+  [[nodiscard]] RegistryKind kind() const { return kind_; }
+
+  // Back a kBlockchain registry with a real chain: grants then commit by
+  // block inclusion (latency = the chain's block interval) and every
+  // grant/key leaves a tamper-evident record. Without a chain attached,
+  // the blockchain variant falls back to the fixed latency model.
+  void attach_chain(SpectrumChain* chain);
+  [[nodiscard]] bool chain_backed() const { return chain_ != nullptr; }
+
+  // --- Async facade (latency-modelled) ---------------------------------
+  using GrantCallback = std::function<void(Result<SpectrumGrant>)>;
+  using QueryCallback = std::function<void(std::vector<SpectrumGrant>)>;
+
+  // Apply for a license. Open admission (§4.3): any conforming request is
+  // granted; the only rejections are malformed requests (no contact — the
+  // registry's recourse mechanism is mandatory).
+  void request_grant(GrantRequest request, GrantCallback callback);
+
+  // All grants whose interference reach touches the queried location.
+  void query_region(Position location, QueryCallback callback);
+
+  void revoke(GrantId id);
+
+  // --- Lease lifecycle (CBRS-style heartbeats) --------------------------
+  // Grants issued after this call carry a lease of `lifetime` and must be
+  // renewed by heartbeat, or they lapse and vanish from queries — a dead
+  // AP cannot haunt its neighbours' contention domains (§7's ecosystem-
+  // health concern). Zero restores perpetual grants (the default).
+  void set_grant_lifetime(Duration lifetime) { lifetime_ = lifetime; }
+  [[nodiscard]] Duration grant_lifetime() const { return lifetime_; }
+  [[nodiscard]] Status<> heartbeat(GrantId id);
+  // Drop lapsed grants now (also happens lazily inside queries).
+  void prune_expired();
+  [[nodiscard]] std::uint64_t grants_lapsed() const { return lapsed_; }
+
+  // --- Synchronous accessors (no latency; used by tests/benches) -------
+  [[nodiscard]] Result<SpectrumGrant> grant_now(GrantRequest request);
+  [[nodiscard]] std::vector<SpectrumGrant> grants_near(
+      Position location) const;
+  [[nodiscard]] std::vector<SpectrumGrant> contention_domain(
+      const SpectrumGrant& grant) const;
+  [[nodiscard]] std::size_t grant_count() const { return grants_.size(); }
+
+  // --- Open-identity key publication (§4.2) ----------------------------
+  void publish_subscriber(const epc::PublishedKeys& keys);
+  [[nodiscard]] Result<epc::PublishedKeys> lookup_subscriber(Imsi imsi) const;
+  [[nodiscard]] const std::vector<epc::PublishedKeys>&
+  published_subscribers() const {
+    return published_;
+  }
+  [[nodiscard]] std::size_t published_subscriber_count() const {
+    return published_.size();
+  }
+
+ private:
+  [[nodiscard]] bool co_channel(const SpectrumGrant& a,
+                                const SpectrumGrant& b) const;
+
+  sim::Simulator& sim_;
+  RegistryKind kind_;
+  SpectrumChain* chain_{nullptr};
+  Duration lifetime_{};  // Zero: perpetual grants.
+  std::vector<SpectrumGrant> grants_;
+  std::vector<epc::PublishedKeys> published_;
+  std::uint64_t next_grant_{1};
+  std::uint64_t lapsed_{0};
+};
+
+}  // namespace dlte::spectrum

@@ -1,0 +1,40 @@
+#include "ue/mobility.h"
+
+namespace dlte::ue {
+
+RandomWaypointMobility::RandomWaypointMobility(Position origin, double width_m,
+                                               double height_m,
+                                               double speed_mps,
+                                               sim::RngStream rng)
+    : origin_(origin),
+      width_(width_m),
+      height_(height_m),
+      speed_(speed_mps),
+      rng_(std::move(rng)) {
+  pos_ = Position{origin_.x_m + rng_.uniform(0.0, width_),
+                  origin_.y_m + rng_.uniform(0.0, height_)};
+  pick_waypoint();
+}
+
+void RandomWaypointMobility::pick_waypoint() {
+  waypoint_ = Position{origin_.x_m + rng_.uniform(0.0, width_),
+                       origin_.y_m + rng_.uniform(0.0, height_)};
+}
+
+Position RandomWaypointMobility::advance(Duration dt) {
+  double budget = speed_ * dt.to_seconds();
+  while (budget > 0.0) {
+    const double dist = distance_m(pos_, waypoint_);
+    if (dist <= budget) {
+      pos_ = waypoint_;
+      budget -= dist;
+      pick_waypoint();
+    } else {
+      pos_ = lerp(pos_, waypoint_, budget / dist);
+      budget = 0.0;
+    }
+  }
+  return pos_;
+}
+
+}  // namespace dlte::ue

@@ -1,0 +1,61 @@
+// Client-side NAS state machine: what a standard handset's modem runs.
+//
+// The dLTE compatibility requirement (§4.1) is that this machine — which
+// we do not get to modify on real phones — completes successfully against
+// the local core stub. It therefore implements the strict EPS-AKA
+// dialogue with no dLTE-specific shortcuts.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lte/nas.h"
+#include "ue/usim.h"
+
+namespace dlte::ue {
+
+enum class NasClientState {
+  kIdle,
+  kAwaitingAuth,
+  kAwaitingSecurityMode,
+  kAwaitingAccept,
+  kRegistered,
+  kRejected,
+};
+
+class NasClient {
+ public:
+  // `serving_network_id` comes from the cell broadcast of the network the
+  // UE is camping on — it keys the session to this network.
+  NasClient(Usim usim, std::string serving_network_id);
+
+  // Begin attach: returns the AttachRequest to send up.
+  [[nodiscard]] lte::NasMessage start_attach();
+
+  // Feed a downlink NAS message; returns the uplink reply, if any.
+  [[nodiscard]] std::optional<lte::NasMessage> handle(
+      const lte::NasMessage& message);
+
+  // Reset to idle (e.g. after moving to a new AP: in dLTE the UE simply
+  // re-attaches at the new cell).
+  void reset(std::string new_serving_network_id);
+
+  [[nodiscard]] NasClientState state() const { return state_; }
+  [[nodiscard]] bool registered() const {
+    return state_ == NasClientState::kRegistered;
+  }
+  [[nodiscard]] std::uint32_t ue_ip() const { return ue_ip_; }
+  [[nodiscard]] Tmsi tmsi() const { return tmsi_; }
+  [[nodiscard]] const crypto::Kasme& kasme() const { return kasme_; }
+  [[nodiscard]] const Usim& usim() const { return usim_; }
+
+ private:
+  Usim usim_;
+  std::string serving_network_id_;
+  NasClientState state_{NasClientState::kIdle};
+  crypto::Kasme kasme_{};
+  std::uint32_t ue_ip_{0};
+  Tmsi tmsi_{0};
+};
+
+}  // namespace dlte::ue

@@ -1,0 +1,43 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_map>
+
+namespace dlte {
+namespace {
+
+TEST(StrongId, DefaultIsZero) {
+  Imsi i;
+  EXPECT_EQ(i.value(), 0u);
+}
+
+TEST(StrongId, ComparesByValue) {
+  Imsi a{100}, b{100}, c{200};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_GE(c, b);
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<Imsi, Teid>);
+  static_assert(!std::is_same_v<CellId, ApId>);
+  static_assert(!std::is_convertible_v<Imsi, Teid>);
+}
+
+TEST(StrongId, UsableAsUnorderedMapKey) {
+  std::unordered_map<Imsi, int> m;
+  m[Imsi{310170123456789ULL}] = 7;
+  EXPECT_EQ(m.at(Imsi{310170123456789ULL}), 7);
+}
+
+TEST(StrongId, NarrowRepRoundTrips) {
+  BearerId b{5};
+  EXPECT_EQ(b.value(), 5);
+  static_assert(std::is_same_v<BearerId::rep_type, std::uint8_t>);
+}
+
+}  // namespace
+}  // namespace dlte

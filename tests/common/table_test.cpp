@@ -1,0 +1,46 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dlte {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t{{"arch", "throughput"}};
+  t.row().add("dLTE").num(12.5, 1, "Mb/s");
+  t.row().add("legacy-wifi").num(3.0, 1, "Mb/s");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| arch "), std::string::npos);
+  EXPECT_NE(out.find("| dLTE "), std::string::npos);
+  EXPECT_NE(out.find("12.5 Mb/s"), std::string::npos);
+  // Every data line should have the same length (alignment).
+  std::istringstream is{out};
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TextTable, IntegerAndMissingCells) {
+  TextTable t{{"a", "b", "c"}};
+  t.row().integer(42);  // Short row: remaining cells blank.
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(BenchHeader, ContainsExperimentId) {
+  std::ostringstream os;
+  print_bench_header(os, "C1", "paper §3.2", "LTE outranges WiFi");
+  EXPECT_NE(os.str().find("Experiment C1"), std::string::npos);
+  EXPECT_NE(os.str().find("§3.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlte

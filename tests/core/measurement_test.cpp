@@ -1,0 +1,205 @@
+// A3 measurement events and the full measurement→handover loop.
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include "core/handover.h"
+#include "lte/rrc.h"
+#include "ue/mobility.h"
+
+namespace dlte::core {
+namespace {
+
+// RRC codec coverage lives here next to its consumer.
+TEST(RrcCodec, AllMessagesRoundTrip) {
+  using lte::RrcMessage;
+  std::vector<RrcMessage> msgs{
+      lte::RrcConnectionRequest{Tmsi{9}, 2},
+      lte::RrcConnectionSetup{1},
+      lte::RrcConnectionSetupComplete{{1, 2, 3}},
+      lte::RrcMeasurementConfig{2.5, 480, 40},
+      lte::RrcMeasurementReport{CellId{1}, -90.5, CellId{2}, -85.0},
+      lte::RrcConnectionReconfiguration{true, CellId{2}},
+      lte::RrcConnectionReconfigurationComplete{CellId{2}},
+      lte::RrcConnectionRelease{},
+  };
+  for (const auto& m : msgs) {
+    const auto bytes = lte::encode_rrc(m);
+    auto back = lte::decode_rrc(bytes);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->index(), m.index());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_FALSE(lte::decode_rrc(std::span(bytes.data(), cut)).ok());
+    }
+  }
+  const auto report = std::get<lte::RrcMeasurementReport>(
+      *lte::decode_rrc(lte::encode_rrc(msgs[4])));
+  EXPECT_DOUBLE_EQ(report.neighbor_rsrp_dbm, -85.0);
+}
+
+struct Field {
+  sim::Simulator sim;
+  RadioEnvironment radio;
+
+  Field() {
+    radio.add_cell(CellSiteConfig{CellId{1}, Position{0.0, 0.0}});
+    radio.add_cell(CellSiteConfig{CellId{2}, Position{10'000.0, 0.0}});
+  }
+  void run_for(double s) { sim.run_until(sim.now() + Duration::seconds(s)); }
+};
+
+TEST(Measurement, StaticUeNearServingNeverTriggers) {
+  Field f;
+  UeDevice ue{ue::SimProfile{},
+              std::make_unique<ue::StaticMobility>(Position{1'000.0, 0.0})};
+  MeasurementEngine eng{f.sim, f.radio, lte::RrcMeasurementConfig{}};
+  int reports = 0;
+  eng.start(ue, CellId{1},
+            [&](const lte::RrcMeasurementReport&) { ++reports; });
+  f.run_for(10.0);
+  EXPECT_EQ(reports, 0);
+}
+
+TEST(Measurement, MovingUeTriggersPastMidpoint) {
+  Field f;
+  // Drive from cell 1 toward cell 2 at 20 m/s; tie position to sim time.
+  auto mobility = std::make_unique<ue::LinearMobility>(
+      Position{2'000.0, 0.0}, 20.0, 0.0);
+  ue::LinearMobility* mob = mobility.get();
+  UeDevice ue{ue::SimProfile{}, std::move(mobility)};
+  f.sim.every(Duration::millis(40), [&] {
+    mob->advance(Duration::millis(40));
+  });
+
+  MeasurementEngine eng{f.sim, f.radio, lte::RrcMeasurementConfig{}};
+  std::optional<lte::RrcMeasurementReport> report;
+  eng.start(ue, CellId{1}, [&](const lte::RrcMeasurementReport& r) {
+    report = r;
+  });
+  f.run_for(400.0);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->serving, CellId{1});
+  EXPECT_EQ(report->neighbor, CellId{2});
+  // Neighbour must actually be offset-better at trigger time.
+  EXPECT_GT(report->neighbor_rsrp_dbm, report->serving_rsrp_dbm + 2.9);
+  // Trigger point sits past the midpoint (5 km) — hysteresis.
+  EXPECT_GT(ue.position().x_m, 5'000.0);
+  EXPECT_EQ(eng.reports_fired(), 1);  // Once, then disarmed.
+}
+
+TEST(Measurement, RearmsAfterServingChange) {
+  Field f;
+  f.radio.add_cell(CellSiteConfig{CellId{3}, Position{20'000.0, 0.0}});
+  auto mobility = std::make_unique<ue::LinearMobility>(
+      Position{2'000.0, 0.0}, 50.0, 0.0);
+  ue::LinearMobility* mob = mobility.get();
+  UeDevice ue{ue::SimProfile{}, std::move(mobility)};
+  f.sim.every(Duration::millis(40), [&] {
+    mob->advance(Duration::millis(40));
+  });
+  MeasurementEngine eng{f.sim, f.radio, lte::RrcMeasurementConfig{}};
+  std::vector<CellId> targets;
+  eng.start(ue, CellId{1}, [&](const lte::RrcMeasurementReport& r) {
+    targets.push_back(r.neighbor);
+    eng.set_serving(r.neighbor);  // Handover happens; re-arm.
+  });
+  f.run_for(400.0);  // Crosses 1→2 and 2→3.
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0], CellId{2});
+  EXPECT_EQ(targets[1], CellId{3});
+}
+
+TEST(Measurement, TimeToTriggerSuppressesBriefExcursions) {
+  Field f;
+  // A UE that dips into cell 2's advantage area for less than TTT.
+  auto mobility = std::make_unique<ue::StaticMobility>(
+      Position{6'000.0, 0.0});  // Past midpoint: A3 condition holds.
+  UeDevice ue{ue::SimProfile{}, std::move(mobility)};
+  lte::RrcMeasurementConfig cfg;
+  cfg.time_to_trigger_ms = 2'000;  // Long TTT.
+  MeasurementEngine eng{f.sim, f.radio, cfg};
+  int reports = 0;
+  eng.start(ue, CellId{1},
+            [&](const lte::RrcMeasurementReport&) { ++reports; });
+  f.run_for(1.0);  // Less than TTT.
+  EXPECT_EQ(reports, 0);
+  f.run_for(2.0);  // Now past TTT.
+  EXPECT_EQ(reports, 1);
+}
+
+// The full loop: measurement event → cooperative X2 handover → adopt at
+// target → measurements re-armed at the new serving cell.
+TEST(Measurement, DrivesCooperativeHandover) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  RadioEnvironment radio;
+  spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
+  const NodeId internet = net.add_node("internet");
+
+  std::vector<std::unique_ptr<DlteAccessPoint>> aps;
+  std::vector<std::unique_ptr<HandoverManager>> managers;
+  for (std::uint32_t id : {1u, 2u}) {
+    const NodeId node = net.add_node("ap" + std::to_string(id));
+    net.add_link(node, internet,
+                 net::LinkConfig{DataRate::mbps(50.0), Duration::millis(15)});
+    ApConfig cfg;
+    cfg.id = ApId{id};
+    cfg.cell = CellId{id};
+    cfg.position = Position{(id - 1) * 10'000.0, 0.0};
+    cfg.mode = lte::DlteMode::kCooperative;
+    cfg.seed = id;
+    aps.push_back(
+        std::make_unique<DlteAccessPoint>(sim, net, node, radio, cfg));
+    managers.push_back(std::make_unique<HandoverManager>(sim, *aps.back()));
+  }
+  for (auto& ap : aps) ap->bring_up(registry);
+  sim.run_until(sim.now() + Duration::seconds(2.0));
+
+  crypto::Key128 k{};
+  k[0] = 0x11;
+  crypto::Block128 op{};
+  op[0] = 0xcd;
+  registry.publish_subscriber(
+      epc::PublishedKeys{Imsi{42}, k, crypto::derive_opc(k, op)});
+  for (auto& ap : aps) ap->import_published_subscribers(registry);
+
+  auto mobility = std::make_unique<ue::LinearMobility>(
+      Position{2'000.0, 0.0}, 25.0, 0.0);
+  ue::LinearMobility* mob = mobility.get();
+  UeDevice car{ue::SimProfile{Imsi{42}, k, crypto::derive_opc(k, op), true,
+                              "car"},
+               std::move(mobility)};
+  sim.every(Duration::millis(40), [&] { mob->advance(Duration::millis(40)); });
+
+  bool attached = false;
+  aps[0]->attach(car, mac::UeTrafficConfig{.full_buffer = true},
+                 [&](AttachOutcome o) { attached = o.success; });
+  sim.run_until(sim.now() + Duration::seconds(2.0));
+  ASSERT_TRUE(attached);
+
+  MeasurementEngine eng{sim, radio, lte::RrcMeasurementConfig{}};
+  std::optional<HandoverOutcome> ho;
+  eng.start(car, CellId{1}, [&](const lte::RrcMeasurementReport& r) {
+    managers[0]->initiate(car, ApId{r.neighbor.value()},
+                          mac::UeTrafficConfig{.full_buffer = true},
+                          [&](HandoverOutcome o) {
+                            ho = o;
+                            if (o.success) {
+                              aps[1]->adopt_ue(
+                                  car, mac::UeTrafficConfig{
+                                           .full_buffer = true});
+                              eng.set_serving(CellId{2});
+                            }
+                          });
+  });
+  sim.run_until(sim.now() + Duration::seconds(400.0));
+
+  ASSERT_TRUE(ho.has_value());
+  EXPECT_TRUE(ho->success);
+  EXPECT_TRUE(aps[1]->core().mme().is_registered(Imsi{42}));
+  EXPECT_FALSE(aps[0]->core().mme().is_registered(Imsi{42}));
+  EXPECT_EQ(eng.serving(), CellId{2});
+}
+
+}  // namespace
+}  // namespace dlte::core

@@ -1,0 +1,144 @@
+// ECM-idle + paging: a function every standard handset expects from its
+// core (§4.1), with the stub-vs-tracking-area cost contrast.
+#include <gtest/gtest.h>
+
+#include "core/enodeb.h"
+#include "core/s1_fabric.h"
+#include "epc/epc.h"
+#include "ue/nas_client.h"
+
+namespace dlte::core {
+namespace {
+
+crypto::Key128 key_for(std::uint64_t imsi) {
+  crypto::Key128 k{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    k[i] = static_cast<std::uint8_t>(imsi + i);
+  }
+  return k;
+}
+
+const crypto::Block128 kOp = [] {
+  crypto::Block128 op{};
+  op[0] = 0xcd;
+  return op;
+}();
+
+struct Rig {
+  sim::Simulator sim;
+  epc::EpcCore core;
+  S1Fabric fabric;
+  std::vector<std::unique_ptr<EnodeB>> enbs;
+
+  explicit Rig(int n_cells, std::vector<CellId> tracking_area = {})
+      : core(sim,
+             [&] {
+               epc::EpcConfig c;
+               c.network_id = "n";
+               c.mme.tracking_area = std::move(tracking_area);
+               return c;
+             }(),
+             sim::RngStream{6}),
+        fabric(sim, core.mme()) {
+    for (int i = 0; i < n_cells; ++i) {
+      const CellId cell{static_cast<std::uint32_t>(i + 1)};
+      enbs.push_back(std::make_unique<EnodeB>(
+          sim, fabric, EnbConfig{.cell = cell}));
+      EnodeB* enb = enbs.back().get();
+      fabric.register_enb_direct(cell, Duration::micros(50),
+                                 [enb](const lte::S1apMessage& m) {
+                                   enb->on_s1ap(m);
+                                 });
+    }
+  }
+
+  ue::NasClient make_client(std::uint64_t imsi) {
+    core.hss().provision(Imsi{imsi}, key_for(imsi), kOp);
+    ue::SimProfile p{Imsi{imsi}, key_for(imsi),
+                     crypto::derive_opc(key_for(imsi), kOp), true, "t"};
+    return ue::NasClient{ue::Usim{p}, "n"};
+  }
+};
+
+TEST(Paging, IdleUeWakesOnPage) {
+  Rig rig{1};
+  auto client = rig.make_client(800001);
+  bool attached = false;
+  rig.enbs[0]->attach_ue(client, [&](AttachOutcome o) {
+    attached = o.success;
+  });
+  rig.sim.run_all();
+  ASSERT_TRUE(attached);
+
+  rig.core.mme().release_to_idle(Imsi{800001});
+  EXPECT_TRUE(rig.core.mme().is_idle(Imsi{800001}));
+
+  // Downlink data arrives: page.
+  bool connected = false;
+  TimePoint paged_at = rig.sim.now();
+  rig.core.mme().page(Imsi{800001}, [&] { connected = true; });
+  rig.sim.run_all();
+  EXPECT_TRUE(connected);
+  EXPECT_FALSE(rig.core.mme().is_idle(Imsi{800001}));
+  EXPECT_EQ(rig.core.mme().stats().paging_messages, 1u);
+  EXPECT_EQ(rig.core.mme().stats().service_requests, 1u);
+  EXPECT_EQ(rig.enbs[0]->pages_received(), 1);
+  EXPECT_EQ(rig.enbs[0]->pages_answered(), 1);
+  // Wake-up costs a paging occasion + RRC setup, not a full attach.
+  EXPECT_GT((rig.sim.now() - paged_at).to_millis(), 30.0);
+  EXPECT_LT((rig.sim.now() - paged_at).to_millis(), 100.0);
+}
+
+TEST(Paging, ConnectedUeNeedsNoPage) {
+  Rig rig{1};
+  auto client = rig.make_client(800002);
+  rig.enbs[0]->attach_ue(client, nullptr);
+  rig.sim.run_all();
+  bool connected = false;
+  rig.core.mme().page(Imsi{800002}, [&] { connected = true; });
+  EXPECT_TRUE(connected);  // Immediate: no signaling.
+  EXPECT_EQ(rig.core.mme().stats().paging_messages, 0u);
+}
+
+TEST(Paging, UnknownUePageIsNoop) {
+  Rig rig{1};
+  bool cb = false;
+  rig.core.mme().page(Imsi{999999}, [&] { cb = true; });
+  rig.sim.run_all();
+  EXPECT_TRUE(cb);  // Treated as already-connected / nothing to do.
+  EXPECT_EQ(rig.core.mme().stats().paging_messages, 0u);
+}
+
+TEST(Paging, TrackingAreaFanOutCostsMessages) {
+  // Centralized core pages the whole TA: 8 cells → 8 messages per page.
+  // A dLTE stub (1 cell, empty TA) pays exactly 1. This is another
+  // §4.1 scaling contrast, in signaling rather than CPU.
+  Rig central{8, {CellId{1}, CellId{2}, CellId{3}, CellId{4}, CellId{5},
+                  CellId{6}, CellId{7}, CellId{8}}};
+  auto client = central.make_client(800003);
+  central.enbs[2]->attach_ue(client, nullptr);  // Camped on cell 3.
+  central.sim.run_all();
+  central.core.mme().release_to_idle(Imsi{800003});
+  bool connected = false;
+  central.core.mme().page(Imsi{800003}, [&] { connected = true; });
+  central.sim.run_all();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(central.core.mme().stats().paging_messages, 8u);
+  // Only the camped cell answers; others receive and ignore.
+  int answered = 0, received = 0;
+  for (auto& enb : central.enbs) {
+    answered += enb->pages_answered();
+    received += enb->pages_received();
+  }
+  EXPECT_EQ(answered, 1);
+  EXPECT_EQ(received, 8);
+}
+
+TEST(Paging, ReleaseToIdleRequiresRegistration) {
+  Rig rig{1};
+  rig.core.mme().release_to_idle(Imsi{123});  // Unknown: no-op.
+  EXPECT_FALSE(rig.core.mme().is_idle(Imsi{123}));
+}
+
+}  // namespace
+}  // namespace dlte::core

@@ -1,0 +1,85 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dlte::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string to_hex(std::span<const std::uint8_t> d) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (std::uint8_t b : d) {
+    s += digits[b >> 4];
+    s += digits[b & 0xf];
+  }
+  return s;
+}
+
+// FIPS-180 known-answer vectors.
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(
+      to_hex(sha256({})),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(
+      to_hex(sha256(bytes_of("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(sha256(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55 bytes: padding fits one block; 56 bytes: padding spills to a second.
+  const auto d55 = sha256(bytes_of(std::string(55, 'a')));
+  const auto d56 = sha256(bytes_of(std::string(56, 'a')));
+  const auto d64 = sha256(bytes_of(std::string(64, 'a')));
+  EXPECT_NE(to_hex(d55), to_hex(d56));
+  EXPECT_NE(to_hex(d56), to_hex(d64));
+  // Regression: 64*'a' known value.
+  EXPECT_EQ(
+      to_hex(d64),
+      "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(
+      to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha256(bytes_of("Jefe"),
+                         bytes_of("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 6: key longer than block size (hashed first).
+TEST(HmacSha256, LongKeyIsHashed) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(
+      to_hex(hmac_sha256(
+          key, bytes_of("Test Using Larger Than Block-Size Key - Hash "
+                        "Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace dlte::crypto

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "lte/gtp.h"
+#include "lte/s1ap.h"
+
+namespace dlte::lte {
+namespace {
+
+TEST(GtpU, HeaderRoundTrip) {
+  GtpUHeader h{Teid{0x12345678}, 1400, 77};
+  const auto bytes = encode_gtpu(h);
+  EXPECT_EQ(bytes.size(), static_cast<std::size_t>(kGtpUHeaderBytes));
+  auto back = decode_gtpu(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->teid, h.teid);
+  EXPECT_EQ(back->length, h.length);
+  EXPECT_EQ(back->sequence, h.sequence);
+}
+
+TEST(GtpU, RejectsWrongVersion) {
+  auto bytes = encode_gtpu(GtpUHeader{Teid{1}, 0, 0});
+  bytes[0] = 0x52;  // Version 2.
+  EXPECT_FALSE(decode_gtpu(bytes).ok());
+}
+
+TEST(GtpU, RejectsNonGpdu) {
+  auto bytes = encode_gtpu(GtpUHeader{Teid{1}, 0, 0});
+  bytes[1] = 0x01;  // Echo request, not G-PDU.
+  EXPECT_FALSE(decode_gtpu(bytes).ok());
+}
+
+TEST(GtpU, TunnelOverheadIsForty) {
+  // 20 (IP) + 8 (UDP) + 12 (GTP-U) — the per-packet cost of tunneling to
+  // a centralized core, charged in experiment F1.
+  EXPECT_EQ(kGtpTunnelOverheadBytes, 40);
+}
+
+TEST(GtpC, CreateSessionRoundTrip) {
+  CreateSessionRequest req{Imsi{310150123456789ULL}, BearerId{5},
+                           Teid{0xdead}};
+  auto req_back = decode_gtpc_create_req(encode_gtpc_create_req(req));
+  ASSERT_TRUE(req_back.ok());
+  EXPECT_EQ(req_back->imsi, req.imsi);
+  EXPECT_EQ(req_back->uplink_teid, req.uplink_teid);
+
+  CreateSessionResponse resp{Teid{0xbeef}, 0x0a00000a};
+  auto resp_back = decode_gtpc_create_resp(encode_gtpc_create_resp(resp));
+  ASSERT_TRUE(resp_back.ok());
+  EXPECT_EQ(resp_back->downlink_teid, resp.downlink_teid);
+  EXPECT_EQ(resp_back->ue_ip, resp.ue_ip);
+}
+
+TEST(GtpC, CrossDecodingFails) {
+  const auto req = encode_gtpc_create_req(CreateSessionRequest{});
+  EXPECT_FALSE(decode_gtpc_create_resp(req).ok());
+}
+
+TEST(S1ap, InitialUeMessageRoundTrip) {
+  InitialUeMessage m{EnbUeId{7}, CellId{100}, {0x41, 0x01, 0x02}};
+  auto back = decode_s1ap(encode_s1ap(S1apMessage{m}));
+  ASSERT_TRUE(back.ok());
+  const auto& d = std::get<InitialUeMessage>(*back);
+  EXPECT_EQ(d.enb_ue_id, m.enb_ue_id);
+  EXPECT_EQ(d.cell, m.cell);
+  EXPECT_EQ(d.nas_pdu, m.nas_pdu);
+}
+
+TEST(S1ap, NasTransportCarriesOpaquePdu) {
+  const std::vector<std::uint8_t> pdu(200, 0x5a);
+  UplinkNasTransport up{EnbUeId{1}, MmeUeId{2}, pdu};
+  auto back = decode_s1ap(encode_s1ap(S1apMessage{up}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<UplinkNasTransport>(*back).nas_pdu, pdu);
+
+  DownlinkNasTransport down{EnbUeId{1}, MmeUeId{2}, pdu};
+  auto back2 = decode_s1ap(encode_s1ap(S1apMessage{down}));
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(std::get<DownlinkNasTransport>(*back2).nas_pdu, pdu);
+}
+
+TEST(S1ap, ContextSetupKeysSurvive) {
+  std::vector<std::uint8_t> key(32);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  InitialContextSetupRequest req{EnbUeId{3}, MmeUeId{4}, Teid{55}, key};
+  auto back = decode_s1ap(encode_s1ap(S1apMessage{req}));
+  ASSERT_TRUE(back.ok());
+  const auto& d = std::get<InitialContextSetupRequest>(*back);
+  EXPECT_EQ(d.sgw_uplink_teid, req.sgw_uplink_teid);
+  EXPECT_EQ(d.security_key, key);
+
+  InitialContextSetupResponse resp{EnbUeId{3}, MmeUeId{4}, Teid{66}};
+  auto back2 = decode_s1ap(encode_s1ap(S1apMessage{resp}));
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(std::get<InitialContextSetupResponse>(*back2).enb_downlink_teid,
+            Teid{66});
+}
+
+TEST(S1ap, ReleaseCommandRoundTrip) {
+  UeContextReleaseCommand m{EnbUeId{9}, MmeUeId{10}, 2};
+  auto back = decode_s1ap(encode_s1ap(S1apMessage{m}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<UeContextReleaseCommand>(*back).cause, 2);
+}
+
+TEST(S1ap, GarbageRejected) {
+  const std::uint8_t junk[] = {0xff, 0x01, 0x02};
+  EXPECT_FALSE(decode_s1ap(junk).ok());
+  EXPECT_FALSE(decode_s1ap({}).ok());
+}
+
+}  // namespace
+}  // namespace dlte::lte

@@ -1,0 +1,150 @@
+#include "mac/lte_cell_mac.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/lte_amc.h"
+
+namespace dlte::mac {
+namespace {
+
+SinrProvider fixed(double db) {
+  return [db] { return Decibels{db}; };
+}
+
+TEST(LteCellMac, FullBufferReachesNearPeakRate) {
+  LteCellMac cell{CellMacConfig{}};
+  cell.add_ue(UeId{1}, fixed(30.0), UeTrafficConfig{.full_buffer = true});
+  cell.run(Duration::seconds(1.0));
+  const auto rate = cell.stats(UeId{1}).goodput(cell.elapsed());
+  const auto peak = phy::peak_rate(Decibels{30.0}, Hertz::mhz(10.0));
+  EXPECT_GT(rate.to_mbps(), 0.9 * peak.to_mbps());
+  EXPECT_LE(rate.to_mbps(), peak.to_mbps() * 1.01);
+}
+
+TEST(LteCellMac, LightLoadFullyServed) {
+  LteCellMac cell{CellMacConfig{}};
+  cell.add_ue(UeId{1}, fixed(20.0),
+              UeTrafficConfig{.offered = DataRate::mbps(1.0)});
+  cell.run(Duration::seconds(2.0));
+  const auto& st = cell.stats(UeId{1});
+  EXPECT_NEAR(st.delivered_bits, st.offered_bits, st.offered_bits * 0.02);
+  EXPECT_LT(st.backlog_bits, 20'000.0);
+}
+
+TEST(LteCellMac, CapacitySharedAcrossUes) {
+  LteCellMac cell{CellMacConfig{}};
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    cell.add_ue(UeId{i}, fixed(25.0), UeTrafficConfig{.full_buffer = true});
+  }
+  cell.run(Duration::seconds(1.0));
+  double total = 0.0;
+  for (UeId id : cell.ue_ids()) {
+    total += cell.stats(id).goodput(cell.elapsed()).to_mbps();
+  }
+  const auto peak = phy::peak_rate(Decibels{25.0}, Hertz::mhz(10.0));
+  EXPECT_GT(total, 0.85 * peak.to_mbps());
+  EXPECT_LE(total, peak.to_mbps() * 1.01);
+}
+
+TEST(LteCellMac, PrbShareThrottlesProportionally) {
+  LteCellMac full{CellMacConfig{.prb_share = 1.0}};
+  LteCellMac half{CellMacConfig{.prb_share = 0.5}};
+  for (auto* cell : {&full, &half}) {
+    cell->add_ue(UeId{1}, fixed(20.0), UeTrafficConfig{.full_buffer = true});
+    cell->run(Duration::seconds(1.0));
+  }
+  const double r_full = full.stats(UeId{1}).goodput(full.elapsed()).to_mbps();
+  const double r_half = half.stats(UeId{1}).goodput(half.elapsed()).to_mbps();
+  EXPECT_NEAR(r_half, r_full * 0.5, r_full * 0.05);
+}
+
+TEST(LteCellMac, ShareAdjustableMidRun) {
+  LteCellMac cell{CellMacConfig{}};
+  cell.add_ue(UeId{1}, fixed(20.0), UeTrafficConfig{.full_buffer = true});
+  cell.run(Duration::seconds(1.0));
+  const double before = cell.stats(UeId{1}).delivered_bits;
+  cell.set_prb_share(0.25);
+  cell.run(Duration::seconds(1.0));
+  const double second = cell.stats(UeId{1}).delivered_bits - before;
+  EXPECT_NEAR(second, before * 0.25, before * 0.05);
+}
+
+TEST(LteCellMac, UnreachableUeGetsNothing) {
+  LteCellMac cell{CellMacConfig{}};
+  cell.add_ue(UeId{1}, fixed(-20.0), UeTrafficConfig{.full_buffer = true});
+  cell.run(Duration::seconds(0.5));
+  EXPECT_EQ(cell.stats(UeId{1}).delivered_bits, 0.0);
+}
+
+TEST(LteCellMac, WeakSinrCausesHarqRetransmissions) {
+  LteCellMac cell{CellMacConfig{}};
+  // Just at the CQI-1 threshold: substantial first-tx BLER.
+  cell.add_ue(UeId{1}, fixed(-6.7), UeTrafficConfig{.full_buffer = true});
+  cell.run(Duration::seconds(1.0));
+  const auto& st = cell.stats(UeId{1});
+  EXPECT_GT(st.harq_retransmissions, 0);
+  EXPECT_GT(st.delivered_bits, 0.0);
+}
+
+TEST(LteCellMac, HarqReducesResidualLossAtCellEdge) {
+  // At the CQI-1 operating point the first transmission fails ~10% of the
+  // time. Without HARQ those blocks are lost outright; with 4-shot Chase
+  // combining residual loss collapses to near zero.
+  CellMacConfig no_harq;
+  no_harq.harq = phy::HarqConfig{.max_transmissions = 1};
+  CellMacConfig with_harq;  // Default: 4 tx, Chase.
+
+  LteCellMac a{no_harq}, b{with_harq};
+  for (auto* cell : {&a, &b}) {
+    cell->add_ue(UeId{1}, fixed(-6.7), UeTrafficConfig{.full_buffer = true});
+    cell->run(Duration::seconds(1.0));
+  }
+  const auto& sa = a.stats(UeId{1});
+  const auto& sb = b.stats(UeId{1});
+  const double loss_a = sa.dropped_bits / (sa.delivered_bits + sa.dropped_bits);
+  const double loss_b = sb.dropped_bits / (sb.delivered_bits + sb.dropped_bits);
+  EXPECT_GT(loss_a, 0.05);
+  EXPECT_LT(loss_b, 0.01);
+}
+
+TEST(LteCellMac, RemoveUeStopsService) {
+  LteCellMac cell{CellMacConfig{}};
+  cell.add_ue(UeId{1}, fixed(20.0), UeTrafficConfig{.full_buffer = true});
+  cell.add_ue(UeId{2}, fixed(20.0), UeTrafficConfig{.full_buffer = true});
+  cell.run(Duration::seconds(0.5));
+  EXPECT_TRUE(cell.has_ue(UeId{1}));
+  cell.remove_ue(UeId{1});
+  EXPECT_FALSE(cell.has_ue(UeId{1}));
+  cell.run(Duration::seconds(0.5));
+  EXPECT_EQ(cell.ue_ids().size(), 1u);
+}
+
+TEST(LteCellMac, DeterministicForSameSeed) {
+  auto run_once = [] {
+    LteCellMac cell{CellMacConfig{.seed = 99}};
+    cell.add_ue(UeId{1}, fixed(3.0), UeTrafficConfig{.full_buffer = true});
+    cell.run(Duration::seconds(0.5));
+    return cell.stats(UeId{1}).delivered_bits;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Property sweep: goodput is monotone (within noise) in SINR.
+class SinrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SinrSweep, GoodputNondecreasingInSinr) {
+  const double sinr = GetParam();
+  auto goodput_at = [](double db) {
+    LteCellMac cell{CellMacConfig{}};
+    cell.add_ue(UeId{1}, fixed(db), UeTrafficConfig{.full_buffer = true});
+    cell.run(Duration::seconds(0.5));
+    return cell.stats(UeId{1}).goodput(cell.elapsed()).to_mbps();
+  };
+  EXPECT_LE(goodput_at(sinr), goodput_at(sinr + 3.0) * 1.05 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, SinrSweep,
+                         ::testing::Values(-5.0, 0.0, 5.0, 10.0, 15.0, 20.0));
+
+}  // namespace
+}  // namespace dlte::mac

@@ -1,0 +1,132 @@
+#include "mac/lte_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "phy/lte_amc.h"
+
+namespace dlte::mac {
+namespace {
+
+SchedUe ue(std::uint32_t id, int cqi, double backlog = 1e9,
+           double avg = 1.0) {
+  return SchedUe{UeId{id}, cqi, backlog, avg};
+}
+
+int total_allocated(const std::vector<PrbAllocation>& a) {
+  return std::accumulate(a.begin(), a.end(), 0,
+                         [](int s, const PrbAllocation& x) {
+                           return s + x.prbs;
+                         });
+}
+
+class AllSchedulers : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(AllSchedulers, NeverExceedsPrbBudget) {
+  auto s = make_scheduler(GetParam());
+  std::vector<SchedUe> ues{ue(1, 15), ue(2, 7), ue(3, 3), ue(4, 12)};
+  for (int round = 0; round < 20; ++round) {
+    const auto a = s->schedule(ues, 50);
+    EXPECT_LE(total_allocated(a), 50);
+  }
+}
+
+TEST_P(AllSchedulers, SkipsUnreachableAndIdleUes) {
+  auto s = make_scheduler(GetParam());
+  std::vector<SchedUe> ues{ue(1, 0, 1e9), ue(2, 10, 0.0), ue(3, 10, 1e9)};
+  const auto a = s->schedule(ues, 50);
+  for (const auto& g : a) {
+    EXPECT_EQ(g.ue, UeId{3});
+  }
+  EXPECT_FALSE(a.empty());
+}
+
+TEST_P(AllSchedulers, EmptyInputsEmptyOutput) {
+  auto s = make_scheduler(GetParam());
+  EXPECT_TRUE(s->schedule({}, 50).empty());
+  std::vector<SchedUe> ues{ue(1, 10)};
+  EXPECT_TRUE(s->schedule(ues, 0).empty());
+}
+
+TEST_P(AllSchedulers, SingleUeGetsWholeBudgetIfNeeded) {
+  auto s = make_scheduler(GetParam());
+  std::vector<SchedUe> ues{ue(1, 10)};
+  const auto a = s->schedule(ues, 50);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].prbs, 50);
+}
+
+TEST_P(AllSchedulers, SmallBacklogGetsOnlyWhatItNeeds) {
+  auto s = make_scheduler(GetParam());
+  // Backlog of exactly 1 PRB worth of bits.
+  const double one_prb = phy::transport_block_bits(10, 1);
+  std::vector<SchedUe> ues{ue(1, 10, one_prb)};
+  const auto a = s->schedule(ues, 50);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].prbs, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllSchedulers,
+                         ::testing::Values(SchedulerPolicy::kRoundRobin,
+                                           SchedulerPolicy::kProportionalFair,
+                                           SchedulerPolicy::kMaxCi));
+
+TEST(RoundRobin, RotatesServiceOrder) {
+  RoundRobinScheduler s;
+  // Budget of 1 PRB: only one UE served per subframe; service must rotate.
+  std::vector<SchedUe> ues{ue(1, 10), ue(2, 10), ue(3, 10)};
+  std::vector<std::uint32_t> served;
+  for (int i = 0; i < 6; ++i) {
+    const auto a = s.schedule(ues, 1);
+    ASSERT_EQ(a.size(), 1u);
+    served.push_back(a[0].ue.value());
+  }
+  EXPECT_EQ(served, (std::vector<std::uint32_t>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(RoundRobin, SplitsEvenlyAmongEqualUes) {
+  RoundRobinScheduler s;
+  std::vector<SchedUe> ues{ue(1, 10), ue(2, 10)};
+  const auto a = s.schedule(ues, 50);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].prbs + a[1].prbs, 50);
+  EXPECT_NEAR(a[0].prbs, 25, 1);
+}
+
+TEST(MaxCi, ServesBestChannelFirst) {
+  MaxCiScheduler s;
+  std::vector<SchedUe> ues{ue(1, 5), ue(2, 15), ue(3, 10)};
+  const auto a = s.schedule(ues, 10);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a[0].ue, UeId{2});
+}
+
+TEST(MaxCi, StarvesEdgeUeUnderLoad) {
+  MaxCiScheduler s;
+  // Both want everything; the better channel takes the whole budget.
+  std::vector<SchedUe> ues{ue(1, 15, 1e12), ue(2, 3, 1e12)};
+  const auto a = s.schedule(ues, 50);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].ue, UeId{1});
+}
+
+TEST(ProportionalFair, PrefersUnderservedUe) {
+  ProportionalFairScheduler s;
+  // Same channel, but UE 2 has been served 100x more.
+  std::vector<SchedUe> ues{ue(1, 10, 1e12, 1e4), ue(2, 10, 1e12, 1e6)};
+  const auto a = s.schedule(ues, 50);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a[0].ue, UeId{1});
+}
+
+TEST(ProportionalFair, PrefersBetterChannelAtEqualHistory) {
+  ProportionalFairScheduler s;
+  std::vector<SchedUe> ues{ue(1, 4, 1e12, 1e5), ue(2, 14, 1e12, 1e5)};
+  const auto a = s.schedule(ues, 50);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a[0].ue, UeId{2});
+}
+
+}  // namespace
+}  // namespace dlte::mac

@@ -1,0 +1,84 @@
+#include "phy/harq.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/lte_amc.h"
+
+namespace dlte::phy {
+namespace {
+
+TEST(Harq, StrongSignalDeliversFirstTry) {
+  HarqProcess h{HarqConfig{}, sim::RngStream{1}};
+  int multi_tx = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = h.transmit_block(7, Decibels{20.0});
+    EXPECT_TRUE(out.delivered);
+    if (out.transmissions > 1) ++multi_tx;
+  }
+  EXPECT_LE(multi_tx, 2);
+}
+
+TEST(Harq, HopelessSignalExhaustsAttempts) {
+  HarqProcess h{HarqConfig{.max_transmissions = 4}, sim::RngStream{2}};
+  const auto out = h.transmit_block(15, Decibels{-30.0});
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.transmissions, 4);
+}
+
+TEST(Harq, ChaseCombiningAccumulatesSinr) {
+  HarqProcess h{HarqConfig{.max_transmissions = 4, .chase_combining = true},
+                sim::RngStream{3}};
+  // Repeat until we observe a 2-transmission delivery; combined SINR must
+  // be 3 dB above the per-transmission SINR.
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = h.transmit_block(7, Decibels{4.5});
+    if (out.transmissions == 2 && out.delivered) {
+      EXPECT_NEAR(out.effective_sinr_db, 4.5 + 3.01, 0.05);
+      return;
+    }
+  }
+  FAIL() << "never observed a 2-transmission delivery";
+}
+
+TEST(Harq, CombiningBeatsNoCombiningAtWeakSnr) {
+  // At SINR well below the CQI threshold, plain repetition rarely
+  // succeeds but Chase combining usually does within 4 attempts.
+  const int cqi = 7;  // Threshold 5.9 dB.
+  const Decibels weak{2.0};
+  int chase_ok = 0, plain_ok = 0;
+  HarqProcess chase{HarqConfig{4, true}, sim::RngStream{10}};
+  HarqProcess plain{HarqConfig{4, false}, sim::RngStream{11}};
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    if (chase.transmit_block(cqi, weak).delivered) ++chase_ok;
+    if (plain.transmit_block(cqi, weak).delivered) ++plain_ok;
+  }
+  EXPECT_GT(chase_ok, plain_ok + trials / 10);
+}
+
+TEST(Harq, SingleShotConfigDisablesRetransmission) {
+  HarqProcess h{HarqConfig{.max_transmissions = 1}, sim::RngStream{4}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(h.transmit_block(7, Decibels{0.0}).transmissions, 1);
+  }
+}
+
+// Property sweep: delivery probability is monotone in max_transmissions.
+class HarqRetxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HarqRetxSweep, MoreAttemptsNeverHurt) {
+  const int max_tx = GetParam();
+  HarqProcess fewer{HarqConfig{max_tx, true}, sim::RngStream{20}};
+  HarqProcess more{HarqConfig{max_tx + 1, true}, sim::RngStream{20}};
+  int fewer_ok = 0, more_ok = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (fewer.transmit_block(7, Decibels{3.0}).delivered) ++fewer_ok;
+    if (more.transmit_block(7, Decibels{3.0}).delivered) ++more_ok;
+  }
+  EXPECT_GE(more_ok + 20, fewer_ok);  // Allow small sampling noise.
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxTx, HarqRetxSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dlte::phy

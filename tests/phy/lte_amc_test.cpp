@@ -1,0 +1,100 @@
+#include "phy/lte_amc.h"
+
+#include <gtest/gtest.h>
+
+namespace dlte::phy {
+namespace {
+
+TEST(CqiSelection, BelowRangeIsZero) {
+  EXPECT_EQ(select_cqi(Decibels{-10.0}), 0);
+}
+
+TEST(CqiSelection, MonotoneInSinr) {
+  int prev = 0;
+  for (double s = -8.0; s <= 25.0; s += 0.5) {
+    const int cqi = select_cqi(Decibels{s});
+    EXPECT_GE(cqi, prev);
+    prev = cqi;
+  }
+  EXPECT_EQ(prev, 15);
+}
+
+TEST(CqiSelection, ThresholdBoundaries) {
+  // Exactly at a threshold selects that CQI.
+  EXPECT_EQ(select_cqi(Decibels{-6.7}), 1);
+  EXPECT_EQ(select_cqi(Decibels{22.7}), 15);
+  EXPECT_EQ(select_cqi(Decibels{22.6}), 14);
+}
+
+TEST(CqiTable, EfficienciesStrictlyIncrease) {
+  for (int c = 2; c <= 15; ++c) {
+    EXPECT_GT(cqi_entry(c).efficiency, cqi_entry(c - 1).efficiency);
+  }
+}
+
+TEST(PrbCounts, StandardBandwidths) {
+  EXPECT_EQ(prbs_for_bandwidth(Hertz::mhz(1.4)), 6);
+  EXPECT_EQ(prbs_for_bandwidth(Hertz::mhz(3.0)), 15);
+  EXPECT_EQ(prbs_for_bandwidth(Hertz::mhz(5.0)), 25);
+  EXPECT_EQ(prbs_for_bandwidth(Hertz::mhz(10.0)), 50);
+  EXPECT_EQ(prbs_for_bandwidth(Hertz::mhz(15.0)), 75);
+  EXPECT_EQ(prbs_for_bandwidth(Hertz::mhz(20.0)), 100);
+}
+
+TEST(TransportBlock, ZeroForNoCqiOrNoPrbs) {
+  EXPECT_EQ(transport_block_bits(0, 50), 0);
+  EXPECT_EQ(transport_block_bits(10, 0), 0);
+}
+
+TEST(TransportBlock, ScalesLinearlyWithPrbs) {
+  const int one = transport_block_bits(10, 1);
+  const int fifty = transport_block_bits(10, 50);
+  EXPECT_NEAR(fifty, one * 50, 50);  // Integer truncation slack.
+}
+
+TEST(TransportBlock, PeakRateAtTenMhzIsRealistic) {
+  // CQI 15 over 50 PRBs ≈ 35 Mb/s with our 25% overhead — the right
+  // ballpark for SISO 10 MHz LTE.
+  const auto rate = peak_rate(Decibels{30.0}, Hertz::mhz(10.0));
+  EXPECT_GT(rate.to_mbps(), 30.0);
+  EXPECT_LT(rate.to_mbps(), 40.0);
+}
+
+TEST(Bler, TenPercentAtThreshold) {
+  for (int c : {1, 7, 15}) {
+    EXPECT_NEAR(bler(c, Decibels{cqi_entry(c).snr_threshold_db}), 0.1, 1e-6);
+  }
+}
+
+TEST(Bler, FallsWithSinr) {
+  const int cqi = 7;
+  const double thr = cqi_entry(cqi).snr_threshold_db;
+  EXPECT_LT(bler(cqi, Decibels{thr + 2.0}), 0.01);
+  EXPECT_GT(bler(cqi, Decibels{thr - 2.0}), 0.5);
+  EXPECT_EQ(bler(0, Decibels{100.0}), 1.0);
+}
+
+TEST(TimingAdvance, HundredKmCell) {
+  EXPECT_TRUE(within_timing_advance(99'000.0));
+  EXPECT_FALSE(within_timing_advance(101'000.0));
+}
+
+// Parameterized sweep: transport block bits are monotone in CQI for any
+// PRB allocation.
+class TbsMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TbsMonotoneTest, MonotoneInCqi) {
+  const int prbs = GetParam();
+  int prev = -1;
+  for (int c = 1; c <= 15; ++c) {
+    const int tbs = transport_block_bits(c, prbs);
+    EXPECT_GT(tbs, prev);
+    prev = tbs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrbSweep, TbsMonotoneTest,
+                         ::testing::Values(1, 6, 25, 50, 100));
+
+}  // namespace
+}  // namespace dlte::phy

@@ -1,0 +1,66 @@
+#include "phy/wifi_phy.h"
+
+#include <gtest/gtest.h>
+
+namespace dlte::phy {
+namespace {
+
+TEST(WifiRates, LadderIsMonotone) {
+  for (int i = 1; i < kWifiRateCount; ++i) {
+    EXPECT_GT(wifi_rate(i).phy_rate.bps(), wifi_rate(i - 1).phy_rate.bps());
+    EXPECT_GT(wifi_rate(i).snr_threshold_db,
+              wifi_rate(i - 1).snr_threshold_db);
+  }
+}
+
+TEST(WifiRateSelection, BelowFloorIsNoLink) {
+  EXPECT_EQ(select_wifi_rate(Decibels{0.0}), -1);
+}
+
+TEST(WifiRateSelection, PicksHighestFeasible) {
+  EXPECT_EQ(select_wifi_rate(Decibels{2.0}), 0);
+  EXPECT_EQ(select_wifi_rate(Decibels{15.0}), 4);
+  EXPECT_EQ(select_wifi_rate(Decibels{40.0}), kWifiRateCount - 1);
+}
+
+TEST(WifiAirtime, IncludesOverheads) {
+  // A zero-byte payload still costs preamble + header bits + SIFS + ACK.
+  const auto t = wifi_frame_airtime(8, 0);
+  EXPECT_GT(t.to_micros(), 80.0);
+}
+
+TEST(WifiAirtime, FasterRateShorterFrame) {
+  const auto slow = wifi_frame_airtime(1, 1500);
+  const auto fast = wifi_frame_airtime(8, 1500);
+  EXPECT_LT(fast.ns(), slow.ns());
+}
+
+TEST(WifiAirtime, EfficiencyDropsForSmallFrames) {
+  // Per-byte cost at 64B must exceed per-byte cost at 1500B (fixed
+  // overhead amortization) — the reason WiFi struggles with small VoIP
+  // packets while LTE schedules them natively.
+  const double small = wifi_frame_airtime(8, 64).to_micros() / 64.0;
+  const double large = wifi_frame_airtime(8, 1500).to_micros() / 1500.0;
+  EXPECT_GT(small, 3.0 * large);
+}
+
+TEST(WifiFer, TenPercentAtThreshold) {
+  for (int r : {0, 4, 8}) {
+    EXPECT_NEAR(wifi_frame_error_rate(r, Decibels{
+                    wifi_rate(r).snr_threshold_db}), 0.1, 1e-6);
+  }
+}
+
+TEST(WifiAckRange, StockEquipmentCapsAtTwoKm) {
+  EXPECT_FALSE(beyond_ack_range(1500.0));
+  EXPECT_TRUE(beyond_ack_range(2500.0));
+}
+
+// The contrast the paper draws (§3.2): LTE's timing advance serves links
+// an order of magnitude beyond WiFi's ACK ceiling.
+TEST(RangeCeilings, LteTimingAdvanceFarExceedsWifiAck) {
+  EXPECT_GE(100'000.0 / kWifiAckRangeM, 10.0);
+}
+
+}  // namespace
+}  // namespace dlte::phy

@@ -1,0 +1,111 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlte::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  s.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  s.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule(Duration::millis(1), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator s;
+  TimePoint seen{};
+  s.schedule(Duration::seconds(1.5), [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_DOUBLE_EQ(seen.to_seconds(), 1.5);
+}
+
+TEST(Simulator, EventsScheduleFurtherEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) s.schedule(Duration::millis(1), chain);
+  };
+  s.schedule(Duration::millis(1), chain);
+  s.run_all();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(s.now().to_millis(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(Duration::millis(5), [&] { ++ran; });
+  s.schedule(Duration::millis(15), [&] { ++ran; });
+  s.run_until(TimePoint::from_ns(0) + Duration::millis(10));
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(s.now().to_millis(), 10.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  // Continue to drain the rest.
+  s.run_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, DeadlineEventStillRuns) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(Duration::millis(10), [&] { ++ran; });
+  s.run_until(TimePoint::from_ns(0) + Duration::millis(10));
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, NegativeDelayClampedToNow) {
+  Simulator s;
+  bool ran = false;
+  s.schedule(Duration::millis(5), [&] {
+    s.schedule(Duration::millis(-10), [&] { ran = true; });
+  });
+  s.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(s.now().to_millis(), 5.0);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(Duration::millis(1), [&] {
+    ++ran;
+    s.stop();
+  });
+  s.schedule(Duration::millis(2), [&] { ++ran; });
+  s.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, PeriodicProcessFiresRepeatedly) {
+  Simulator s;
+  int ticks = 0;
+  s.every(Duration::millis(10), [&] { ++ticks; });
+  s.run_until(TimePoint::from_ns(0) + Duration::millis(95));
+  EXPECT_EQ(ticks, 9);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(TimePoint::from_ns(0) + Duration::seconds(3.0));
+  EXPECT_DOUBLE_EQ(s.now().to_seconds(), 3.0);
+}
+
+}  // namespace
+}  // namespace dlte::sim

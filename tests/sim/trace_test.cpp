@@ -1,0 +1,62 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dlte::sim {
+namespace {
+
+TEST(TraceLog, RecordsWithSimulatedTimestamps) {
+  Simulator sim;
+  TraceLog log{sim};
+  sim.schedule(Duration::seconds(1.5), [&] {
+    log.record(TraceCategory::kAttach, "ap-1", "attach completed");
+  });
+  sim.run_all();
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(log.events().front().when.to_seconds(), 1.5);
+  EXPECT_EQ(log.events().front().component, "ap-1");
+}
+
+TEST(TraceLog, CategoryFilterAndCount) {
+  Simulator sim;
+  TraceLog log{sim};
+  log.record(TraceCategory::kRegistry, "a", "grant");
+  log.record(TraceCategory::kAttach, "a", "ue 1");
+  log.record(TraceCategory::kAttach, "b", "ue 2");
+  EXPECT_EQ(log.count(TraceCategory::kAttach), 2u);
+  EXPECT_EQ(log.count(TraceCategory::kHandover), 0u);
+  const auto attaches = log.by_category(TraceCategory::kAttach);
+  ASSERT_EQ(attaches.size(), 2u);
+  EXPECT_EQ(attaches[1]->component, "b");
+}
+
+TEST(TraceLog, RingDropsOldest) {
+  Simulator sim;
+  TraceLog log{sim, 3};
+  for (int i = 0; i < 5; ++i) {
+    log.record(TraceCategory::kData, "x", std::to_string(i));
+  }
+  EXPECT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.events().front().message, "2");
+}
+
+TEST(TraceLog, PrintsReadableLines) {
+  Simulator sim;
+  TraceLog log{sim};
+  log.record(TraceCategory::kCoordination, "dlte-ap-1", "share 0.5");
+  std::ostringstream os;
+  log.print(os);
+  EXPECT_NE(os.str().find("coord"), std::string::npos);
+  EXPECT_NE(os.str().find("dlte-ap-1: share 0.5"), std::string::npos);
+}
+
+TEST(TraceLog, CategoryNamesComplete) {
+  EXPECT_STREQ(trace_category_name(TraceCategory::kRegistry), "registry");
+  EXPECT_STREQ(trace_category_name(TraceCategory::kMobility), "mobility");
+}
+
+}  // namespace
+}  // namespace dlte::sim

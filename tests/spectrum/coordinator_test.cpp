@@ -1,0 +1,188 @@
+#include "spectrum/coordinator.h"
+
+#include <gtest/gtest.h>
+
+namespace dlte::spectrum {
+namespace {
+
+// N APs connected through one Internet router, 10 ms each way.
+struct Fixture {
+  sim::Simulator sim;
+  net::Network net{sim};
+  NodeId router = net.add_node("internet");
+  std::vector<NodeId> nodes;
+  std::vector<std::unique_ptr<PeerCoordinator>> coords;
+
+  void build(int n, lte::DlteMode mode,
+             Duration period = Duration::seconds(1.0)) {
+    for (int i = 0; i < n; ++i) {
+      const NodeId node = net.add_node("ap" + std::to_string(i));
+      net.add_link(node, router,
+                   net::LinkConfig{DataRate::mbps(10.0),
+                                   Duration::millis(10)});
+      nodes.push_back(node);
+      coords.push_back(std::make_unique<PeerCoordinator>(
+          sim, net, node,
+          CoordinatorConfig{ApId{static_cast<std::uint32_t>(i + 1)}, mode,
+                            period}));
+    }
+    // Full-mesh peering, as the registry's contention domain would give.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j) {
+          coords[static_cast<std::size_t>(i)]->add_peer(
+              ApId{static_cast<std::uint32_t>(j + 1)},
+              nodes[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+  }
+
+  void start_all() {
+    for (auto& c : coords) c->start();
+  }
+
+  void run_for(double seconds) {
+    sim.run_until(sim.now() + Duration::seconds(seconds));
+  }
+};
+
+TEST(Coordinator, FairShareConvergesToEqualSplit) {
+  Fixture f;
+  f.build(4, lte::DlteMode::kFairShare);
+  for (auto& c : f.coords) c->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  for (auto& c : f.coords) {
+    EXPECT_NEAR(c->current_share(), 0.25, 1e-9);
+  }
+}
+
+TEST(Coordinator, LightDemandKeepsItsAsk) {
+  Fixture f;
+  f.build(3, lte::DlteMode::kFairShare);
+  f.coords[0]->set_offered_load(0.1);
+  f.coords[1]->set_offered_load(1.0);
+  f.coords[2]->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_NEAR(f.coords[0]->current_share(), 0.10, 1e-9);
+  EXPECT_NEAR(f.coords[1]->current_share(), 0.45, 1e-9);
+  EXPECT_NEAR(f.coords[2]->current_share(), 0.45, 1e-9);
+}
+
+TEST(Coordinator, CooperativeModeFollowsDemand) {
+  Fixture f;
+  f.build(2, lte::DlteMode::kCooperative);
+  f.coords[0]->set_offered_load(0.9);
+  f.coords[1]->set_offered_load(0.1);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_NEAR(f.coords[0]->current_share(), 0.9, 1e-9);
+  EXPECT_NEAR(f.coords[1]->current_share(), 0.1, 1e-9);
+}
+
+TEST(Coordinator, MixedModeFallsBackToFairShare) {
+  // Cooperation requires unanimity; one fair-share member downgrades the
+  // round to max-min.
+  Fixture f;
+  f.build(2, lte::DlteMode::kCooperative);
+  f.coords[1]->set_mode(lte::DlteMode::kFairShare);
+  f.coords[0]->set_offered_load(0.9);
+  f.coords[1]->set_offered_load(0.9);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_NEAR(f.coords[0]->current_share(), 0.5, 1e-9);
+  EXPECT_NEAR(f.coords[1]->current_share(), 0.5, 1e-9);
+}
+
+TEST(Coordinator, IsolatedApDoesNotCoordinate) {
+  Fixture f;
+  f.build(2, lte::DlteMode::kIsolated);
+  f.start_all();
+  f.run_for(3.0);
+  EXPECT_EQ(f.coords[0]->stats().messages_sent, 0u);
+  EXPECT_DOUBLE_EQ(f.coords[0]->current_share(), 1.0);
+}
+
+TEST(Coordinator, OnlyLowestApLeadsRounds) {
+  Fixture f;
+  f.build(3, lte::DlteMode::kFairShare);
+  for (auto& c : f.coords) c->set_offered_load(0.5);
+  f.start_all();
+  f.run_for(4.0);
+  EXPECT_GT(f.coords[0]->stats().rounds_led, 0u);
+  EXPECT_EQ(f.coords[1]->stats().rounds_led, 0u);
+  EXPECT_EQ(f.coords[2]->stats().rounds_led, 0u);
+}
+
+TEST(Coordinator, AppliesShareToAttachedCell) {
+  Fixture f;
+  f.build(2, lte::DlteMode::kFairShare);
+  mac::LteCellMac cell{mac::CellMacConfig{}};
+  f.coords[0]->attach_cell(&cell);
+  for (auto& c : f.coords) c->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_NEAR(cell.prb_share(), 0.5, 1e-9);
+}
+
+TEST(Coordinator, NewPeerJoiningRebalances) {
+  // Organic growth: a third AP appears; within a few rounds the split
+  // moves from 1/2 to 1/3 with no human in the loop.
+  Fixture f;
+  f.build(3, lte::DlteMode::kFairShare);
+  // Initially only APs 0 and 1 know each other.
+  f.coords[0]->set_offered_load(1.0);
+  f.coords[1]->set_offered_load(1.0);
+  f.coords[2]->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_NEAR(f.coords[0]->current_share(), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(f.coords[2]->current_share(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Coordinator, StatusMessagesFlowBothWays) {
+  Fixture f;
+  f.build(2, lte::DlteMode::kFairShare);
+  f.coords[0]->set_offered_load(0.7);
+  f.start_all();
+  f.run_for(3.0);
+  const auto* status = f.coords[1]->peer_status(ApId{1});
+  ASSERT_NE(status, nullptr);
+  EXPECT_DOUBLE_EQ(status->offered_load, 0.7);
+  EXPECT_GT(f.coords[1]->stats().messages_received, 0u);
+}
+
+TEST(Coordinator, OverheadScalesWithPeersAndPeriod) {
+  // C7's mechanism: per-AP X2 byte rate grows with membership, shrinks
+  // with a longer reporting period (the paper's backhaul-constrained
+  // mitigation).
+  auto bytes_for = [](int n, double period_s) {
+    Fixture f;
+    f.build(n, lte::DlteMode::kFairShare, Duration::seconds(period_s));
+    for (auto& c : f.coords) c->set_offered_load(1.0);
+    f.start_all();
+    f.run_for(10.0);
+    return f.coords[0]->stats().bytes_sent;
+  };
+  EXPECT_GT(bytes_for(8, 1.0), bytes_for(2, 1.0));
+  EXPECT_GT(bytes_for(4, 0.5), bytes_for(4, 2.0));
+}
+
+TEST(Coordinator, X2LoadIsKbitPerSecondScale) {
+  // §4.3 [28]: X2 is low-bandwidth. At 1 Hz reporting with 7 peers the
+  // per-AP load must be well under 100 kbit/s.
+  Fixture f;
+  f.build(8, lte::DlteMode::kFairShare);
+  for (auto& c : f.coords) c->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(10.0);
+  const double kbps =
+      f.coords[0]->stats().bytes_sent * 8.0 / 10.0 / 1000.0;
+  EXPECT_LT(kbps, 100.0);
+  EXPECT_GT(kbps, 0.1);
+}
+
+}  // namespace
+}  // namespace dlte::spectrum

@@ -1,0 +1,120 @@
+#include "spectrum/fair_share.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dlte::spectrum {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(MaxMinFair, EqualDemandsSplitEqually) {
+  std::vector<double> d{1.0, 1.0, 1.0, 1.0};
+  const auto s = max_min_fair_shares(d);
+  for (double x : s) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(MaxMinFair, LightDemandFullySatisfied) {
+  std::vector<double> d{0.1, 1.0, 1.0};
+  const auto s = max_min_fair_shares(d);
+  EXPECT_NEAR(s[0], 0.1, 1e-12);
+  EXPECT_NEAR(s[1], 0.45, 1e-12);
+  EXPECT_NEAR(s[2], 0.45, 1e-12);
+}
+
+TEST(MaxMinFair, UndersubscribedEveryoneSatisfied) {
+  std::vector<double> d{0.2, 0.3, 0.1};
+  const auto s = max_min_fair_shares(d);
+  EXPECT_NEAR(s[0], 0.2, 1e-12);
+  EXPECT_NEAR(s[1], 0.3, 1e-12);
+  EXPECT_NEAR(s[2], 0.1, 1e-12);
+  EXPECT_LE(sum(s), 1.0 + 1e-12);
+}
+
+TEST(MaxMinFair, NeverExceedsCapacityOrDemand) {
+  std::vector<double> d{0.9, 0.8, 0.7, 0.05};
+  const auto s = max_min_fair_shares(d);
+  EXPECT_LE(sum(s), 1.0 + 1e-12);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_LE(s[i], d[i] + 1e-12);
+  }
+}
+
+TEST(MaxMinFair, EmptyAndSingle) {
+  EXPECT_TRUE(max_min_fair_shares({}).empty());
+  std::vector<double> one{0.6};
+  EXPECT_NEAR(max_min_fair_shares(one)[0], 0.6, 1e-12);
+  std::vector<double> greedy{5.0};
+  EXPECT_NEAR(max_min_fair_shares(greedy)[0], 1.0, 1e-12);
+}
+
+TEST(MaxMinFair, FairnessIndexIsHighUnderSaturation) {
+  // The §4.3 claim: fairness characteristics similar to WiFi's — under
+  // equal saturating demand, Jain's index must be 1.
+  std::vector<double> d(8, 1.0);
+  const auto s = max_min_fair_shares(d);
+  EXPECT_NEAR(jain_fairness(s), 1.0, 1e-12);
+}
+
+TEST(Proportional, SplitsByDemand) {
+  std::vector<double> d{0.6, 0.2, 0.2};
+  const auto s = proportional_shares(d);
+  EXPECT_NEAR(s[0], 0.6, 1e-12);
+  EXPECT_NEAR(s[1], 0.2, 1e-12);
+  EXPECT_NEAR(s[2], 0.2, 1e-12);
+}
+
+TEST(Proportional, OversubscribedScalesDown) {
+  std::vector<double> d{1.0, 1.0, 2.0};
+  const auto s = proportional_shares(d);
+  EXPECT_NEAR(s[0], 0.25, 1e-12);
+  EXPECT_NEAR(s[1], 0.25, 1e-12);
+  EXPECT_NEAR(s[2], 0.5, 1e-12);
+  EXPECT_NEAR(sum(s), 1.0, 1e-12);
+}
+
+TEST(Proportional, IdleCapacityLeftForBusyPeer) {
+  // Cooperative fusion: a busy AP next to an idle one gets nearly all.
+  std::vector<double> d{1.0, 0.05};
+  const auto s = proportional_shares(d);
+  EXPECT_GT(s[0], 0.9);
+  EXPECT_NEAR(s[1], 0.05, 0.01);
+}
+
+TEST(Proportional, ZeroDemandsZeroShares) {
+  std::vector<double> d{0.0, 0.0};
+  const auto s = proportional_shares(d);
+  EXPECT_EQ(s[0], 0.0);
+  EXPECT_EQ(s[1], 0.0);
+}
+
+// Property sweep: for any demand mix, max-min fair dominates proportional
+// on Jain fairness, while proportional matches demand better.
+class ShareProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShareProperties, FairnessVsEfficiencyTradeoff) {
+  // Deterministic pseudo-random demand vectors per parameter.
+  std::vector<double> d;
+  unsigned seed = static_cast<unsigned>(GetParam()) * 2654435761u + 1;
+  for (int i = 0; i < 6; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    d.push_back(0.05 + static_cast<double>(seed % 1000) / 1000.0);
+  }
+  const auto mm = max_min_fair_shares(d);
+  const auto pr = proportional_shares(d);
+  EXPECT_LE(sum(mm), 1.0 + 1e-9);
+  EXPECT_LE(sum(pr), 1.0 + 1e-9);
+  EXPECT_GE(jain_fairness(mm) + 1e-9, jain_fairness(pr));
+}
+
+INSTANTIATE_TEST_SUITE_P(DemandMixes, ShareProperties,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dlte::spectrum

@@ -1,0 +1,230 @@
+#include "spectrum/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace dlte::spectrum {
+namespace {
+
+GrantRequest band5_request(std::uint32_t ap, Position pos,
+                           double freq_mhz = 850.0) {
+  GrantRequest r;
+  r.ap = ApId{ap};
+  r.location = pos;
+  r.center_frequency = Hertz::mhz(freq_mhz);
+  r.bandwidth = Hertz::mhz(10.0);
+  r.max_eirp = PowerDbm{52.0};
+  r.operator_contact = "op" + std::to_string(ap) + "@example.net";
+  r.coordination_node = NodeId{ap};
+  return r;
+}
+
+TEST(Registry, OpenAdmission) {
+  // §4.3: "New APs are free to join at any time."
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    auto g = reg.grant_now(band5_request(i, Position{i * 1000.0, 0.0}));
+    EXPECT_TRUE(g.ok());
+  }
+  EXPECT_EQ(reg.grant_count(), 20u);
+}
+
+TEST(Registry, ContactIsMandatory) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  auto req = band5_request(1, Position{});
+  req.operator_contact.clear();
+  EXPECT_FALSE(reg.grant_now(req).ok());
+}
+
+TEST(Registry, ZeroBandwidthRejected) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  auto req = band5_request(1, Position{});
+  req.bandwidth = Hertz{0.0};
+  EXPECT_FALSE(reg.grant_now(req).ok());
+}
+
+TEST(Registry, ContentionDomainByDistanceAndChannel) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  auto a = reg.grant_now(band5_request(1, Position{0.0, 0.0}));
+  auto near_cochannel =
+      reg.grant_now(band5_request(2, Position{5'000.0, 0.0}));
+  auto far_cochannel =
+      reg.grant_now(band5_request(3, Position{500'000.0, 0.0}));
+  auto near_other_band =
+      reg.grant_now(band5_request(4, Position{5'000.0, 0.0}, 900.0));
+  ASSERT_TRUE(a.ok());
+
+  const auto domain = reg.contention_domain(*a);
+  std::vector<std::uint32_t> members;
+  for (const auto& g : domain) members.push_back(g.ap.value());
+  EXPECT_EQ(members, (std::vector<std::uint32_t>{2}));
+  (void)near_cochannel;
+  (void)far_cochannel;
+  (void)near_other_band;
+}
+
+TEST(Registry, AdjacentChannelsWithOverlapContend) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  auto a = reg.grant_now(band5_request(1, Position{0.0, 0.0}, 850.0));
+  // 855 MHz with 10 MHz bandwidth overlaps [845,855]x[850,860].
+  auto b = reg.grant_now(band5_request(2, Position{1'000.0, 0.0}, 855.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(reg.contention_domain(*a).size(), 1u);
+}
+
+TEST(Registry, InterferenceRangeLargerAtLowerFrequency) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  auto low = reg.grant_now(band5_request(1, Position{}, 850.0));
+  auto high = reg.grant_now(band5_request(2, Position{}, 2400.0));
+  EXPECT_GT(interference_range_m(*low), interference_range_m(*high));
+  // Sub-GHz at 52 dBm EIRP carries for tens of km.
+  EXPECT_GT(interference_range_m(*low), 10'000.0);
+}
+
+TEST(Registry, RevokeRemovesGrant) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  auto g = reg.grant_now(band5_request(1, Position{}));
+  ASSERT_TRUE(g.ok());
+  reg.revoke(g->id);
+  EXPECT_EQ(reg.grant_count(), 0u);
+}
+
+TEST(Registry, QueryRegionFindsReachableGrants) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  (void)reg.grant_now(band5_request(1, Position{0.0, 0.0}));
+  (void)reg.grant_now(band5_request(2, Position{800'000.0, 0.0}));
+  const auto near = reg.grants_near(Position{2'000.0, 0.0});
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0].ap, ApId{1});
+}
+
+TEST(RegistryLatencies, OrderedByDecentralization) {
+  const auto sas = registry_latency(RegistryKind::kCentralizedSas);
+  const auto fed = registry_latency(RegistryKind::kFederated);
+  const auto chain = registry_latency(RegistryKind::kBlockchain);
+  EXPECT_LT(sas.query.ns(), fed.query.ns());
+  EXPECT_LT(fed.query.ns(), chain.query.ns());
+  EXPECT_LT(sas.commit.ns(), chain.commit.ns());
+  // Blockchain commit is dominated by block inclusion — tens of seconds.
+  EXPECT_GE(chain.commit.to_seconds(), 10.0);
+}
+
+TEST(Registry, AsyncGrantArrivesAfterCommitLatency) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  bool granted = false;
+  TimePoint when;
+  reg.request_grant(band5_request(1, Position{}),
+                    [&](Result<SpectrumGrant> g) {
+                      granted = g.ok();
+                      when = sim.now();
+                    });
+  EXPECT_FALSE(granted);
+  sim.run_all();
+  EXPECT_TRUE(granted);
+  EXPECT_NEAR(when.to_millis(), 200.0, 1.0);
+}
+
+TEST(Registry, AsyncQueryUsesQueryLatency) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kBlockchain};
+  (void)reg.grant_now(band5_request(1, Position{}));
+  TimePoint when;
+  std::size_t found = 0;
+  reg.query_region(Position{1000.0, 0.0},
+                   [&](std::vector<SpectrumGrant> grants) {
+                     found = grants.size();
+                     when = sim.now();
+                   });
+  sim.run_all();
+  EXPECT_EQ(found, 1u);
+  EXPECT_NEAR(when.to_millis(), 400.0, 1.0);
+}
+
+TEST(Registry, SubscriberKeyPublication) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  epc::PublishedKeys keys;
+  keys.imsi = Imsi{12345};
+  keys.k[0] = 0xaa;
+  reg.publish_subscriber(keys);
+  EXPECT_EQ(reg.published_subscriber_count(), 1u);
+  auto got = reg.lookup_subscriber(Imsi{12345});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->k[0], 0xaa);
+  EXPECT_FALSE(reg.lookup_subscriber(Imsi{999}).ok());
+  // Re-publication replaces.
+  keys.k[0] = 0xbb;
+  reg.publish_subscriber(keys);
+  EXPECT_EQ(reg.published_subscriber_count(), 1u);
+  EXPECT_EQ(reg.lookup_subscriber(Imsi{12345})->k[0], 0xbb);
+}
+
+
+TEST(Registry, LeasedGrantLapsesWithoutHeartbeat) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  reg.set_grant_lifetime(Duration::seconds(60.0));
+  auto g = reg.grant_now(band5_request(1, Position{}));
+  ASSERT_TRUE(g.ok());
+  sim.run_until(sim.now() + Duration::seconds(30.0));
+  EXPECT_EQ(reg.grants_near(Position{}).size(), 1u);  // Still alive.
+  sim.run_until(sim.now() + Duration::seconds(40.0));  // 70 s total.
+  EXPECT_TRUE(reg.grants_near(Position{}).empty());
+  EXPECT_EQ(reg.grants_lapsed(), 1u);
+  // A heartbeat on a lapsed grant is refused: the operator re-applies.
+  EXPECT_FALSE(reg.heartbeat(g->id).ok());
+}
+
+TEST(Registry, HeartbeatKeepsGrantAlive) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  reg.set_grant_lifetime(Duration::seconds(60.0));
+  auto g = reg.grant_now(band5_request(1, Position{}));
+  ASSERT_TRUE(g.ok());
+  for (int i = 0; i < 10; ++i) {
+    sim.run_until(sim.now() + Duration::seconds(20.0));
+    EXPECT_TRUE(reg.heartbeat(g->id).ok());
+  }
+  EXPECT_EQ(reg.grants_near(Position{}).size(), 1u);
+  EXPECT_EQ(reg.grants_lapsed(), 0u);
+}
+
+TEST(Registry, DeadApVanishesFromContentionDomain) {
+  // §7 ecosystem health: a neighbour that dies stops constraining the
+  // domain once its lease runs out.
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  reg.set_grant_lifetime(Duration::seconds(60.0));
+  auto alive = reg.grant_now(band5_request(1, Position{0.0, 0.0}));
+  auto dead = reg.grant_now(band5_request(2, Position{5'000.0, 0.0}));
+  ASSERT_TRUE(alive.ok());
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(reg.contention_domain(*alive).size(), 1u);
+  // Only AP1 heartbeats.
+  for (int i = 0; i < 6; ++i) {
+    sim.run_until(sim.now() + Duration::seconds(20.0));
+    (void)reg.heartbeat(alive->id);
+  }
+  EXPECT_TRUE(reg.contention_domain(*alive).empty());
+  EXPECT_EQ(reg.grant_count(), 1u);
+}
+
+TEST(Registry, PerpetualGrantsNeverLapse) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};  // No lifetime set.
+  (void)reg.grant_now(band5_request(1, Position{}));
+  sim.run_until(sim.now() + Duration::seconds(1e6));
+  EXPECT_EQ(reg.grants_near(Position{}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dlte::spectrum

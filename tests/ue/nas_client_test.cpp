@@ -1,0 +1,70 @@
+// Client-side NAS state machine edge cases.
+#include "ue/nas_client.h"
+
+#include <gtest/gtest.h>
+
+namespace dlte::ue {
+namespace {
+
+SimProfile profile() {
+  crypto::Key128 k{};
+  k[0] = 0x46;
+  crypto::Block128 op{};
+  op[0] = 0xcd;
+  return SimProfile{Imsi{77}, k, crypto::derive_opc(k, op), true, "p"};
+}
+
+TEST(NasClient, StartAttachEmitsRequest) {
+  NasClient c{Usim{profile()}, "net"};
+  EXPECT_EQ(c.state(), NasClientState::kIdle);
+  const auto msg = c.start_attach();
+  ASSERT_TRUE(std::holds_alternative<lte::AttachRequest>(msg));
+  EXPECT_EQ(std::get<lte::AttachRequest>(msg).imsi, Imsi{77});
+  EXPECT_EQ(c.state(), NasClientState::kAwaitingAuth);
+}
+
+TEST(NasClient, IgnoresMessagesInWrongState) {
+  NasClient c{Usim{profile()}, "net"};
+  // Accept before any attach: ignored.
+  EXPECT_FALSE(c.handle(lte::NasMessage{lte::AttachAccept{}}).has_value());
+  EXPECT_EQ(c.state(), NasClientState::kIdle);
+
+  (void)c.start_attach();
+  // SecurityModeCommand while awaiting auth: ignored.
+  EXPECT_FALSE(
+      c.handle(lte::NasMessage{lte::SecurityModeCommand{}}).has_value());
+  EXPECT_EQ(c.state(), NasClientState::kAwaitingAuth);
+}
+
+TEST(NasClient, RejectDuringAuthTerminates) {
+  NasClient c{Usim{profile()}, "net"};
+  (void)c.start_attach();
+  EXPECT_FALSE(c.handle(lte::NasMessage{lte::AttachReject{15}}).has_value());
+  EXPECT_EQ(c.state(), NasClientState::kRejected);
+  // Further messages do nothing.
+  EXPECT_FALSE(
+      c.handle(lte::NasMessage{lte::AuthenticationRequest{}}).has_value());
+}
+
+TEST(NasClient, ForgedAuthRequestRejected) {
+  NasClient c{Usim{profile()}, "net"};
+  (void)c.start_attach();
+  // All-zero AUTN cannot carry a valid MAC-A for this K.
+  const auto reply =
+      c.handle(lte::NasMessage{lte::AuthenticationRequest{}});
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(c.state(), NasClientState::kRejected);
+}
+
+TEST(NasClient, ResetAllowsFreshAttachAtNewNetwork) {
+  NasClient c{Usim{profile()}, "net-a"};
+  (void)c.start_attach();
+  c.reset("net-b");
+  EXPECT_EQ(c.state(), NasClientState::kIdle);
+  EXPECT_EQ(c.ue_ip(), 0u);
+  const auto msg = c.start_attach();
+  EXPECT_TRUE(std::holds_alternative<lte::AttachRequest>(msg));
+}
+
+}  // namespace
+}  // namespace dlte::ue
