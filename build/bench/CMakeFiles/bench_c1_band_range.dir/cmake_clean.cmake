@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_band_range.dir/bench_c1_band_range.cpp.o"
+  "CMakeFiles/bench_c1_band_range.dir/bench_c1_band_range.cpp.o.d"
+  "bench_c1_band_range"
+  "bench_c1_band_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_band_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_uplink_asymmetry.dir/bench_c2_uplink_asymmetry.cpp.o"
+  "CMakeFiles/bench_c2_uplink_asymmetry.dir/bench_c2_uplink_asymmetry.cpp.o.d"
+  "bench_c2_uplink_asymmetry"
+  "bench_c2_uplink_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_uplink_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

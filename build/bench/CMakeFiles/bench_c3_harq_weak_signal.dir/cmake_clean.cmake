@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_harq_weak_signal.dir/bench_c3_harq_weak_signal.cpp.o"
+  "CMakeFiles/bench_c3_harq_weak_signal.dir/bench_c3_harq_weak_signal.cpp.o.d"
+  "bench_c3_harq_weak_signal"
+  "bench_c3_harq_weak_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_harq_weak_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

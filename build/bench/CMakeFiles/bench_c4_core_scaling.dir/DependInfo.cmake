@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c4_core_scaling.cpp" "bench/CMakeFiles/bench_c4_core_scaling.dir/bench_c4_core_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_c4_core_scaling.dir/bench_c4_core_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/dlte_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/dlte_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dlte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/dlte_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/dlte_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/dlte_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlte_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlte_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dlte_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlte_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

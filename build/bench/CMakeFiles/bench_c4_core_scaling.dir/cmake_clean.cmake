@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_core_scaling.dir/bench_c4_core_scaling.cpp.o"
+  "CMakeFiles/bench_c4_core_scaling.dir/bench_c4_core_scaling.cpp.o.d"
+  "bench_c4_core_scaling"
+  "bench_c4_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

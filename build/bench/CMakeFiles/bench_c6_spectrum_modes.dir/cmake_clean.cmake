@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_spectrum_modes.dir/bench_c6_spectrum_modes.cpp.o"
+  "CMakeFiles/bench_c6_spectrum_modes.dir/bench_c6_spectrum_modes.cpp.o.d"
+  "bench_c6_spectrum_modes"
+  "bench_c6_spectrum_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_spectrum_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

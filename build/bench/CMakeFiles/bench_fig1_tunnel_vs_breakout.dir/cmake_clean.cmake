@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_tunnel_vs_breakout.dir/bench_fig1_tunnel_vs_breakout.cpp.o"
+  "CMakeFiles/bench_fig1_tunnel_vs_breakout.dir/bench_fig1_tunnel_vs_breakout.cpp.o.d"
+  "bench_fig1_tunnel_vs_breakout"
+  "bench_fig1_tunnel_vs_breakout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tunnel_vs_breakout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_tunnel_vs_breakout.
+# This may be replaced when dependencies are built.

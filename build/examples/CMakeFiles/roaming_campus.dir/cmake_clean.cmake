@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_campus.dir/roaming_campus.cpp.o"
+  "CMakeFiles/roaming_campus.dir/roaming_campus.cpp.o.d"
+  "roaming_campus"
+  "roaming_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

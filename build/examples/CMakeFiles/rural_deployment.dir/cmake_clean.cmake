@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rural_deployment.dir/rural_deployment.cpp.o"
+  "CMakeFiles/rural_deployment.dir/rural_deployment.cpp.o.d"
+  "rural_deployment"
+  "rural_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rural_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_cooperation.dir/spectrum_cooperation.cpp.o"
+  "CMakeFiles/spectrum_cooperation.dir/spectrum_cooperation.cpp.o.d"
+  "spectrum_cooperation"
+  "spectrum_cooperation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

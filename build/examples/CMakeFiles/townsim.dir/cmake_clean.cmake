@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/townsim.dir/townsim.cpp.o"
+  "CMakeFiles/townsim.dir/townsim.cpp.o.d"
+  "townsim"
+  "townsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/townsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_common.dir/bytes.cpp.o"
+  "CMakeFiles/dlte_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dlte_common.dir/stats.cpp.o"
+  "CMakeFiles/dlte_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dlte_common.dir/table.cpp.o"
+  "CMakeFiles/dlte_common.dir/table.cpp.o.d"
+  "libdlte_common.a"
+  "libdlte_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_point.cpp" "src/core/CMakeFiles/dlte_core.dir/access_point.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/access_point.cpp.o.d"
+  "/root/repo/src/core/backhaul_mesh.cpp" "src/core/CMakeFiles/dlte_core.dir/backhaul_mesh.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/backhaul_mesh.cpp.o.d"
+  "/root/repo/src/core/enodeb.cpp" "src/core/CMakeFiles/dlte_core.dir/enodeb.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/enodeb.cpp.o.d"
+  "/root/repo/src/core/handover.cpp" "src/core/CMakeFiles/dlte_core.dir/handover.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/handover.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/dlte_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/radio_env.cpp" "src/core/CMakeFiles/dlte_core.dir/radio_env.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/radio_env.cpp.o.d"
+  "/root/repo/src/core/s1_fabric.cpp" "src/core/CMakeFiles/dlte_core.dir/s1_fabric.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/s1_fabric.cpp.o.d"
+  "/root/repo/src/core/ue_device.cpp" "src/core/CMakeFiles/dlte_core.dir/ue_device.cpp.o" "gcc" "src/core/CMakeFiles/dlte_core.dir/ue_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dlte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/dlte_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlte_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dlte_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/dlte_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/dlte_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectrum/CMakeFiles/dlte_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/ue/CMakeFiles/dlte_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlte_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlte_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

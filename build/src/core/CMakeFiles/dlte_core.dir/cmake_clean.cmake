@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_core.dir/access_point.cpp.o"
+  "CMakeFiles/dlte_core.dir/access_point.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/backhaul_mesh.cpp.o"
+  "CMakeFiles/dlte_core.dir/backhaul_mesh.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/enodeb.cpp.o"
+  "CMakeFiles/dlte_core.dir/enodeb.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/handover.cpp.o"
+  "CMakeFiles/dlte_core.dir/handover.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/measurement.cpp.o"
+  "CMakeFiles/dlte_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/radio_env.cpp.o"
+  "CMakeFiles/dlte_core.dir/radio_env.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/s1_fabric.cpp.o"
+  "CMakeFiles/dlte_core.dir/s1_fabric.cpp.o.d"
+  "CMakeFiles/dlte_core.dir/ue_device.cpp.o"
+  "CMakeFiles/dlte_core.dir/ue_device.cpp.o.d"
+  "libdlte_core.a"
+  "libdlte_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

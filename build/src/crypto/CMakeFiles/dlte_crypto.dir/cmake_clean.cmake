@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/dlte_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/dlte_crypto.dir/key_derivation.cpp.o"
+  "CMakeFiles/dlte_crypto.dir/key_derivation.cpp.o.d"
+  "CMakeFiles/dlte_crypto.dir/milenage.cpp.o"
+  "CMakeFiles/dlte_crypto.dir/milenage.cpp.o.d"
+  "CMakeFiles/dlte_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dlte_crypto.dir/sha256.cpp.o.d"
+  "libdlte_crypto.a"
+  "libdlte_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epc/epc.cpp" "src/epc/CMakeFiles/dlte_epc.dir/epc.cpp.o" "gcc" "src/epc/CMakeFiles/dlte_epc.dir/epc.cpp.o.d"
+  "/root/repo/src/epc/gateway.cpp" "src/epc/CMakeFiles/dlte_epc.dir/gateway.cpp.o" "gcc" "src/epc/CMakeFiles/dlte_epc.dir/gateway.cpp.o.d"
+  "/root/repo/src/epc/gtp_plane.cpp" "src/epc/CMakeFiles/dlte_epc.dir/gtp_plane.cpp.o" "gcc" "src/epc/CMakeFiles/dlte_epc.dir/gtp_plane.cpp.o.d"
+  "/root/repo/src/epc/hss.cpp" "src/epc/CMakeFiles/dlte_epc.dir/hss.cpp.o" "gcc" "src/epc/CMakeFiles/dlte_epc.dir/hss.cpp.o.d"
+  "/root/repo/src/epc/mme.cpp" "src/epc/CMakeFiles/dlte_epc.dir/mme.cpp.o" "gcc" "src/epc/CMakeFiles/dlte_epc.dir/mme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlte_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/dlte_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlte_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

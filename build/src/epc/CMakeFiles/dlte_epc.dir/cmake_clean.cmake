@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_epc.dir/epc.cpp.o"
+  "CMakeFiles/dlte_epc.dir/epc.cpp.o.d"
+  "CMakeFiles/dlte_epc.dir/gateway.cpp.o"
+  "CMakeFiles/dlte_epc.dir/gateway.cpp.o.d"
+  "CMakeFiles/dlte_epc.dir/gtp_plane.cpp.o"
+  "CMakeFiles/dlte_epc.dir/gtp_plane.cpp.o.d"
+  "CMakeFiles/dlte_epc.dir/hss.cpp.o"
+  "CMakeFiles/dlte_epc.dir/hss.cpp.o.d"
+  "CMakeFiles/dlte_epc.dir/mme.cpp.o"
+  "CMakeFiles/dlte_epc.dir/mme.cpp.o.d"
+  "libdlte_epc.a"
+  "libdlte_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/gtp.cpp" "src/lte/CMakeFiles/dlte_lte.dir/gtp.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/gtp.cpp.o.d"
+  "/root/repo/src/lte/nas.cpp" "src/lte/CMakeFiles/dlte_lte.dir/nas.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/nas.cpp.o.d"
+  "/root/repo/src/lte/pdcp.cpp" "src/lte/CMakeFiles/dlte_lte.dir/pdcp.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/pdcp.cpp.o.d"
+  "/root/repo/src/lte/rlc.cpp" "src/lte/CMakeFiles/dlte_lte.dir/rlc.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/rlc.cpp.o.d"
+  "/root/repo/src/lte/rrc.cpp" "src/lte/CMakeFiles/dlte_lte.dir/rrc.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/rrc.cpp.o.d"
+  "/root/repo/src/lte/s1ap.cpp" "src/lte/CMakeFiles/dlte_lte.dir/s1ap.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/s1ap.cpp.o.d"
+  "/root/repo/src/lte/x2ap.cpp" "src/lte/CMakeFiles/dlte_lte.dir/x2ap.cpp.o" "gcc" "src/lte/CMakeFiles/dlte_lte.dir/x2ap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlte_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_lte.dir/gtp.cpp.o"
+  "CMakeFiles/dlte_lte.dir/gtp.cpp.o.d"
+  "CMakeFiles/dlte_lte.dir/nas.cpp.o"
+  "CMakeFiles/dlte_lte.dir/nas.cpp.o.d"
+  "CMakeFiles/dlte_lte.dir/pdcp.cpp.o"
+  "CMakeFiles/dlte_lte.dir/pdcp.cpp.o.d"
+  "CMakeFiles/dlte_lte.dir/rlc.cpp.o"
+  "CMakeFiles/dlte_lte.dir/rlc.cpp.o.d"
+  "CMakeFiles/dlte_lte.dir/rrc.cpp.o"
+  "CMakeFiles/dlte_lte.dir/rrc.cpp.o.d"
+  "CMakeFiles/dlte_lte.dir/s1ap.cpp.o"
+  "CMakeFiles/dlte_lte.dir/s1ap.cpp.o.d"
+  "CMakeFiles/dlte_lte.dir/x2ap.cpp.o"
+  "CMakeFiles/dlte_lte.dir/x2ap.cpp.o.d"
+  "libdlte_lte.a"
+  "libdlte_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlte_lte.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/lte_cell_mac.cpp" "src/mac/CMakeFiles/dlte_mac.dir/lte_cell_mac.cpp.o" "gcc" "src/mac/CMakeFiles/dlte_mac.dir/lte_cell_mac.cpp.o.d"
+  "/root/repo/src/mac/lte_scheduler.cpp" "src/mac/CMakeFiles/dlte_mac.dir/lte_scheduler.cpp.o" "gcc" "src/mac/CMakeFiles/dlte_mac.dir/lte_scheduler.cpp.o.d"
+  "/root/repo/src/mac/wifi_dcf.cpp" "src/mac/CMakeFiles/dlte_mac.dir/wifi_dcf.cpp.o" "gcc" "src/mac/CMakeFiles/dlte_mac.dir/wifi_dcf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dlte_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

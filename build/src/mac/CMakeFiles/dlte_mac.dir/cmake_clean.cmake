@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_mac.dir/lte_cell_mac.cpp.o"
+  "CMakeFiles/dlte_mac.dir/lte_cell_mac.cpp.o.d"
+  "CMakeFiles/dlte_mac.dir/lte_scheduler.cpp.o"
+  "CMakeFiles/dlte_mac.dir/lte_scheduler.cpp.o.d"
+  "CMakeFiles/dlte_mac.dir/wifi_dcf.cpp.o"
+  "CMakeFiles/dlte_mac.dir/wifi_dcf.cpp.o.d"
+  "libdlte_mac.a"
+  "libdlte_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

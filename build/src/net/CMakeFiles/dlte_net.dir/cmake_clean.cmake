@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_net.dir/network.cpp.o"
+  "CMakeFiles/dlte_net.dir/network.cpp.o.d"
+  "libdlte_net.a"
+  "libdlte_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/harq.cpp" "src/phy/CMakeFiles/dlte_phy.dir/harq.cpp.o" "gcc" "src/phy/CMakeFiles/dlte_phy.dir/harq.cpp.o.d"
+  "/root/repo/src/phy/link_budget.cpp" "src/phy/CMakeFiles/dlte_phy.dir/link_budget.cpp.o" "gcc" "src/phy/CMakeFiles/dlte_phy.dir/link_budget.cpp.o.d"
+  "/root/repo/src/phy/lte_amc.cpp" "src/phy/CMakeFiles/dlte_phy.dir/lte_amc.cpp.o" "gcc" "src/phy/CMakeFiles/dlte_phy.dir/lte_amc.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/dlte_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/dlte_phy.dir/propagation.cpp.o.d"
+  "/root/repo/src/phy/wifi_phy.cpp" "src/phy/CMakeFiles/dlte_phy.dir/wifi_phy.cpp.o" "gcc" "src/phy/CMakeFiles/dlte_phy.dir/wifi_phy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_phy.dir/harq.cpp.o"
+  "CMakeFiles/dlte_phy.dir/harq.cpp.o.d"
+  "CMakeFiles/dlte_phy.dir/link_budget.cpp.o"
+  "CMakeFiles/dlte_phy.dir/link_budget.cpp.o.d"
+  "CMakeFiles/dlte_phy.dir/lte_amc.cpp.o"
+  "CMakeFiles/dlte_phy.dir/lte_amc.cpp.o.d"
+  "CMakeFiles/dlte_phy.dir/propagation.cpp.o"
+  "CMakeFiles/dlte_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/dlte_phy.dir/wifi_phy.cpp.o"
+  "CMakeFiles/dlte_phy.dir/wifi_phy.cpp.o.d"
+  "libdlte_phy.a"
+  "libdlte_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_sim.dir/random.cpp.o"
+  "CMakeFiles/dlte_sim.dir/random.cpp.o.d"
+  "CMakeFiles/dlte_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dlte_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/dlte_sim.dir/trace.cpp.o"
+  "CMakeFiles/dlte_sim.dir/trace.cpp.o.d"
+  "libdlte_sim.a"
+  "libdlte_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_spectrum.dir/chain.cpp.o"
+  "CMakeFiles/dlte_spectrum.dir/chain.cpp.o.d"
+  "CMakeFiles/dlte_spectrum.dir/coordinator.cpp.o"
+  "CMakeFiles/dlte_spectrum.dir/coordinator.cpp.o.d"
+  "CMakeFiles/dlte_spectrum.dir/fair_share.cpp.o"
+  "CMakeFiles/dlte_spectrum.dir/fair_share.cpp.o.d"
+  "CMakeFiles/dlte_spectrum.dir/registry.cpp.o"
+  "CMakeFiles/dlte_spectrum.dir/registry.cpp.o.d"
+  "libdlte_spectrum.a"
+  "libdlte_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_transport.dir/transport.cpp.o"
+  "CMakeFiles/dlte_transport.dir/transport.cpp.o.d"
+  "libdlte_transport.a"
+  "libdlte_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

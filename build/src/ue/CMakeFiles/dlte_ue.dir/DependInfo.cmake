@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ue/mobility.cpp" "src/ue/CMakeFiles/dlte_ue.dir/mobility.cpp.o" "gcc" "src/ue/CMakeFiles/dlte_ue.dir/mobility.cpp.o.d"
+  "/root/repo/src/ue/nas_client.cpp" "src/ue/CMakeFiles/dlte_ue.dir/nas_client.cpp.o" "gcc" "src/ue/CMakeFiles/dlte_ue.dir/nas_client.cpp.o.d"
+  "/root/repo/src/ue/usim.cpp" "src/ue/CMakeFiles/dlte_ue.dir/usim.cpp.o" "gcc" "src/ue/CMakeFiles/dlte_ue.dir/usim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlte_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/dlte_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

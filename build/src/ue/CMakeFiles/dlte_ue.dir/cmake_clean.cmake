@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_ue.dir/mobility.cpp.o"
+  "CMakeFiles/dlte_ue.dir/mobility.cpp.o.d"
+  "CMakeFiles/dlte_ue.dir/nas_client.cpp.o"
+  "CMakeFiles/dlte_ue.dir/nas_client.cpp.o.d"
+  "CMakeFiles/dlte_ue.dir/usim.cpp.o"
+  "CMakeFiles/dlte_ue.dir/usim.cpp.o.d"
+  "libdlte_ue.a"
+  "libdlte_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

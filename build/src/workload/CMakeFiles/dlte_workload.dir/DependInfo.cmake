@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ott_service.cpp" "src/workload/CMakeFiles/dlte_workload.dir/ott_service.cpp.o" "gcc" "src/workload/CMakeFiles/dlte_workload.dir/ott_service.cpp.o.d"
+  "/root/repo/src/workload/sources.cpp" "src/workload/CMakeFiles/dlte_workload.dir/sources.cpp.o" "gcc" "src/workload/CMakeFiles/dlte_workload.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dlte_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlte_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlte_workload.dir/ott_service.cpp.o"
+  "CMakeFiles/dlte_workload.dir/ott_service.cpp.o.d"
+  "CMakeFiles/dlte_workload.dir/sources.cpp.o"
+  "CMakeFiles/dlte_workload.dir/sources.cpp.o.d"
+  "libdlte_workload.a"
+  "libdlte_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlte_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

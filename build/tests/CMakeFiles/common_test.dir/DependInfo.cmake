@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/ids_test.cpp" "tests/CMakeFiles/common_test.dir/common/ids_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/ids_test.cpp.o.d"
+  "/root/repo/tests/common/result_test.cpp" "tests/CMakeFiles/common_test.dir/common/result_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/result_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/common_test.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/time_units_test.cpp" "tests/CMakeFiles/common_test.dir/common/time_units_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/time_units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

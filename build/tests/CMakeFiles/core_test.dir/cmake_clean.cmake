@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/access_point_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/access_point_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/backhaul_mesh_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/backhaul_mesh_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/detach_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/detach_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/handover_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/handover_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/measurement_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/measurement_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/paging_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/paging_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/radio_env_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/radio_env_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/robustness_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/s1_fabric_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/s1_fabric_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

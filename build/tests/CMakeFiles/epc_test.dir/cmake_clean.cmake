@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epc_test.dir/epc/attach_flow_test.cpp.o"
+  "CMakeFiles/epc_test.dir/epc/attach_flow_test.cpp.o.d"
+  "CMakeFiles/epc_test.dir/epc/gateway_test.cpp.o"
+  "CMakeFiles/epc_test.dir/epc/gateway_test.cpp.o.d"
+  "CMakeFiles/epc_test.dir/epc/gtp_plane_test.cpp.o"
+  "CMakeFiles/epc_test.dir/epc/gtp_plane_test.cpp.o.d"
+  "CMakeFiles/epc_test.dir/epc/hss_test.cpp.o"
+  "CMakeFiles/epc_test.dir/epc/hss_test.cpp.o.d"
+  "epc_test"
+  "epc_test.pdb"
+  "epc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

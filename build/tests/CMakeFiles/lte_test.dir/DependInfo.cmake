@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lte/fuzz_decoders_test.cpp" "tests/CMakeFiles/lte_test.dir/lte/fuzz_decoders_test.cpp.o" "gcc" "tests/CMakeFiles/lte_test.dir/lte/fuzz_decoders_test.cpp.o.d"
+  "/root/repo/tests/lte/gtp_s1ap_test.cpp" "tests/CMakeFiles/lte_test.dir/lte/gtp_s1ap_test.cpp.o" "gcc" "tests/CMakeFiles/lte_test.dir/lte/gtp_s1ap_test.cpp.o.d"
+  "/root/repo/tests/lte/nas_test.cpp" "tests/CMakeFiles/lte_test.dir/lte/nas_test.cpp.o" "gcc" "tests/CMakeFiles/lte_test.dir/lte/nas_test.cpp.o.d"
+  "/root/repo/tests/lte/rlc_pdcp_test.cpp" "tests/CMakeFiles/lte_test.dir/lte/rlc_pdcp_test.cpp.o" "gcc" "tests/CMakeFiles/lte_test.dir/lte/rlc_pdcp_test.cpp.o.d"
+  "/root/repo/tests/lte/x2ap_test.cpp" "tests/CMakeFiles/lte_test.dir/lte/x2ap_test.cpp.o" "gcc" "tests/CMakeFiles/lte_test.dir/lte/x2ap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lte/CMakeFiles/dlte_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dlte_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/dlte_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlte_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlte_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

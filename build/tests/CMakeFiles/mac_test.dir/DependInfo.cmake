@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mac/lte_cell_mac_test.cpp" "tests/CMakeFiles/mac_test.dir/mac/lte_cell_mac_test.cpp.o" "gcc" "tests/CMakeFiles/mac_test.dir/mac/lte_cell_mac_test.cpp.o.d"
+  "/root/repo/tests/mac/lte_scheduler_test.cpp" "tests/CMakeFiles/mac_test.dir/mac/lte_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/mac_test.dir/mac/lte_scheduler_test.cpp.o.d"
+  "/root/repo/tests/mac/wifi_dcf_test.cpp" "tests/CMakeFiles/mac_test.dir/mac/wifi_dcf_test.cpp.o" "gcc" "tests/CMakeFiles/mac_test.dir/mac/wifi_dcf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/dlte_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dlte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/harq_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/harq_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/harq_test.cpp.o.d"
+  "/root/repo/tests/phy/link_budget_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/link_budget_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/link_budget_test.cpp.o.d"
+  "/root/repo/tests/phy/lte_amc_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/lte_amc_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/lte_amc_test.cpp.o.d"
+  "/root/repo/tests/phy/propagation_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/propagation_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/propagation_test.cpp.o.d"
+  "/root/repo/tests/phy/wifi_phy_test.cpp" "tests/CMakeFiles/phy_test.dir/phy/wifi_phy_test.cpp.o" "gcc" "tests/CMakeFiles/phy_test.dir/phy/wifi_phy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/dlte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_test.dir/phy/harq_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/harq_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/link_budget_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/link_budget_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/lte_amc_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/lte_amc_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/propagation_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/propagation_test.cpp.o.d"
+  "CMakeFiles/phy_test.dir/phy/wifi_phy_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy/wifi_phy_test.cpp.o.d"
+  "phy_test"
+  "phy_test.pdb"
+  "phy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

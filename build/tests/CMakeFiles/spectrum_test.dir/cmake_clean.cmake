@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_test.dir/spectrum/chain_test.cpp.o"
+  "CMakeFiles/spectrum_test.dir/spectrum/chain_test.cpp.o.d"
+  "CMakeFiles/spectrum_test.dir/spectrum/coordinator_test.cpp.o"
+  "CMakeFiles/spectrum_test.dir/spectrum/coordinator_test.cpp.o.d"
+  "CMakeFiles/spectrum_test.dir/spectrum/fair_share_test.cpp.o"
+  "CMakeFiles/spectrum_test.dir/spectrum/fair_share_test.cpp.o.d"
+  "CMakeFiles/spectrum_test.dir/spectrum/registry_test.cpp.o"
+  "CMakeFiles/spectrum_test.dir/spectrum/registry_test.cpp.o.d"
+  "spectrum_test"
+  "spectrum_test.pdb"
+  "spectrum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ue_test.dir/ue/nas_client_test.cpp.o"
+  "CMakeFiles/ue_test.dir/ue/nas_client_test.cpp.o.d"
+  "CMakeFiles/ue_test.dir/ue/usim_mobility_test.cpp.o"
+  "CMakeFiles/ue_test.dir/ue/usim_mobility_test.cpp.o.d"
+  "ue_test"
+  "ue_test.pdb"
+  "ue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
