@@ -1,0 +1,190 @@
+// Experiment C8 — §4.1/§6: "the failure of one AP's core affects only
+// that AP" — resilience under core failure.
+//
+// A two-AP town with 12 UEs camped on AP 1. At t=30 s a fault plan
+// crashes AP 1's local core for 30 s (volatile MME/S-GW state lost, cell
+// off the air). Under dLTE the UEs' failover agents re-attach to AP 2
+// within seconds and service continues; the report shows the measured
+// MTTR and an eventual attach rate of 1. The centralized foil runs the
+// same town where both cells hang off ONE shared core: the same fault
+// takes the whole region dark — zero UEs in service mid-outage.
+//
+// The run is fully deterministic: the same seed yields byte-identical
+// ResilienceReports, which this binary verifies by running the dLTE
+// scenario twice.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fault/failover.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "sim/trace.h"
+#include "ue/mobility.h"
+
+namespace {
+using namespace dlte;
+
+constexpr int kUes = 12;
+constexpr double kHorizonS = 90.0;
+constexpr double kCrashAtS = 30.0;
+constexpr double kCrashDurationS = 30.0;
+constexpr double kMidOutageProbeS = 45.0;
+
+struct RunResult {
+  fault::ResilienceReport report;
+  std::string report_text;
+  int in_service_mid_outage{0};
+  std::uint64_t faults_injected{0};
+};
+
+// One town, two cells 4 km apart, every UE parked near AP 1. With
+// `shared_core` the fault plan models a centralized deployment: both
+// cells depend on the same core site, so the crash takes both down.
+RunResult run_town(std::uint64_t seed, bool shared_core) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  net.set_impairment_seed(seed);
+  core::RadioEnvironment radio;
+  spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
+  sim::TraceLog trace{sim};
+  const NodeId internet = net.add_node("internet");
+
+  std::vector<std::unique_ptr<core::DlteAccessPoint>> aps;
+  for (std::uint32_t id = 1; id <= 2; ++id) {
+    const NodeId node = net.add_node("ap" + std::to_string(id));
+    net.add_link(node, internet,
+                 net::LinkConfig{DataRate::mbps(50.0), Duration::millis(15)});
+    core::ApConfig cfg;
+    cfg.id = ApId{id};
+    cfg.cell = CellId{id};
+    cfg.position = Position{(id - 1) * 4'000.0, 0.0};
+    cfg.seed = seed + id;
+    aps.push_back(
+        std::make_unique<core::DlteAccessPoint>(sim, net, node, radio, cfg));
+    aps.back()->bring_up(registry);
+  }
+  sim.run_until(TimePoint{} + Duration::seconds(2.0));
+
+  crypto::Block128 op{};
+  op[0] = 0xcd;
+  std::vector<std::unique_ptr<core::UeDevice>> ues;
+  for (std::uint64_t u = 0; u < kUes; ++u) {
+    crypto::Key128 k{};
+    for (std::size_t i = 0; i < 16; ++i) {
+      k[i] = static_cast<std::uint8_t>(u * 7 + i);
+    }
+    const Imsi imsi{730010000000000ULL + u};
+    const auto opc = crypto::derive_opc(k, op);
+    registry.publish_subscriber(epc::PublishedKeys{imsi, k, opc});
+    ues.push_back(std::make_unique<core::UeDevice>(
+        ue::SimProfile{imsi, k, opc, true, "town"},
+        std::make_unique<ue::StaticMobility>(
+            Position{400.0 + 90.0 * static_cast<double>(u), 0.0})));
+  }
+  for (auto& ap : aps) ap->import_published_subscribers(registry);
+
+  fault::ResilienceTracker tracker{sim};
+  fault::UeFailoverAgent agent{sim, radio, &tracker};
+  for (auto& ap : aps) agent.add_ap(ap.get());
+  for (auto& ue : ues) agent.manage(*ue, mac::UeTrafficConfig{});
+  agent.start();
+
+  fault::FaultInjector injector{sim};
+  for (auto& ap : aps) injector.register_ap(ap.get());
+  injector.set_network(&net);
+  injector.set_registry(&registry);
+  injector.set_trace(&trace);
+
+  fault::FaultPlan plan;
+  fault::FaultSpec crash;
+  crash.kind = fault::FaultKind::kApCrash;
+  crash.at = TimePoint{} + Duration::seconds(kCrashAtS);
+  crash.duration = Duration::seconds(kCrashDurationS);
+  crash.ap = ApId{1};
+  plan.add(crash);
+  if (shared_core) {
+    // Centralized: AP 2's cell has no core of its own — the same site
+    // failure takes it dark for the same window.
+    fault::FaultSpec twin = crash;
+    twin.ap = ApId{2};
+    plan.add(twin);
+  }
+  injector.arm(plan);
+
+  RunResult result;
+  sim.schedule_at(TimePoint{} + Duration::seconds(kMidOutageProbeS), [&] {
+    for (auto& ue : ues) {
+      if (ue->attached() && tracker.in_service(ue->imsi())) {
+        ++result.in_service_mid_outage;
+      }
+    }
+  });
+
+  const TimePoint horizon = TimePoint{} + Duration::seconds(kHorizonS);
+  sim.run_until(horizon);
+
+  result.report = tracker.report(horizon);
+  result.report.fault_events = trace.count(sim::TraceCategory::kFault);
+  result.report_text = result.report.to_string();
+  result.faults_injected = injector.stats().injected;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_bench_header(
+      std::cout, "C8", "paper §4.1/§6, Local Cores",
+      "an AP core failure is contained: UEs fail over to a neighbor in "
+      "seconds, while a centralized core is a region-wide single point of "
+      "failure");
+
+  const std::uint64_t seed = 2018;
+  const RunResult dlte = run_town(seed, /*shared_core=*/false);
+  const RunResult central = run_town(seed, /*shared_core=*/true);
+
+  TextTable t{{"architecture", "ues", "avail", "mttr", "reattach-p95",
+               "eventual-attach", "in-service@t=45s"}};
+  t.row()
+      .add("dLTE (per-AP core)")
+      .integer(static_cast<long long>(dlte.report.ues))
+      .num(dlte.report.availability, 3)
+      .num(dlte.report.mttr_s, 2, " s")
+      .num(dlte.report.reattach_p95_s, 2, " s")
+      .num(dlte.report.eventual_attach_rate * 100.0, 1, " %")
+      .integer(dlte.in_service_mid_outage);
+  t.row()
+      .add("centralized core")
+      .integer(static_cast<long long>(central.report.ues))
+      .num(central.report.availability, 3)
+      .num(central.report.mttr_s, 2, " s")
+      .num(central.report.reattach_p95_s, 2, " s")
+      .num(central.report.eventual_attach_rate * 100.0, 1, " %")
+      .integer(central.in_service_mid_outage);
+  t.print(std::cout);
+
+  std::cout << "\ndLTE resilience report:\n" << dlte.report_text;
+
+  // Determinism gate: the same seed must reproduce the report byte for
+  // byte (the property the fault subsystem is built around).
+  const RunResult replay = run_town(seed, /*shared_core=*/false);
+  const bool deterministic = replay.report_text == dlte.report_text;
+  std::cout << "\nsame-seed replay byte-identical: "
+            << (deterministic ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+
+  const bool contained = dlte.in_service_mid_outage > 0 &&
+                         central.in_service_mid_outage == 0 &&
+                         dlte.report.eventual_attach_rate >= 0.99;
+  std::cout << "shape check: "
+            << (contained && deterministic
+                    ? "PASS — failure contained to one AP, neighbor absorbed "
+                      "the re-attach storm"
+                    : "FAIL — expected dLTE to keep serving mid-outage and "
+                      "the centralized town to go dark")
+            << "\n";
+  return contained && deterministic ? 0 : 1;
+}

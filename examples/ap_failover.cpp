@@ -1,0 +1,115 @@
+// AP failover walkthrough: what §4.1's "local core per AP" buys you
+// when hardware dies.
+//
+// Two neighborhood APs share a town. Eight households camp on AP 1
+// (it is closer). At t=30 s AP 1's box loses power — its local
+// MME/S-GW state evaporates with it, exactly like a WiFi AP rebooting.
+// Each UE's failover watchdog notices the dead cell, picks the best
+// surviving AP by RSRP, and re-attaches with exponential backoff. The
+// timeline below shows the injected fault, the degraded window, and the
+// re-attach wave; the closing report puts numbers on it.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/failover.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "sim/trace.h"
+#include "ue/mobility.h"
+
+using namespace dlte;
+
+int main() {
+  sim::Simulator sim;
+  net::Network net{sim};
+  core::RadioEnvironment radio;
+  spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
+  sim::TraceLog trace{sim};
+  const NodeId internet = net.add_node("internet");
+
+  // Two APs 3.5 km apart, both with their own core stub.
+  std::vector<std::unique_ptr<core::DlteAccessPoint>> aps;
+  for (std::uint32_t id = 1; id <= 2; ++id) {
+    const NodeId node = net.add_node("ap" + std::to_string(id));
+    net.add_link(node, internet,
+                 net::LinkConfig{DataRate::mbps(50.0), Duration::millis(15)});
+    core::ApConfig cfg;
+    cfg.id = ApId{id};
+    cfg.cell = CellId{id};
+    cfg.position = Position{(id - 1) * 3'500.0, 0.0};
+    cfg.seed = 40 + id;
+    aps.push_back(
+        std::make_unique<core::DlteAccessPoint>(sim, net, node, radio, cfg));
+    aps.back()->set_trace(&trace);
+    aps.back()->bring_up(registry);
+  }
+  sim.run_until(sim.now() + Duration::seconds(2.0));
+  std::cout << "two APs up, each with a local core\n";
+
+  // Eight households, all closer to AP 1.
+  crypto::Block128 op{};
+  op[0] = 0xcd;
+  std::vector<std::unique_ptr<core::UeDevice>> homes;
+  for (std::uint64_t h = 0; h < 8; ++h) {
+    crypto::Key128 k{};
+    for (std::size_t i = 0; i < 16; ++i) {
+      k[i] = static_cast<std::uint8_t>(h * 13 + i);
+    }
+    const Imsi imsi{510990000000200ULL + h};
+    const auto opc = crypto::derive_opc(k, op);
+    registry.publish_subscriber(epc::PublishedKeys{imsi, k, opc});
+    homes.push_back(std::make_unique<core::UeDevice>(
+        ue::SimProfile{imsi, k, opc, true, "home"},
+        std::make_unique<ue::StaticMobility>(
+            Position{300.0 + 120.0 * static_cast<double>(h), 0.0})));
+  }
+  for (auto& ap : aps) ap->import_published_subscribers(registry);
+
+  fault::ResilienceTracker tracker{sim};
+  fault::UeFailoverAgent agent{sim, radio, &tracker};
+  for (auto& ap : aps) agent.add_ap(ap.get());
+  for (auto& home : homes) agent.manage(*home, mac::UeTrafficConfig{});
+  agent.start();
+  sim.run_until(sim.now() + Duration::seconds(5.0));
+  std::cout << "all " << homes.size() << " households attached; AP 1 serves "
+            << aps[0]->core().gateway().session_count() << ", AP 2 serves "
+            << aps[1]->core().gateway().session_count() << "\n\n";
+
+  // The fault: AP 1 dies at t=30 s and stays dead.
+  fault::FaultInjector injector{sim};
+  injector.register_ap(aps[0].get());
+  injector.register_ap(aps[1].get());
+  injector.set_registry(&registry);
+  injector.set_trace(&trace);
+  fault::FaultPlan plan;
+  fault::FaultSpec crash;
+  crash.kind = fault::FaultKind::kApCrash;
+  crash.at = TimePoint{} + Duration::seconds(30.0);
+  crash.ap = ApId{1};  // Duration zero: permanent.
+  plan.add(crash);
+  injector.arm(plan);
+  std::cout << "fault plan:\n" << plan.summary() << "\n";
+
+  const TimePoint horizon = TimePoint{} + Duration::seconds(60.0);
+  sim.run_until(horizon);
+
+  std::cout << "fault timeline:\n";
+  for (const auto& ev : trace.events()) {
+    if (ev.category != sim::TraceCategory::kFault) continue;
+    std::cout << "  t=" << (ev.when - TimePoint{}).to_seconds() << "s  ["
+              << ev.component
+              << "] " << ev.message << "\n";
+  }
+
+  std::cout << "\nafter the crash: AP 2 now serves "
+            << aps[1]->core().gateway().session_count() << " of "
+            << homes.size() << " households\n";
+
+  auto report = tracker.report(horizon);
+  report.fault_events = trace.count(sim::TraceCategory::kFault);
+  std::cout << "\nresilience report:\n" << report.to_string();
+  std::cout << "\nno carrier NOC was paged; the town healed itself.\n";
+  return 0;
+}

@@ -92,17 +92,7 @@ void DlteAccessPoint::bring_up(spectrum::Registry& registry,
                   " MHz");
         // Leased grants must be kept alive (a dead AP's grant lapses and
         // frees its neighbours' spectrum).
-        if (!registry.grant_lifetime().is_zero()) {
-          lease_heartbeat_ = sim_.every_cancellable(
-              registry.grant_lifetime() / 3, [this, &registry] {
-                if (!grant_) return;
-                if (!registry.heartbeat(grant_->id).ok()) {
-                  trace(sim::TraceCategory::kRegistry,
-                        "grant lapsed; lost the lease");
-                  grant_.reset();
-                }
-              });
-        }
+        start_lease_heartbeat(registry);
         // Discover the contention domain and peer up.
         registry.query_region(
             config_.position,
@@ -128,6 +118,44 @@ void DlteAccessPoint::bring_up(spectrum::Registry& registry,
       });
 }
 
+void DlteAccessPoint::start_lease_heartbeat(spectrum::Registry& registry) {
+  if (registry.grant_lifetime().is_zero()) return;
+  lease_heartbeat_ = sim_.every_cancellable(
+      registry.grant_lifetime() / 3, [this, &registry] {
+        if (!grant_) return;
+        if (registry.heartbeat(grant_->id).ok()) {
+          if (degraded_since_) {
+            // Registry is back; resume full power.
+            degraded_since_.reset();
+            radio_env_.set_power_backoff_db(config_.cell, 0.0);
+            trace(sim::TraceCategory::kRegistry,
+                  "lease renewed; leaving degraded mode");
+          }
+          return;
+        }
+        // Renewal failed (registry outage, partition, or a lapsed lease).
+        // Don't vanish from the air on the first miss: degrade to
+        // conservative power and keep trying for the grace window — a
+        // registry outage shorter than the grace costs capacity, not
+        // service.
+        if (!degraded_since_) {
+          degraded_since_ = sim_.now();
+          radio_env_.set_power_backoff_db(config_.cell,
+                                          config_.degraded_power_backoff_db);
+          trace(sim::TraceCategory::kFault,
+                "lease renewal failing; degraded to conservative power (-" +
+                    std::to_string(config_.degraded_power_backoff_db) +
+                    " dB)");
+        } else if (sim_.now() - *degraded_since_ >= config_.lease_grace) {
+          trace(sim::TraceCategory::kRegistry,
+                "grace exhausted; grant lapsed, lost the lease");
+          grant_.reset();
+          degraded_since_.reset();
+          lease_heartbeat_.cancel();
+        }
+      });
+}
+
 std::size_t DlteAccessPoint::import_published_subscribers(
     const spectrum::Registry& registry) {
   std::size_t imported = 0;
@@ -147,6 +175,16 @@ void DlteAccessPoint::provision_subscriber(Imsi imsi, const crypto::Key128& k,
 
 void DlteAccessPoint::attach(UeDevice& ue, mac::UeTrafficConfig traffic,
                              std::function<void(AttachOutcome)> on_done) {
+  if (failed_) {
+    // A crashed AP does not answer RACH: the UE's attach dies quickly at
+    // the radio layer rather than running the full NAS guard timer.
+    if (on_done) {
+      sim_.schedule(config_.enb.rrc_setup, [on_done = std::move(on_done)] {
+        on_done(AttachOutcome{});
+      });
+    }
+    return;
+  }
   auto& client = ue.begin_attachment(network_id_);
   UeDevice* ue_ptr = &ue;
   enodeb_->attach_ue(
@@ -162,6 +200,93 @@ void DlteAccessPoint::attach(UeDevice& ue, mac::UeTrafficConfig traffic,
         if (outcome.success) adopt_ue(*ue_ptr, traffic);
         if (on_done) on_done(outcome);
       });
+}
+
+void DlteAccessPoint::attach_with_retry(
+    UeDevice& ue, mac::UeTrafficConfig traffic, ue::AttachRetryPolicy policy,
+    std::function<void(AttachOutcome)> on_done) {
+  // Per-UE backoff stream: every UE jitters independently of the others
+  // (de-synchronizing a re-attach storm) but identically across runs.
+  auto rng = std::make_shared<sim::RngStream>(sim::RngStream::derive(
+      config_.seed ^ ue.imsi().value(), "attach-retry"));
+  try_attach(&ue, traffic, policy, std::move(rng), 1, std::move(on_done));
+}
+
+void DlteAccessPoint::try_attach(UeDevice* ue, mac::UeTrafficConfig traffic,
+                                 ue::AttachRetryPolicy policy,
+                                 std::shared_ptr<sim::RngStream> rng,
+                                 int attempt,
+                                 std::function<void(AttachOutcome)> on_done) {
+  attach(*ue, traffic,
+         [this, ue, traffic, policy, rng = std::move(rng), attempt,
+          alive = alive_,
+          on_done = std::move(on_done)](AttachOutcome outcome) mutable {
+           if (outcome.success || attempt >= policy.max_attempts) {
+             if (on_done) on_done(outcome);
+             return;
+           }
+           const Duration wait = policy.backoff(attempt, *rng);
+           trace(sim::TraceCategory::kAttach,
+                 "attach attempt " + std::to_string(attempt) + " of IMSI " +
+                     std::to_string(ue->imsi().value()) +
+                     " failed; retrying in " +
+                     std::to_string(wait.to_millis()) + " ms");
+           sim_.schedule(wait, [this, ue, traffic, policy,
+                                rng = std::move(rng), attempt,
+                                alive = std::move(alive),
+                                on_done = std::move(on_done)]() mutable {
+             if (!*alive) return;
+             try_attach(ue, traffic, policy, std::move(rng), attempt + 1,
+                        std::move(on_done));
+           });
+         });
+}
+
+void DlteAccessPoint::fail() {
+  if (failed_) return;
+  failed_ = true;
+  trace(sim::TraceCategory::kFault,
+        "AP crashed: volatile core state lost, cell off air");
+  // The core process dies: EMM contexts and bearers are volatile. The
+  // HSS's flash-backed subscriber DB survives the reboot.
+  core_->crash();
+  // Every radio bearer dies with the box.
+  for (auto& [imsi, mac_ue] : mac_ue_ids_) {
+    if (cell_mac_.has_ue(mac_ue)) cell_mac_.remove_ue(mac_ue);
+  }
+  mac_ue_ids_.clear();
+  // Off the air: UEs stop seeing this cell; neighbours stop seeing its
+  // interference.
+  radio_env_.set_cell_active(config_.cell, false);
+  // The X2 endpoint goes dark — peers will expire us from their share
+  // rounds after their liveness timeout.
+  coordinator_->set_offline(true);
+  // No heartbeats from a dead box: the grant degrades and then lapses at
+  // the registry, freeing the spectrum if we never come back.
+  lease_heartbeat_.cancel();
+}
+
+void DlteAccessPoint::recover(spectrum::Registry* registry) {
+  if (!failed_) return;
+  failed_ = false;
+  radio_env_.set_cell_active(config_.cell, true);
+  radio_env_.set_power_backoff_db(config_.cell, 0.0);
+  degraded_since_.reset();
+  coordinator_->set_offline(false);
+  trace(sim::TraceCategory::kFault, "AP restarted: cell back on air");
+  if (registry != nullptr) {
+    // Rejoin from scratch: fresh grant (the old one lapsed or will), peer
+    // rediscovery, hello. Exactly the organic bring-up path — a reboot is
+    // not special.
+    if (grant_) {
+      registry->revoke(grant_->id);
+      grant_.reset();
+    }
+    bring_up(*registry);
+  } else {
+    // No registry in this deployment: just re-announce to the peers.
+    coordinator_->send_hello(config_.operator_contact);
+  }
 }
 
 void DlteAccessPoint::adopt_ue(UeDevice& ue, mac::UeTrafficConfig traffic) {

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -41,6 +42,13 @@ struct ApConfig {
   mac::CellMacConfig mac{};
   EnbConfig enb{};
   std::uint64_t seed{1};
+  // Registry-outage survival: how long the AP keeps transmitting after
+  // lease renewals start failing before it treats the grant as lost. While
+  // inside this window the AP runs degraded — it backs its transmit power
+  // off by `degraded_power_backoff_db` (conservative operation per the
+  // grant's published terms) instead of going dark.
+  Duration lease_grace{Duration::seconds(30.0)};
+  double degraded_power_backoff_db{10.0};
 };
 
 class DlteAccessPoint {
@@ -70,6 +78,30 @@ class DlteAccessPoint {
   // UE's traffic with the cell MAC using the radio environment's SINR.
   void attach(UeDevice& ue, mac::UeTrafficConfig traffic,
               std::function<void(AttachOutcome)> on_done = nullptr);
+
+  // Attach with the UE-side retry schedule: on failure (guard expiry,
+  // NAS reject, AP down) the attach is retried after an exponential
+  // backoff with jitter, up to the policy's attempt budget. The callback
+  // fires exactly once, with the outcome of the last attempt.
+  void attach_with_retry(UeDevice& ue, mac::UeTrafficConfig traffic,
+                         ue::AttachRetryPolicy policy,
+                         std::function<void(AttachOutcome)> on_done = nullptr);
+
+  // --- Fault surface (src/fault) ---------------------------------------
+  // Crash the box: the local core loses all volatile state (EMM contexts,
+  // bearers), every radio bearer dies, the cell leaves the air, the X2
+  // endpoint goes dark, and lease heartbeats stop. UEs must re-attach —
+  // at a neighbour, or here after recover().
+  void fail();
+  // Restart the box. With a registry, re-runs bring-up (fresh grant, peer
+  // rediscovery); without one, just re-lights the cell and X2.
+  void recover(spectrum::Registry* registry = nullptr);
+  [[nodiscard]] bool failed() const { return failed_; }
+  // Lease renewals are failing but within ApConfig::lease_grace: the AP
+  // is transmitting at conservative power waiting for the registry.
+  [[nodiscard]] bool lease_degraded() const {
+    return degraded_since_.has_value();
+  }
 
   // Cooperative-handover radio plumbing: register an admitted UE's bearer
   // with this cell's MAC without an attach dialogue (the core context was
@@ -115,10 +147,18 @@ class DlteAccessPoint {
   std::unordered_map<Imsi, UeId> mac_ue_ids_;
   sim::TraceLog* trace_{nullptr};
   sim::Simulator::PeriodicHandle lease_heartbeat_;
+  bool failed_{false};
+  // Set while lease renewals fail; cleared on renewal or final lapse.
+  std::optional<TimePoint> degraded_since_;
   // Guards `this`-capturing async callbacks (registry grant/query) that
   // may still be in flight when the AP is torn down.
   std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
 
+  void start_lease_heartbeat(spectrum::Registry& registry);
+  void try_attach(UeDevice* ue, mac::UeTrafficConfig traffic,
+                  ue::AttachRetryPolicy policy,
+                  std::shared_ptr<sim::RngStream> rng, int attempt,
+                  std::function<void(AttachOutcome)> on_done);
   void trace(sim::TraceCategory category, std::string message);
 };
 

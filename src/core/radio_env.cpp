@@ -42,6 +42,18 @@ void RadioEnvironment::set_activity(CellId id, double duty_cycle) {
   cells_.at(id).activity = std::clamp(duty_cycle, 0.0, 1.0);
 }
 
+void RadioEnvironment::set_cell_active(CellId id, bool active) {
+  cells_.at(id).active = active;
+}
+
+bool RadioEnvironment::cell_active(CellId id) const {
+  return cells_.at(id).active;
+}
+
+void RadioEnvironment::set_power_backoff_db(CellId id, double backoff_db) {
+  cells_.at(id).power_backoff_db = std::max(backoff_db, 0.0);
+}
+
 bool RadioEnvironment::co_channel(const Site& a, const Site& b) const {
   const double half = (a.config.profile.bandwidth.hz() +
                        b.config.profile.bandwidth.hz()) /
@@ -50,9 +62,14 @@ bool RadioEnvironment::co_channel(const Site& a, const Site& b) const {
 }
 
 PowerDbm RadioEnvironment::rx_power(const Site& site, Position ue) const {
+  // An off-air cell radiates nothing: far below any detection floor, and
+  // numerically ~0 mW in interference sums.
+  if (!site.active) return PowerDbm{-300.0};
   const double d = distance_m(site.config.position, ue);
-  return phy::received_power(site.config.profile, ue_profile_, *site.model,
-                             site.config.frequency, d);
+  const PowerDbm p = phy::received_power(site.config.profile, ue_profile_,
+                                         *site.model, site.config.frequency,
+                                         d);
+  return PowerDbm{p.value() - site.power_backoff_db};
 }
 
 PowerDbm RadioEnvironment::rsrp(CellId cell, Position ue) const {
@@ -78,6 +95,7 @@ Decibels RadioEnvironment::downlink_sinr(CellId serving, Position ue) const {
 
 Decibels RadioEnvironment::uplink_sinr(CellId serving, Position ue) const {
   const Site& s = cells_.at(serving);
+  if (!s.active) return Decibels{-300.0};
   const double d = distance_m(s.config.position, ue);
   return phy::link_snr(ue_profile_, s.config.profile, *s.model,
                        s.config.frequency, d);

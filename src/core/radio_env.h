@@ -42,6 +42,16 @@ class RadioEnvironment {
   void set_coordinated(CellId id, bool coordinated);
   void set_activity(CellId id, double duty_cycle);  // 0..1.
 
+  // Failure state (driven by fault injection): an inactive cell is off the
+  // air — it neither serves (RSRP at the noise floor) nor interferes.
+  void set_cell_active(CellId id, bool active);
+  [[nodiscard]] bool cell_active(CellId id) const;
+
+  // Transmit-power backoff in dB (≥ 0). Used by the registry-lease
+  // degraded mode: an AP that cannot renew its grant keeps serving at
+  // conservative power instead of going dark.
+  void set_power_backoff_db(CellId id, double backoff_db);
+
   // UE receiver profile used for downlink computations.
   void set_ue_profile(const phy::RadioProfile& profile) {
     ue_profile_ = profile;
@@ -64,6 +74,8 @@ class RadioEnvironment {
     std::unique_ptr<phy::PropagationModel> model;
     bool coordinated{false};
     double activity{1.0};
+    bool active{true};
+    double power_backoff_db{0.0};
   };
 
   [[nodiscard]] bool co_channel(const Site& a, const Site& b) const;

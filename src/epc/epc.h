@@ -41,6 +41,14 @@ class EpcCore {
   [[nodiscard]] Gateway& gateway() { return gateway_; }
   [[nodiscard]] const EpcConfig& config() const { return config_; }
 
+  // Crash-and-restart of the core process (src/fault): MME contexts and
+  // gateway bearers are volatile and vanish; the HSS subscriber database
+  // (flash-backed) and CDRs (already shipped off-box) survive.
+  void crash() {
+    mme_.lose_volatile_state();
+    gateway_.clear_sessions();
+  }
+
   // Capability predicates per §4.1 / §4.4: the stub strips everything the
   // client doesn't strictly require.
   [[nodiscard]] bool anchors_mobility() const {

@@ -36,6 +36,11 @@ class Gateway {
   [[nodiscard]] BearerContext& create_session(Imsi imsi, BearerId bearer);
   void complete_session(Imsi imsi, Teid enb_downlink_teid);
   void delete_session(Imsi imsi);
+  // Crash semantics (src/fault): every bearer is volatile tunnel state and
+  // dies with the process. Address/TEID counters keep advancing, so UEs
+  // re-attaching after the restart get fresh addresses (dLTE §4.2 treats
+  // an address change as normal).
+  void clear_sessions() { by_imsi_.clear(); }
 
   [[nodiscard]] const BearerContext* find_by_imsi(Imsi imsi) const;
   [[nodiscard]] const BearerContext* find_by_uplink_teid(Teid teid) const;

@@ -71,6 +71,22 @@ void Mme::process(CellId from_cell, const lte::S1apMessage& message) {
 
 void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
                        const lte::AttachRequest& request) {
+  if (config_.max_concurrent_attaches > 0 &&
+      attaches_in_progress() >=
+          static_cast<std::size_t>(config_.max_concurrent_attaches) &&
+      !ues_.contains(request.imsi)) {
+    // Admission throttle: a re-attach storm (every UE of a dead neighbour
+    // arriving at once) is spread out rather than allowed to stall every
+    // dialogue at once. Known UEs mid-dialogue are exempt — rejecting a
+    // retransmitted AttachRequest would deadlock the very UE being served.
+    UeContext ghost;
+    ghost.enb_ue_id = enb_ue_id;
+    ghost.mme_ue_id = MmeUeId{next_mme_id_++};
+    ghost.cell = cell;
+    send_nas(ghost, lte::NasMessage{lte::AttachReject{/*cause=*/0x16}});
+    ++stats_.attaches_throttled;
+    return;
+  }
   auto vector =
       hss_.generate_auth_vector(request.imsi, config_.serving_network_id);
   if (!vector) {
@@ -302,6 +318,25 @@ Mme::UeContext* Mme::find_by_mme_id(MmeUeId id) {
   if (it == by_mme_id_.end()) return nullptr;
   const auto ue_it = ues_.find(it->second);
   return ue_it == ues_.end() ? nullptr : &ue_it->second;
+}
+
+void Mme::lose_volatile_state() {
+  ues_.clear();
+  by_mme_id_.clear();
+  busy_until_ = sim_.now();
+  ++stats_.state_losses;
+}
+
+std::size_t Mme::attaches_in_progress() const {
+  std::size_t n = 0;
+  for (const auto& [imsi, ue] : ues_) {
+    if (ue.state == EmmState::kAuthPending ||
+        ue.state == EmmState::kSecurityPending ||
+        ue.state == EmmState::kAttachAccepted) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 bool Mme::is_registered(Imsi imsi) const {

@@ -47,6 +47,12 @@ struct MmeConfig {
   // S1/backhaul loss instead of stalling until the UE gives up.
   Duration nas_retx_timeout{Duration::seconds(2.0)};
   int nas_max_retx{4};
+  // Re-attach storm admission throttle (T3346-style congestion control):
+  // with more than this many attach dialogues in flight, new attach
+  // requests are rejected with a congestion cause so the UEs back off and
+  // spread the storm, instead of every dialogue timing out together.
+  // Zero = unlimited.
+  int max_concurrent_attaches{0};
 };
 
 struct MmeStats {
@@ -60,6 +66,8 @@ struct MmeStats {
   std::uint64_t paging_messages{0};
   std::uint64_t service_requests{0};
   std::uint64_t nas_retransmissions{0};
+  std::uint64_t attaches_throttled{0};  // Rejected by storm admission.
+  std::uint64_t state_losses{0};        // Crashes wiping volatile state.
   Quantiles queueing_delay_ms;  // Time spent waiting for MME CPU.
 };
 
@@ -98,8 +106,16 @@ class Mme {
   // `on_connected` fires when the UE answers the page.
   void page(Imsi imsi, std::function<void()> on_connected = nullptr);
 
+  // Crash semantics (src/fault): an MME process restart loses every EMM
+  // context and in-flight dialogue — exactly what a dLTE AP reboot does to
+  // its local core. The HSS subscriber DB (persistent storage) survives;
+  // UEs must re-attach from scratch. Pending retransmission timers for the
+  // wiped contexts find no state and die quietly.
+  void lose_volatile_state();
+
   [[nodiscard]] bool is_registered(Imsi imsi) const;
   [[nodiscard]] std::size_t registered_count() const;
+  [[nodiscard]] std::size_t attaches_in_progress() const;
   [[nodiscard]] const MmeStats& stats() const { return stats_; }
 
  private:

@@ -113,6 +113,13 @@ void Network::forward(Packet&& packet, NodeId at) {
   if (li == kNoRoute) return;  // Unroutable: dropped.
   DirectedLink& link = links_[li];
 
+  if (link.impairment.loss > 0.0 &&
+      impairment_rng_.bernoulli(link.impairment.loss)) {
+    ++link.stats.packets_dropped;
+    ++link.stats.packets_lost_impaired;
+    return;
+  }
+
   const TimePoint now = sim_.now();
   const TimePoint start = std::max(now, link.busy_until);
   // Drop-tail bound: bytes already committed but not yet serialized.
@@ -128,7 +135,8 @@ void Network::forward(Packet&& packet, NodeId at) {
   ++link.stats.packets_sent;
   link.stats.bytes_sent += static_cast<std::uint64_t>(packet.size_bytes);
 
-  const TimePoint arrival = start + tx + link.config.delay;
+  const TimePoint arrival =
+      start + tx + link.config.delay + link.impairment.extra_delay;
   const NodeId next = link.to;
   sim_.schedule_at(arrival,
                    [this, next, p = std::move(packet)]() mutable {
@@ -143,7 +151,7 @@ Duration Network::path_latency(NodeId from, NodeId to, int size_bytes) const {
   while (at != to) {
     const DirectedLink* link = next_hop(at, to);
     if (link == nullptr) return Duration::seconds(-1.0);
-    total += link->config.delay +
+    total += link->config.delay + link->impairment.extra_delay +
              Duration::seconds(size_bytes * 8.0 / link->config.rate.bps());
     at = link->to;
     if (++guard > static_cast<int>(nodes_.size())) break;
@@ -174,6 +182,16 @@ const LinkStats& Network::link_stats(NodeId a, NodeId b) const {
   assert(false && "no such link");
   static LinkStats empty;
   return empty;
+}
+
+void Network::set_link_impairment(NodeId a, NodeId b,
+                                  LinkImpairment impairment) {
+  for (std::size_t li : nodes_[a.value()].links) {
+    if (links_[li].to == b) links_[li].impairment = impairment;
+  }
+  for (std::size_t li : nodes_[b.value()].links) {
+    if (links_[li].to == a) links_[li].impairment = impairment;
+  }
 }
 
 void Network::set_link_enabled(NodeId a, NodeId b, bool enabled) {

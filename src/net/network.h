@@ -17,6 +17,7 @@
 #include "common/ids.h"
 #include "common/time.h"
 #include "common/units.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace dlte::net {
@@ -49,6 +50,20 @@ struct LinkStats {
   std::uint64_t packets_sent{0};
   std::uint64_t packets_dropped{0};
   std::uint64_t bytes_sent{0};
+  std::uint64_t packets_lost_impaired{0};  // Dropped by injected loss.
+};
+
+// Runtime degradation of a link (fault injection / weather / congestion
+// modelling): random loss and added one-way latency on top of the link's
+// configured delay. Draws come from the network's deterministic RNG
+// stream, so runs stay seed-reproducible.
+struct LinkImpairment {
+  double loss{0.0};          // Per-packet drop probability, 0..1.
+  Duration extra_delay{};    // Added to propagation delay.
+
+  [[nodiscard]] bool impaired() const {
+    return loss > 0.0 || !extra_delay.is_zero();
+  }
 };
 
 class Network {
@@ -90,6 +105,16 @@ class Network {
   // packets with no remaining route are dropped.
   void set_link_enabled(NodeId a, NodeId b, bool enabled);
 
+  // Degrade a bidirectional link in place (both directions). Routing is
+  // unchanged — an impaired link still carries traffic, it just loses or
+  // delays it. Reset with a default-constructed LinkImpairment.
+  void set_link_impairment(NodeId a, NodeId b, LinkImpairment impairment);
+  // Seed for the loss draws (defaults to a fixed constant; set it before
+  // traffic flows to tie impairment draws to a scenario seed).
+  void set_impairment_seed(std::uint64_t seed) {
+    impairment_rng_ = sim::RngStream{seed};
+  }
+
   // Recompute routing tables (called lazily after topology changes).
   void recompute_routes();
 
@@ -100,6 +125,7 @@ class Network {
     TimePoint busy_until{};
     LinkStats stats;
     bool enabled{true};
+    LinkImpairment impairment{};
   };
   struct Node {
     std::string name;
@@ -118,6 +144,7 @@ class Network {
   // next_hop_[from][to] = link index, or npos.
   std::vector<std::vector<std::size_t>> next_hop_;
   bool routes_dirty_{true};
+  sim::RngStream impairment_rng_{0xfa171u};
 
   static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);
 };

@@ -18,6 +18,8 @@ const char* trace_category_name(TraceCategory category) {
       return "data";
     case TraceCategory::kMobility:
       return "mobility";
+    case TraceCategory::kFault:
+      return "fault";
   }
   return "?";
 }

@@ -24,6 +24,7 @@ enum class TraceCategory {
   kHandover,
   kData,
   kMobility,
+  kFault,  // Injected failures and recoveries (src/fault).
 };
 
 [[nodiscard]] const char* trace_category_name(TraceCategory category);
@@ -53,7 +54,10 @@ class TraceLog {
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   void print(std::ostream& os) const;
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
  private:
   const Simulator& sim_;

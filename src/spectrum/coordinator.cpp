@@ -8,7 +8,11 @@ namespace dlte::spectrum {
 
 PeerCoordinator::PeerCoordinator(sim::Simulator& sim, net::Network& net,
                                  NodeId node, CoordinatorConfig config)
-    : sim_(sim), net_(net), node_(node), config_(config) {
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      config_(config),
+      impair_rng_(sim::RngStream::derive(config.ap.value(), "x2-impair")) {
   net_.set_protocol_handler(node_, kX2Protocol, [this](net::Packet&& p) {
     on_packet(p);
   });
@@ -21,6 +25,32 @@ PeerCoordinator::~PeerCoordinator() {
 void PeerCoordinator::add_peer(ApId ap, NodeId node) {
   if (ap == config_.ap) return;
   peers_[ap] = node;
+  note_heard(ap);
+}
+
+void PeerCoordinator::note_heard(ApId ap) { last_heard_[ap] = sim_.now(); }
+
+void PeerCoordinator::expire_dead_peers() {
+  if (config_.peer_liveness_timeout.is_zero()) return;
+  const TimePoint now = sim_.now();
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    const auto heard = last_heard_.find(it->first);
+    const TimePoint last =
+        heard != last_heard_.end() ? heard->second : TimePoint{};
+    if (now - last > config_.peer_liveness_timeout) {
+      const ApId dead = it->first;
+      latest_status_.erase(dead);
+      last_heard_.erase(dead);
+      it = peers_.erase(it);
+      ++stats_.peers_expired;
+      // The next round recomputes shares over the survivors — the dead
+      // peer's spectrum is reclaimed (and, should it return, its hello /
+      // status re-establishes peering).
+      if (peer_loss_observer_) peer_loss_observer_(dead);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void PeerCoordinator::send_hello(const std::string& operator_contact) {
@@ -37,17 +67,32 @@ void PeerCoordinator::start() {
   if (started_) return;
   started_ = true;
   ticker_ = sim_.every_cancellable(config_.report_period, [this] {
+    if (offline_) return;  // Crashed AP: no reports, no rounds.
+    expire_dead_peers();
     report_status();
     maybe_lead_round();
   });
 }
 
 void PeerCoordinator::send_to(NodeId node, const lte::X2Message& message) {
+  if (offline_) return;
+  int copies = 1;
+  if (impairment_.drop > 0.0 && impair_rng_.bernoulli(impairment_.drop)) {
+    ++stats_.x2_drops_injected;
+    return;
+  }
+  if (impairment_.duplicate > 0.0 &&
+      impair_rng_.bernoulli(impairment_.duplicate)) {
+    ++stats_.x2_dups_injected;
+    copies = 2;
+  }
   const int size = lte::x2_wire_size(message);
-  net_.send(net::Packet{node_, node, size, kX2Protocol,
-                        lte::encode_x2(message)});
-  ++stats_.messages_sent;
-  stats_.bytes_sent += static_cast<std::uint64_t>(size);
+  for (int c = 0; c < copies; ++c) {
+    net_.send(net::Packet{node_, node, size, kX2Protocol,
+                          lte::encode_x2(message)});
+    ++stats_.messages_sent;
+    stats_.bytes_sent += static_cast<std::uint64_t>(size);
+  }
 }
 
 void PeerCoordinator::broadcast(const lte::X2Message& message) {
@@ -118,6 +163,7 @@ void PeerCoordinator::apply_share(double share) {
 }
 
 void PeerCoordinator::on_packet(const net::Packet& packet) {
+  if (offline_) return;  // Crashed AP: the X2 endpoint is dark.
   auto message = lte::decode_x2(packet.payload);
   if (!message) return;
   ++stats_.messages_received;

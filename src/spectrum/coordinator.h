@@ -20,6 +20,7 @@
 #include "lte/x2ap.h"
 #include "mac/lte_cell_mac.h"
 #include "net/network.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace dlte::spectrum {
@@ -31,6 +32,11 @@ struct CoordinatorConfig {
   ApId ap;
   lte::DlteMode mode{lte::DlteMode::kFairShare};
   Duration report_period{Duration::seconds(1.0)};
+  // Declare a peer dead after silence for this long and recompute shares
+  // without it (survivors reclaim its spectrum). Zero disables liveness
+  // tracking (a silent peer holds its share forever — the pre-fault
+  // behaviour).
+  Duration peer_liveness_timeout{Duration::seconds(3.5)};
 };
 
 struct CoordinatorStats {
@@ -39,6 +45,16 @@ struct CoordinatorStats {
   std::uint64_t messages_received{0};
   std::uint64_t rounds_led{0};
   std::uint64_t shares_applied{0};
+  std::uint64_t peers_expired{0};       // Declared dead by liveness timeout.
+  std::uint64_t x2_drops_injected{0};   // Lost to injected impairment.
+  std::uint64_t x2_dups_injected{0};    // Duplicated by injected impairment.
+};
+
+// Injected X2 impairment (src/fault): each outbound message is dropped
+// with probability `drop` or sent twice with probability `duplicate`.
+struct X2Impairment {
+  double drop{0.0};
+  double duplicate{0.0};
 };
 
 class PeerCoordinator {
@@ -84,6 +100,18 @@ class PeerCoordinator {
   void set_share_observer(std::function<void(double)> observer) {
     share_observer_ = std::move(observer);
   }
+  // Observe peers declared dead by the liveness timeout.
+  void set_peer_loss_observer(std::function<void(ApId)> observer) {
+    peer_loss_observer_ = std::move(observer);
+  }
+
+  // --- Fault hooks (src/fault) -----------------------------------------
+  // A crashed AP's coordinator goes silent: it neither sends nor receives
+  // until brought back online. Peers notice via the liveness timeout.
+  void set_offline(bool offline) { offline_ = offline; }
+  [[nodiscard]] bool offline() const { return offline_; }
+  // Drop/duplicate outbound X2 messages (coordination-plane loss).
+  void set_impairment(X2Impairment impairment) { impairment_ = impairment; }
 
   [[nodiscard]] double current_share() const { return current_share_; }
   [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
@@ -100,6 +128,8 @@ class PeerCoordinator {
   void broadcast(const lte::X2Message& message);
   void report_status();
   void maybe_lead_round();
+  void expire_dead_peers();
+  void note_heard(ApId ap);
   [[nodiscard]] bool is_leader() const;
   void apply_share(double share);
 
@@ -118,8 +148,13 @@ class PeerCoordinator {
   sim::Simulator::PeriodicHandle ticker_;
   std::map<ApId, NodeId> peers_;
   std::map<ApId, lte::DltePeerStatus> latest_status_;
+  std::map<ApId, TimePoint> last_heard_;
   HandoverSink handover_sink_;
   std::function<void(double)> share_observer_;
+  std::function<void(ApId)> peer_loss_observer_;
+  bool offline_{false};
+  X2Impairment impairment_{};
+  sim::RngStream impair_rng_;
   CoordinatorStats stats_;
 };
 

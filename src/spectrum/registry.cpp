@@ -107,10 +107,14 @@ Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
 }
 
 Status<> Registry::heartbeat(GrantId id) {
+  if (outage_ == RegistryOutage::kOffline) {
+    return fail("registry unreachable");
+  }
   prune_expired();
   for (auto& g : grants_) {
     if (g.id == id) {
       if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
+      g.degraded = false;
       return {};
     }
   }
@@ -119,15 +123,77 @@ Status<> Registry::heartbeat(GrantId id) {
 
 void Registry::prune_expired() {
   const TimePoint now = sim_.now();
+  // Leases expire in two steps: past `expires_at` the grant is merely
+  // degraded (still listed, holder expected at conservative power); past
+  // `expires_at + grace` it lapses for good.
   const auto first_dead = std::remove_if(
       grants_.begin(), grants_.end(), [&](const SpectrumGrant& g) {
-        return g.expires_at.ns() != 0 && g.expires_at < now;
+        return g.expires_at.ns() != 0 && g.expires_at + grace_ < now;
       });
   lapsed_ += static_cast<std::uint64_t>(grants_.end() - first_dead);
   grants_.erase(first_dead, grants_.end());
+  for (auto& g : grants_) {
+    if (g.expires_at.ns() != 0 && g.expires_at < now) g.degraded = true;
+  }
+}
+
+int Registry::zone_of(Position location) {
+  const int zx = static_cast<int>(std::floor(location.x_m / kZoneSizeM));
+  const int zy = static_cast<int>(std::floor(location.y_m / kZoneSizeM));
+  // Interleave into a single id; fine for the handful of zones a scenario
+  // touches (collisions would only merge two zones' failure domains).
+  return zx * 73'856'093 + zy * 19'349'663;
+}
+
+bool Registry::reachable_for(Position location) const {
+  if (outage_ == RegistryOutage::kOffline) return false;
+  if (kind_ == RegistryKind::kFederated &&
+      std::find(offline_zones_.begin(), offline_zones_.end(),
+                zone_of(location)) != offline_zones_.end()) {
+    return false;
+  }
+  return true;
+}
+
+void Registry::set_zone_offline(int zone, bool offline) {
+  const auto it =
+      std::find(offline_zones_.begin(), offline_zones_.end(), zone);
+  if (offline && it == offline_zones_.end()) {
+    offline_zones_.push_back(zone);
+  } else if (!offline && it != offline_zones_.end()) {
+    offline_zones_.erase(it);
+  }
+}
+
+void Registry::set_outage(RegistryOutage outage) {
+  const RegistryOutage previous = outage_;
+  outage_ = outage;
+  if (previous == RegistryOutage::kCommitStall &&
+      outage != RegistryOutage::kCommitStall) {
+    // The chain caught up / the service recovered: stalled commits land
+    // now, in submission order.
+    auto pending = std::move(stalled_commits_);
+    stalled_commits_.clear();
+    for (auto& commit : pending) commit();
+  }
 }
 
 void Registry::request_grant(GrantRequest request, GrantCallback callback) {
+  if (!reachable_for(request.location)) {
+    sim_.schedule(failure_timeout_, [callback = std::move(callback)] {
+      callback(fail("registry unreachable"));
+    });
+    return;
+  }
+  if (outage_ == RegistryOutage::kCommitStall) {
+    // Reads still work; the commit waits for the stall to clear, then
+    // pays the normal commit latency on top.
+    stalled_commits_.push_back([this, request = std::move(request),
+                                callback = std::move(callback)]() mutable {
+      request_grant(std::move(request), std::move(callback));
+    });
+    return;
+  }
   if (kind_ == RegistryKind::kBlockchain && chain_ != nullptr) {
     // Commit-by-inclusion: the grant becomes effective when the record is
     // sealed into a block.
@@ -160,6 +226,14 @@ std::vector<SpectrumGrant> Registry::grants_near(Position location) const {
 }
 
 void Registry::query_region(Position location, QueryCallback callback) {
+  if (!reachable_for(location)) {
+    // The querier can't tell "no grants" from "registry down" — exactly
+    // the blindness the fault model wants to expose.
+    sim_.schedule(failure_timeout_, [callback = std::move(callback)] {
+      callback({});
+    });
+    return;
+  }
   const auto latency = registry_latency(kind_);
   sim_.schedule(latency.query, [this, location,
                                 callback = std::move(callback)] {

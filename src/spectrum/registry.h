@@ -30,6 +30,17 @@ namespace dlte::spectrum {
 
 enum class RegistryKind { kCentralizedSas, kFederated, kBlockchain };
 
+// Failure modes of the registry service itself (driven by src/fault).
+// Each RegistryKind fails in its own characteristic way:
+//   * kOffline — the whole service is unreachable (SAS cloud outage):
+//     queries return nothing, grant requests and heartbeats fail.
+//   * kCommitStall — reads still work but commits hang (a blockchain
+//     registry whose chain has stopped producing blocks): grant requests
+//     queue until the stall clears; queries and heartbeats are unaffected.
+// A federated registry instead fails one *zone* at a time — see
+// set_zone_offline()/zone_of().
+enum class RegistryOutage { kNone, kOffline, kCommitStall };
+
 struct SpectrumGrant {
   GrantId id;
   ApId ap;
@@ -46,6 +57,10 @@ struct SpectrumGrant {
   NodeId coordination_node;  // Where the AP's X2 agent is reachable.
   // SAS-style lease end; renewed by heartbeat. Zero ns = perpetual.
   TimePoint expires_at{};
+  // Lease expired but still within the heartbeat grace period: the grant
+  // remains visible (neighbours must still coordinate around it) but its
+  // holder is expected to run at conservative power.
+  bool degraded{false};
 };
 
 struct GrantRequest {
@@ -111,9 +126,29 @@ class Registry {
   void set_grant_lifetime(Duration lifetime) { lifetime_ = lifetime; }
   [[nodiscard]] Duration grant_lifetime() const { return lifetime_; }
   [[nodiscard]] Status<> heartbeat(GrantId id);
+  // Grace period past lease expiry before a grant actually lapses. While
+  // in grace the grant is listed as `degraded`; a heartbeat inside the
+  // window fully renews it. This is what lets an AP survive a registry
+  // outage shorter than the grace without losing its license.
+  void set_heartbeat_grace(Duration grace) { grace_ = grace; }
+  [[nodiscard]] Duration heartbeat_grace() const { return grace_; }
   // Drop lapsed grants now (also happens lazily inside queries).
   void prune_expired();
   [[nodiscard]] std::uint64_t grants_lapsed() const { return lapsed_; }
+
+  // --- Outage injection (src/fault) ------------------------------------
+  void set_outage(RegistryOutage outage);
+  [[nodiscard]] RegistryOutage outage() const { return outage_; }
+  // Federated zone failure: requests and queries whose location falls in
+  // an offline zone fail; other zones keep working. Zones partition the
+  // plane into a coarse grid (kZoneSizeM squares).
+  void set_zone_offline(int zone, bool offline);
+  [[nodiscard]] static int zone_of(Position location);
+  // How long an unreachable registry takes to fail a request (client-side
+  // request timeout).
+  void set_failure_timeout(Duration timeout) { failure_timeout_ = timeout; }
+
+  static constexpr double kZoneSizeM = 50'000.0;
 
   // --- Synchronous accessors (no latency; used by tests/benches) -------
   [[nodiscard]] Result<SpectrumGrant> grant_now(GrantRequest request);
@@ -137,15 +172,23 @@ class Registry {
  private:
   [[nodiscard]] bool co_channel(const SpectrumGrant& a,
                                 const SpectrumGrant& b) const;
+  [[nodiscard]] bool reachable_for(Position location) const;
 
   sim::Simulator& sim_;
   RegistryKind kind_;
   SpectrumChain* chain_{nullptr};
   Duration lifetime_{};  // Zero: perpetual grants.
+  Duration grace_{};     // Zero: no grace — lapse exactly at expiry.
   std::vector<SpectrumGrant> grants_;
   std::vector<epc::PublishedKeys> published_;
   std::uint64_t next_grant_{1};
   std::uint64_t lapsed_{0};
+
+  RegistryOutage outage_{RegistryOutage::kNone};
+  std::vector<int> offline_zones_;
+  Duration failure_timeout_{Duration::seconds(2.0)};
+  // Commits deferred by a kCommitStall outage, replayed on recovery.
+  std::vector<std::function<void()>> stalled_commits_;
 };
 
 }  // namespace dlte::spectrum

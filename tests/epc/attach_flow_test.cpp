@@ -253,6 +253,77 @@ TEST(AttachFlow, MmeProcessingDelayQueues) {
   EXPECT_GT(f.core.mme().stats().queueing_delay_ms.p95(), 0.5);
 }
 
+TEST(AttachFlow, StormAdmissionThrottleRejectsExcessDialogues) {
+  // T3346-style congestion control: with 10 UEs arriving at once and room
+  // for 2 concurrent dialogues, the surplus gets AttachReject instead of
+  // everyone timing out together.
+  sim::Simulator sim;
+  EpcConfig cfg{.deployment = CoreDeployment::kLocalStub,
+                .network_id = "test-net"};
+  cfg.mme.max_concurrent_attaches = 2;
+  EpcCore core{sim, cfg, sim::RngStream{7}};
+
+  const int n = 10;
+  std::vector<ue::NasClient> clients;
+  std::vector<EnbShim> shims;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Imsi imsi{5000 + i};
+    core.hss().provision(imsi, key_for(5000 + i), kOp);
+    ue::SimProfile profile{imsi, key_for(5000 + i),
+                           crypto::derive_opc(key_for(5000 + i), kOp), true,
+                           "open"};
+    clients.push_back(ue::NasClient{ue::Usim{profile}, "test-net"});
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    shims.push_back(EnbShim{sim, core.mme(), CellId{1}, EnbUeId{100 + i}});
+  }
+  core.mme().set_sender([&](CellId, lte::S1apMessage m) {
+    std::uint32_t id = 0;
+    if (const auto* d = std::get_if<lte::DownlinkNasTransport>(&m)) {
+      id = d->enb_ue_id.value();
+    } else if (const auto* c =
+                   std::get_if<lte::InitialContextSetupRequest>(&m)) {
+      id = c->enb_ue_id.value();
+    }
+    shims.at(id - 100).on_s1ap(m);
+  });
+  for (std::size_t i = 0; i < n; ++i) shims[i].start(clients[i]);
+  sim.run_all();
+
+  EXPECT_GT(core.mme().stats().attaches_throttled, 0u);
+  EXPECT_LT(core.mme().registered_count(), static_cast<std::size_t>(n));
+  // The admitted dialogues completed normally.
+  EXPECT_GT(core.mme().registered_count(), 0u);
+  int rejected = 0;
+  for (const auto& c : clients) {
+    if (c.state() == ue::NasClientState::kRejected) ++rejected;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(rejected),
+            core.mme().stats().attaches_throttled);
+}
+
+TEST(AttachFlow, CoreCrashWipesVolatileStateButNotHss) {
+  Fixture f;
+  auto client = f.make_client(1001);
+  f.enb.start(client);
+  f.sim.run_all();
+  ASSERT_TRUE(f.core.mme().is_registered(Imsi{1001}));
+  ASSERT_EQ(f.core.gateway().session_count(), 1u);
+
+  f.core.crash();
+  EXPECT_EQ(f.core.mme().registered_count(), 0u);
+  EXPECT_EQ(f.core.gateway().session_count(), 0u);
+  EXPECT_EQ(f.core.mme().stats().state_losses, 1u);
+  EXPECT_TRUE(f.core.hss().has_subscriber(Imsi{1001}));
+
+  // The subscriber re-attaches from scratch against the restarted core.
+  client.reset("test-net");
+  f.enb.start(client);
+  f.sim.run_all();
+  EXPECT_TRUE(client.registered());
+  EXPECT_TRUE(f.core.mme().is_registered(Imsi{1001}));
+}
+
 TEST(EpcCore, DeploymentCapabilities) {
   sim::Simulator sim;
   EpcCore central{sim, EpcConfig{.deployment = CoreDeployment::kCentralized},

@@ -154,5 +154,63 @@ TEST(Network, NodeNamesStored) {
   EXPECT_EQ(f.net.node_name(a), "ap-papua-1");
 }
 
+TEST(Network, ImpairedLinkDropsProbabilistically) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a");
+  const NodeId b = f.net.add_node("b");
+  f.net.add_link(a, b, LinkConfig{DataRate::mbps(100.0),
+                                  Duration::millis(1)});
+  f.net.set_impairment_seed(42);
+  f.net.set_link_impairment(a, b, LinkImpairment{0.5, Duration{}});
+  int received = 0;
+  f.net.set_handler(b, [&](Packet&&) { ++received; });
+  const int sent = 400;
+  for (int i = 0; i < sent; ++i) f.net.send(Packet{a, b, 100, 0, {}});
+  f.sim.run_all();
+  // ~50% loss; generous statistical bounds.
+  EXPECT_GT(received, sent / 4);
+  EXPECT_LT(received, sent * 3 / 4);
+  const auto& stats = f.net.link_stats(a, b);
+  EXPECT_EQ(stats.packets_lost_impaired + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(sent));
+  // Impairment drops are also counted in the aggregate drop counter.
+  EXPECT_EQ(stats.packets_dropped, stats.packets_lost_impaired);
+}
+
+TEST(Network, ImpairedLinkAddsLatency) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a");
+  const NodeId b = f.net.add_node("b");
+  f.net.add_link(a, b, LinkConfig{DataRate::mbps(100.0),
+                                  Duration::millis(5)});
+  f.net.set_link_impairment(a, b,
+                            LinkImpairment{0.0, Duration::millis(40)});
+  TimePoint arrival;
+  f.net.set_handler(b, [&](Packet&&) { arrival = f.sim.now(); });
+  f.net.send(Packet{a, b, 0, 0, {}});
+  f.sim.run_all();
+  EXPECT_NEAR((arrival - TimePoint{}).to_millis(), 45.0, 0.1);
+  // path_latency reflects the impairment too.
+  EXPECT_NEAR(f.net.path_latency(a, b, 0).to_millis(), 45.0, 0.1);
+}
+
+TEST(Network, ClearingImpairmentRestoresCleanLink) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a");
+  const NodeId b = f.net.add_node("b");
+  f.net.add_link(a, b, LinkConfig{DataRate::mbps(100.0),
+                                  Duration::millis(1)});
+  f.net.set_link_impairment(a, b, LinkImpairment{1.0, Duration{}});
+  int received = 0;
+  f.net.set_handler(b, [&](Packet&&) { ++received; });
+  f.net.send(Packet{a, b, 100, 0, {}});
+  f.sim.run_all();
+  EXPECT_EQ(received, 0);
+  f.net.set_link_impairment(a, b, LinkImpairment{});
+  for (int i = 0; i < 10; ++i) f.net.send(Packet{a, b, 100, 0, {}});
+  f.sim.run_all();
+  EXPECT_EQ(received, 10);
+}
+
 }  // namespace
 }  // namespace dlte::net

@@ -43,6 +43,23 @@ TEST(TraceLog, RingDropsOldest) {
   EXPECT_EQ(log.events().front().message, "2");
 }
 
+TEST(TraceLog, ClearResetsEventsAndDropCounter) {
+  Simulator sim;
+  TraceLog log{sim, 2};
+  for (int i = 0; i < 5; ++i) {
+    log.record(TraceCategory::kFault, "x", std::to_string(i));
+  }
+  ASSERT_EQ(log.dropped(), 3u);
+  log.clear();
+  EXPECT_EQ(log.events().size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  // A fresh overflow counts from zero again.
+  for (int i = 0; i < 3; ++i) {
+    log.record(TraceCategory::kFault, "x", std::to_string(i));
+  }
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
 TEST(TraceLog, PrintsReadableLines) {
   Simulator sim;
   TraceLog log{sim};
@@ -56,6 +73,7 @@ TEST(TraceLog, PrintsReadableLines) {
 TEST(TraceLog, CategoryNamesComplete) {
   EXPECT_STREQ(trace_category_name(TraceCategory::kRegistry), "registry");
   EXPECT_STREQ(trace_category_name(TraceCategory::kMobility), "mobility");
+  EXPECT_STREQ(trace_category_name(TraceCategory::kFault), "fault");
 }
 
 }  // namespace

@@ -170,6 +170,67 @@ TEST(Coordinator, OverheadScalesWithPeersAndPeriod) {
   EXPECT_GT(bytes_for(4, 0.5), bytes_for(4, 2.0));
 }
 
+TEST(Coordinator, DeadPeerExpiresAndSharesRebalance) {
+  // WiFi-like failure semantics: a crashed AP stops reporting, its peers
+  // expire it after the liveness timeout, and the next round reclaims its
+  // share for the survivors.
+  Fixture f;
+  f.build(3, lte::DlteMode::kFairShare);
+  for (auto& c : f.coords) c->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_NEAR(f.coords[0]->current_share(), 1.0 / 3.0, 1e-9);
+
+  ApId lost{0};
+  f.coords[0]->set_peer_loss_observer([&](ApId dead) { lost = dead; });
+  // AP 3 goes dark (crash): no more status reports from it.
+  f.coords[2]->set_offline(true);
+  f.run_for(6.0);  // Past the 3.5 s liveness timeout + a share round.
+  EXPECT_EQ(f.coords[0]->stats().peers_expired, 1u);
+  EXPECT_EQ(lost, ApId{3});
+  EXPECT_EQ(f.coords[0]->peer_count(), 1u);
+  EXPECT_NEAR(f.coords[0]->current_share(), 0.5, 1e-9);
+  EXPECT_NEAR(f.coords[1]->current_share(), 0.5, 1e-9);
+
+  // The AP returns: its hello re-establishes peering and the split goes
+  // back to thirds.
+  f.coords[2]->set_offline(false);
+  f.coords[2]->send_hello("ops@example.net");
+  f.run_for(6.0);
+  EXPECT_NEAR(f.coords[0]->current_share(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Coordinator, ZeroLivenessTimeoutDisablesExpiry) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  const NodeId n1 = net.add_node("a");
+  const NodeId n2 = net.add_node("b");
+  net.add_link(n1, n2, net::LinkConfig{DataRate::mbps(10.0),
+                                       Duration::millis(10)});
+  CoordinatorConfig cfg{ApId{1}, lte::DlteMode::kFairShare,
+                        Duration::seconds(1.0)};
+  cfg.peer_liveness_timeout = Duration{};  // Disabled.
+  PeerCoordinator quiet{sim, net, n1, cfg};
+  quiet.add_peer(ApId{2}, n2);
+  quiet.start();
+  sim.run_until(sim.now() + Duration::seconds(30.0));
+  EXPECT_EQ(quiet.peer_count(), 1u);  // Never heard from, never expired.
+  EXPECT_EQ(quiet.stats().peers_expired, 0u);
+}
+
+TEST(Coordinator, X2DuplicatesAreCountedAndHarmless) {
+  Fixture f;
+  f.build(2, lte::DlteMode::kFairShare);
+  f.coords[0]->set_impairment(X2Impairment{0.0, 1.0});  // Duplicate all.
+  for (auto& c : f.coords) c->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_GT(f.coords[0]->stats().x2_dups_injected, 0u);
+  // Idempotent protocol: duplicates do not corrupt the share math.
+  EXPECT_NEAR(f.coords[0]->current_share(), 0.5, 1e-9);
+  EXPECT_NEAR(f.coords[1]->current_share(), 0.5, 1e-9);
+}
+
 TEST(Coordinator, X2LoadIsKbitPerSecondScale) {
   // §4.3 [28]: X2 is low-bandwidth. At 1 Hz reporting with 7 peers the
   // per-AP load must be well under 100 kbit/s.

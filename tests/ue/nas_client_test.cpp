@@ -66,5 +66,41 @@ TEST(NasClient, ResetAllowsFreshAttachAtNewNetwork) {
   EXPECT_TRUE(std::holds_alternative<lte::AttachRequest>(msg));
 }
 
+TEST(AttachRetryPolicy, BackoffGrowsExponentiallyAndClamps) {
+  AttachRetryPolicy p;
+  p.initial_backoff = Duration::millis(500);
+  p.multiplier = 2.0;
+  p.max_backoff = Duration::seconds(8.0);
+  p.jitter = 0.0;  // Deterministic midpoint for this test.
+  sim::RngStream rng{1};
+  EXPECT_DOUBLE_EQ(p.backoff(1, rng).to_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(p.backoff(2, rng).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(p.backoff(3, rng).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(p.backoff(4, rng).to_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(p.backoff(5, rng).to_seconds(), 8.0);
+  // Clamped at max_backoff from here on.
+  EXPECT_DOUBLE_EQ(p.backoff(9, rng).to_seconds(), 8.0);
+}
+
+TEST(AttachRetryPolicy, JitterStaysInsideBandAndIsSeedDeterministic) {
+  AttachRetryPolicy p;
+  p.jitter = 0.2;
+  sim::RngStream a{99};
+  sim::RngStream b{99};
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const auto wa = p.backoff(attempt, a);
+    const auto wb = p.backoff(attempt, b);
+    EXPECT_EQ(wa.ns(), wb.ns());  // Same stream, same schedule.
+    sim::RngStream probe{7};
+    const double base =
+        AttachRetryPolicy{p.initial_backoff, p.multiplier, p.max_backoff,
+                          0.0, p.max_attempts}
+            .backoff(attempt, probe)
+            .to_seconds();
+    EXPECT_GE(wa.to_seconds(), base * 0.8 - 1e-9);
+    EXPECT_LE(wa.to_seconds(), base * 1.2 + 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace dlte::ue
