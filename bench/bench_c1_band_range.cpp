@@ -7,6 +7,7 @@
 // goodput. The WiFi rows also honour the stock ACK-timeout range ceiling.
 #include <iostream>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "mac/lte_cell_mac.h"
 #include "mac/wifi_dcf.h"
@@ -20,6 +21,7 @@ using namespace dlte;
 
 struct RadioOption {
   const char* name;
+  const char* slug;  // Metric-name segment for this radio.
   Hertz frequency;
   phy::RadioProfile ap;
   phy::RadioProfile client;
@@ -54,19 +56,21 @@ int main() {
   using phy::DeviceProfiles;
 
   std::vector<RadioOption> options{
-      {"LTE band 5 (850 MHz)", Hertz::mhz(850.0),
+      {"LTE band 5 (850 MHz)", "lte850", Hertz::mhz(850.0),
        DeviceProfiles::lte_enb_rural(), DeviceProfiles::lte_ue(), true},
-      {"LTE band 7 (2.6 GHz)", Hertz::mhz(2600.0),
+      {"LTE band 7 (2.6 GHz)", "lte2600", Hertz::mhz(2600.0),
        DeviceProfiles::lte_enb_rural(), DeviceProfiles::lte_ue(), true},
-      {"WiFi 2.4 GHz ISM", Hertz::ghz(2.4), DeviceProfiles::wifi_ap_outdoor(),
-       DeviceProfiles::wifi_client(), false},
-      {"WiFi 5 GHz ISM (5.8 PtMP)", Hertz::ghz(5.8),
+      {"WiFi 2.4 GHz ISM", "wifi24", Hertz::ghz(2.4),
+       DeviceProfiles::wifi_ap_outdoor(), DeviceProfiles::wifi_client(),
+       false},
+      {"WiFi 5 GHz ISM (5.8 PtMP)", "wifi58", Hertz::ghz(5.8),
        DeviceProfiles::wifi_ap_outdoor(), DeviceProfiles::wifi_client(),
        false},
   };
 
   print_bench_header(std::cout, "C1", "paper §3.2, Spectrum Bands",
                      "sub-GHz LTE covers rural distances ISM WiFi cannot");
+  dlte::bench::Harness harness{"c1_band_range"};
 
   TextTable t{{"radio", "distance", "DL SNR", "rate sel", "goodput"}};
   const std::vector<double> distances{250,   500,   1000,  2000, 5000,
@@ -84,6 +88,7 @@ int main() {
           if (cqi > 0) {
             rate = "CQI " + std::to_string(cqi);
             goodput = lte_goodput_mbps(snr, opt.ap.bandwidth);
+            harness.add_sim_seconds(1.0);
           }
         }
       } else {
@@ -92,6 +97,7 @@ int main() {
           rate = std::to_string(static_cast<int>(
                      phy::wifi_rate(ri).phy_rate.to_mbps())) +
                  " Mb/s PHY";
+          harness.add_sim_seconds(1.0);
         } else if (ri >= 0) {
           rate = "ACK timeout";
         }
@@ -126,10 +132,11 @@ int main() {
       }
       if (g > 1.0) best = d;
     }
+    harness.gauge(std::string{"c1."} + opt.slug + ".range_km", best / 1000.0);
     s.row().add(opt.name).num(best / 1000.0, 2, "km");
   }
   std::cout << "\nUsable range summary (shape check: LTE 850 MHz >> ISM "
                "WiFi):\n";
   s.print(std::cout);
-  return 0;
+  return harness.finish(0);
 }

@@ -8,7 +8,9 @@
 // uplink dies — with an ablation row that gives the WiFi client its PAPR
 // backoff back, isolating the waveform effect from the band effect.
 #include <iostream>
+#include <string>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "mac/lte_cell_mac.h"
 #include "phy/link_budget.h"
@@ -42,9 +44,11 @@ int main() {
   print_bench_header(
       std::cout, "C2", "paper §3.2, LTE Waveform",
       "SC-FDMA power headroom extends usable uplink range vs OFDM WiFi");
+  dlte::bench::Harness harness{"c2_uplink_asymmetry"};
 
   struct Row {
     const char* name;
+    const char* slug;  // Metric-name segment for this uplink.
     Hertz freq;
     phy::RadioProfile client;
     phy::RadioProfile ap;
@@ -55,13 +59,14 @@ int main() {
   wifi_no_backoff.tx_power = PowerDbm{18.0};  // Ablation: no PAPR backoff.
 
   std::vector<Row> rows{
-      {"LTE UE @850 (SC-FDMA, 23 dBm)", Hertz::mhz(850.0),
+      {"LTE UE @850 (SC-FDMA, 23 dBm)", "lte850", Hertz::mhz(850.0),
        DeviceProfiles::lte_ue(), DeviceProfiles::lte_enb_rural(), true},
-      {"WiFi client @2.4 (OFDM, 15 dBm eff)", Hertz::ghz(2.4),
+      {"WiFi client @2.4 (OFDM, 15 dBm eff)", "wifi24", Hertz::ghz(2.4),
        DeviceProfiles::wifi_client(), DeviceProfiles::wifi_ap_outdoor(),
        false},
-      {"WiFi client @2.4 (no-backoff ablation)", Hertz::ghz(2.4),
-       wifi_no_backoff, DeviceProfiles::wifi_ap_outdoor(), false},
+      {"WiFi client @2.4 (no-backoff ablation)", "wifi24_nobackoff",
+       Hertz::ghz(2.4), wifi_no_backoff, DeviceProfiles::wifi_ap_outdoor(),
+       false},
   };
 
   TextTable t{{"uplink", "distance", "UL SNR @BS", "goodput"}};
@@ -71,10 +76,10 @@ int main() {
                      15000.0}) {
       const Decibels snr =
           phy::link_snr(r.client, r.ap, *model, r.freq, d);
+      const bool lte_run = r.is_lte && phy::within_timing_advance(d);
+      if (lte_run) harness.add_sim_seconds(1.0);
       const double g = r.is_lte
-                           ? (phy::within_timing_advance(d)
-                                  ? lte_ul_goodput_mbps(snr)
-                                  : 0.0)
+                           ? (lte_run ? lte_ul_goodput_mbps(snr) : 0.0)
                            : wifi_ul_rate_mbps(snr, d);
       t.row()
           .add(r.name)
@@ -102,9 +107,10 @@ int main() {
       }
       if (g > 0.5) best = d;
     }
+    harness.gauge(std::string{"c2."} + r.slug + ".range_km", best / 1000.0);
     s.row().add(r.name).num(best / 1000.0, 2, "km");
   }
   std::cout << "\nUplink range summary:\n";
   s.print(std::cout);
-  return 0;
+  return harness.finish(0);
 }

@@ -7,7 +7,9 @@
 //   * Single shot (ARQ would re-queue at a higher layer, paying RTTs).
 // Also an ablation over the HARQ transmission budget (1/2/4).
 #include <iostream>
+#include <string>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "phy/harq.h"
 #include "phy/lte_amc.h"
@@ -18,6 +20,7 @@ int main() {
   print_bench_header(std::cout, "C3", "paper §3.2, LTE Waveform",
                      "HARQ with soft combining holds goodput at SNRs where "
                      "single-shot transmission collapses");
+  dlte::bench::Harness harness{"c3_harq_weak_signal"};
 
   constexpr int kCqi = 7;  // Fixed MCS: 10%-BLER point at 5.9 dB.
   constexpr int kTrials = 4000;
@@ -27,12 +30,13 @@ int main() {
   for (double snr_db = -2.0; snr_db <= 10.0; snr_db += 1.0) {
     struct Scheme {
       const char* name;
+      const char* slug;
       phy::HarqConfig config;
     };
     const Scheme schemes[] = {
-        {"HARQ chase x4", {4, true}},
-        {"repetition x4", {4, false}},
-        {"single shot", {1, true}},
+        {"HARQ chase x4", "harq_chase_x4", {4, true}},
+        {"repetition x4", "repetition_x4", {4, false}},
+        {"single shot", "single_shot", {1, true}},
     };
     for (const auto& s : schemes) {
       phy::HarqProcess h{s.config,
@@ -44,11 +48,18 @@ int main() {
         delivered += out.delivered ? 1 : 0;
         tx_total += out.transmissions;
       }
+      harness.metrics().counter("c3.trials").inc(kTrials);
       const double rate = static_cast<double>(delivered) / kTrials;
       const double avg_tx = static_cast<double>(tx_total) / kTrials;
       // Effective goodput: delivered bits per transmission slot used.
       const double goodput_mbps =
           rate * tbs / avg_tx * 1000.0 / 1e6;  // 1 ms subframes.
+      // Headline gauges at the cell-edge operating point (2 dB).
+      if (snr_db == 2.0) {
+        const std::string p = std::string{"c3."} + s.slug + ".";
+        harness.gauge(p + "delivery_pct", rate * 100.0);
+        harness.gauge(p + "eff_goodput_mbps", goodput_mbps);
+      }
       t.row()
           .num(snr_db, 1, "dB")
           .add(s.name)
@@ -74,11 +85,14 @@ int main() {
     }
     const double rate = static_cast<double>(delivered) / kTrials;
     const double avg_tx = static_cast<double>(tx_total) / kTrials;
+    harness.metrics().counter("c3.trials").inc(kTrials);
+    harness.gauge("c3.budget" + std::to_string(max_tx) + ".delivery_pct",
+                  rate * 100.0);
     a.row()
         .integer(max_tx)
         .num(rate * 100.0, 1, "%")
         .num(rate * tbs / avg_tx * 1000.0 / 1e6, 2, "Mb/s");
   }
   a.print(std::cout);
-  return 0;
+  return harness.finish(0);
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/enodeb.h"
@@ -48,13 +49,17 @@ struct StormResult {
 constexpr int kUesPerAp = 20;
 
 // One centralized region: N eNodeBs, one MME across the backhaul.
-StormResult centralized_storm(int n_aps) {
+StormResult centralized_storm(int n_aps, obs::MetricsRegistry* reg,
+                              const std::string& prefix) {
   sim::Simulator sim;
+  sim.set_metrics(reg, prefix);
   net::Network net{sim};
+  net.set_metrics(reg, prefix);
   epc::EpcCore core{
       sim, epc::EpcConfig{.deployment = epc::CoreDeployment::kCentralized,
                           .network_id = "carrier"},
       sim::RngStream{17}};
+  core.set_metrics(reg, prefix);
   core::S1Fabric fabric{sim, core.mme()};
   const NodeId core_node = net.add_node("epc");
 
@@ -102,8 +107,10 @@ StormResult centralized_storm(int n_aps) {
 }
 
 // N independent dLTE stubs, each with its own queue.
-StormResult dlte_storm(int n_aps) {
+StormResult dlte_storm(int n_aps, obs::MetricsRegistry* reg,
+                       const std::string& prefix) {
   sim::Simulator sim;
+  sim.set_metrics(reg, prefix);
   StormResult result;
   struct Site {
     std::unique_ptr<epc::EpcCore> core;
@@ -121,6 +128,9 @@ StormResult dlte_storm(int n_aps) {
         epc::EpcConfig{.deployment = epc::CoreDeployment::kLocalStub,
                        .network_id = "dlte-ap-" + std::to_string(a)},
         sim::RngStream::derive(23, std::to_string(a)));
+    // All stubs share the prefix: per-site counts aggregate into one set
+    // of region-wide metrics, directly comparable to the centralized row.
+    s.core->set_metrics(reg, prefix);
     s.fabric = std::make_unique<core::S1Fabric>(sim, s.core->mme());
     s.enb = std::make_unique<core::EnodeB>(
         sim, *s.fabric,
@@ -167,12 +177,24 @@ int main() {
   print_bench_header(std::cout, "C4", "paper §4.1, Local Cores",
                      "per-AP core stubs scale linearly; a shared core "
                      "saturates under regional attach load");
+  dlte::bench::Harness harness{"c4_core_scaling"};
 
   TextTable t{{"APs", "UEs", "arch", "attach p50", "attach p95",
                "core queue p95", "attach rate", "completed"}};
   for (int n : {1, 2, 4, 8, 16, 32, 64}) {
     for (bool central : {false, true}) {
-      const StormResult r = central ? centralized_storm(n) : dlte_storm(n);
+      const std::string prefix = "c4.n" + std::to_string(n) +
+                                 (central ? ".central." : ".dlte.");
+      const StormResult r = central
+                                ? centralized_storm(n, &harness.metrics(),
+                                                    prefix)
+                                : dlte_storm(n, &harness.metrics(), prefix);
+      harness.add_sim_seconds(r.elapsed_s);
+      harness.gauge(prefix + "attach_p50_ms", r.attach_ms.median());
+      harness.gauge(prefix + "attach_p95_ms", r.attach_ms.p95());
+      harness.gauge(prefix + "queue_p95_ms", r.mme_queue_p95_ms);
+      harness.counter(prefix + "completed",
+                      static_cast<std::uint64_t>(r.completed));
       const double rate =
           r.completed / std::max(r.attach_ms.quantile(1.0) / 1000.0, 1e-9);
       t.row()
@@ -191,5 +213,5 @@ int main() {
   std::cout << "\nShape check: dLTE p95 attach latency is flat in N (each "
                "stub serves only its own site);\ncentralized p95 grows with "
                "N as the shared MME queue builds.\n";
-  return 0;
+  return harness.finish(0);
 }

@@ -16,8 +16,10 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/enodeb.h"
@@ -79,13 +81,19 @@ struct RunResult {
   int transitions{0};
   double ott_rtt_ms{0.0};
   double dwell_s{0.0};
+  double sim_s{0.0};
 };
 
+// `reg` may be null: the dense-deployment and OTT-placement sweeps run
+// without metrics so the main table's counters stay cleanly scoped.
 RunResult run_drive(Arch arch, double speed_mps, Duration ott_latency,
-                    Duration attach_outage,
-                    double spacing_m = kSpacingM) {
+                    Duration attach_outage, double spacing_m = kSpacingM,
+                    obs::MetricsRegistry* reg = nullptr,
+                    const std::string& metrics_prefix = "") {
   sim::Simulator sim;
+  sim.set_metrics(reg, metrics_prefix);
   net::Network net{sim};
+  net.set_metrics(reg, metrics_prefix);
 
   const NodeId ue_node = net.add_node("ue");
   const NodeId internet = net.add_node("internet");
@@ -192,6 +200,7 @@ RunResult run_drive(Arch arch, double speed_mps, Duration ott_latency,
   r.delivered_ratio = app.offered > 0 ? delivered / app.offered : 0.0;
   r.transitions = static_cast<int>(crossings.size());
   r.dwell_s = dwell_s;
+  r.sim_s = total_s;
 
   // Interruption: longest delivery stall in a window around each crossing,
   // measured on whichever connection carried traffic then.
@@ -231,6 +240,29 @@ const char* arch_name(Arch a) {
   return "?";
 }
 
+const char* arch_slug(Arch a) {
+  switch (a) {
+    case Arch::kDlteQuic:
+      return "quic";
+    case Arch::kDlteTcp:
+      return "tcp";
+    case Arch::kDlteCoopHandover:
+      return "coop";
+    case Arch::kCentralized:
+      return "central";
+  }
+  return "unknown";
+}
+
+// "1.5 m/s" -> "1p5"; integral speeds print without the fraction.
+std::string speed_slug(double v) {
+  const int whole = static_cast<int>(v);
+  const int tenth = static_cast<int>(v * 10.0) % 10;
+  std::string s = std::to_string(whole);
+  if (tenth != 0) s += "p" + std::to_string(tenth);
+  return s;
+}
+
 }  // namespace
 
 int main() {
@@ -241,6 +273,8 @@ int main() {
                      "at rural speeds; dLTE degrades as dwell approaches "
                      "the OTT RTT; MME anchoring stays smooth but pays the "
                      "trombone");
+  dlte::bench::Harness harness{"c5_mobility"};
+  harness.gauge("c5.attach_ms", attach.to_millis());
   std::cout << "Measured dLTE re-attach (RRC + EPS-AKA on local stub): "
             << attach.to_millis() << " ms\n\n";
 
@@ -249,8 +283,14 @@ int main() {
   for (double v : {1.5, 5.0, 15.0, 30.0, 50.0}) {
     for (Arch a : {Arch::kDlteQuic, Arch::kDlteTcp, Arch::kDlteCoopHandover,
                    Arch::kCentralized}) {
-      const RunResult r =
-          run_drive(a, v, Duration::millis(40), attach);
+      const std::string prefix =
+          "c5.v" + speed_slug(v) + "." + arch_slug(a) + ".";
+      const RunResult r = run_drive(a, v, Duration::millis(40), attach,
+                                    kSpacingM, &harness.metrics(), prefix);
+      harness.add_sim_seconds(r.sim_s);
+      harness.gauge(prefix + "delivered_pct", r.delivered_ratio * 100.0);
+      harness.gauge(prefix + "mean_stall_ms", r.mean_stall_ms);
+      harness.gauge(prefix + "worst_stall_ms", r.worst_stall_ms);
       t.row()
           .num(v, 1, "m/s")
           .num(r.dwell_s, 1, "s")
@@ -274,6 +314,10 @@ int main() {
                    Arch::kCentralized}) {
       const RunResult r = run_drive(a, v, Duration::millis(40), attach,
                                     100.0);
+      harness.add_sim_seconds(r.sim_s);
+      harness.gauge("c5.dense.v" + speed_slug(v) + "." + arch_slug(a) +
+                        ".delivered_pct",
+                    r.delivered_ratio * 100.0);
       d.row()
           .num(v, 0, "m/s")
           .num(r.dwell_s, 2, "s")
@@ -293,6 +337,7 @@ int main() {
         std::pair{"regional (15 ms)", Duration::millis(15)},
         std::pair{"edge (3 ms)", Duration::millis(3)}}) {
     const RunResult r = run_drive(Arch::kDlteTcp, 30.0, lat, attach, 100.0);
+    harness.add_sim_seconds(r.sim_s);
     e.row()
         .add(name)
         .num(r.ott_rtt_ms, 0, "ms")
@@ -306,5 +351,5 @@ int main() {
                "TCP-like adds reconnect RTTs; centralized stays smooth\nat "
                "any speed (its cost is the F1 trombone, not shown here). "
                "Edge OTT shrinks the\nstall floor, as §4.2 suggests.\n";
-  return 0;
+  return harness.finish(0);
 }

@@ -16,8 +16,10 @@
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/radio_env.h"
@@ -299,10 +301,19 @@ int main() {
                      "registry + X2 coordination beats CSMA contention; "
                      "cooperation beats plain fair sharing under skewed "
                      "load");
+  dlte::bench::Harness harness{"c6_spectrum_modes"};
+  auto mode_gauges = [&harness](const std::string& slug,
+                                const ModeResult& r) {
+    harness.gauge("c6." + slug + ".aggregate_mbps", r.aggregate_mbps);
+    harness.gauge("c6." + slug + ".fairness", r.fairness);
+    harness.gauge("c6." + slug + ".worst_ue_mbps", r.min_ue_mbps);
+  };
 
   TextTable t{{"scheme", "aggregate", "Jain fairness", "worst UE", "notes"}};
   {
     const ModeResult w = run_wifi();
+    harness.add_sim_seconds(2.0);
+    mode_gauges("wifi", w);
     t.row()
         .add("WiFi DCF (CSMA/CA)")
         .num(w.aggregate_mbps, 2, "Mb/s")
@@ -312,13 +323,17 @@ int main() {
   }
   struct Mode {
     const char* name;
+    const char* slug;
     lte::DlteMode mode;
   };
   for (const auto& m :
-       {Mode{"dLTE isolated (no coord)", lte::DlteMode::kIsolated},
-        Mode{"dLTE fair-share", lte::DlteMode::kFairShare},
-        Mode{"dLTE cooperative", lte::DlteMode::kCooperative}}) {
+       {Mode{"dLTE isolated (no coord)", "isolated", lte::DlteMode::kIsolated},
+        Mode{"dLTE fair-share", "fair_share", lte::DlteMode::kFairShare},
+        Mode{"dLTE cooperative", "cooperative",
+             lte::DlteMode::kCooperative}}) {
     const ModeResult r = run_lte(m.mode);
+    harness.add_sim_seconds(2.0 * kAps);
+    mode_gauges(m.slug, r);
     t.row()
         .add(m.name)
         .num(r.aggregate_mbps, 2, "Mb/s")
@@ -337,6 +352,8 @@ int main() {
                  "notes"}};
   for (double beta : {0.3, 0.5, 0.7}) {
     const ModeResult r = run_ffr(beta);
+    harness.add_sim_seconds(2.0 * 2 * kAps);  // Center + edge MAC per cell.
+    mode_gauges("ffr.b" + std::to_string(static_cast<int>(beta * 100.0)), r);
     ffr.row()
         .add("dLTE FFR")
         .num(r.aggregate_mbps, 2, "Mb/s")
@@ -355,6 +372,11 @@ int main() {
         std::pair{"round robin", mac::SchedulerPolicy::kRoundRobin},
         std::pair{"max C/I", mac::SchedulerPolicy::kMaxCi}}) {
     const ModeResult r = run_lte(lte::DlteMode::kCooperative, pol);
+    harness.add_sim_seconds(2.0 * kAps);
+    const char* slug = pol == mac::SchedulerPolicy::kProportionalFair ? "pf"
+                       : pol == mac::SchedulerPolicy::kRoundRobin     ? "rr"
+                                                                      : "maxci";
+    mode_gauges(std::string{"sched."} + slug, r);
     sched.row()
         .add(name)
         .num(r.aggregate_mbps, 2, "Mb/s")
@@ -376,10 +398,15 @@ int main() {
         kind == spectrum::RegistryKind::kCentralizedSas ? "centralized SAS"
         : kind == spectrum::RegistryKind::kFederated    ? "federated (DNS-like)"
                                                         : "blockchain";
+    const char* slug =
+        kind == spectrum::RegistryKind::kCentralizedSas ? "sas"
+        : kind == spectrum::RegistryKind::kFederated    ? "federated"
+                                                        : "blockchain";
     // Join path: commit + query + one report round (status out, proposal
     // back) over a 30 ms backhaul RTT.
     const double join_s = lat.commit.to_seconds() + lat.query.to_seconds() +
                           1.0 + 0.06;
+    harness.gauge(std::string{"c6.registry."} + slug + ".join_s", join_s);
     reg.row()
         .add(name)
         .num(lat.commit.to_seconds(), 2, "s")
@@ -394,5 +421,5 @@ int main() {
                "(worst UE, fairness); fair sharing restores a WiFi-like "
                "equilibrium, and cooperative\nmode adds demand-proportional "
                "fusion + best-AP steering (best worst-UE service).\n";
-  return 0;
+  return harness.finish(0);
 }

@@ -8,8 +8,10 @@
 // (the backhaul-constrained trade the paper describes).
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "spectrum/coordinator.h"
 
@@ -22,7 +24,10 @@ struct Domain {
   NodeId internet = net.add_node("internet");
   std::vector<std::unique_ptr<spectrum::PeerCoordinator>> coords;
 
-  Domain(int n, Duration period) {
+  Domain(int n, Duration period, obs::MetricsRegistry* reg = nullptr,
+         const std::string& prefix = "") {
+    sim.set_metrics(reg, prefix);
+    net.set_metrics(reg, prefix);
     std::vector<NodeId> nodes;
     for (int i = 0; i < n; ++i) {
       const NodeId node = net.add_node("ap" + std::to_string(i));
@@ -46,6 +51,8 @@ struct Domain {
       }
     }
     for (auto& c : coords) {
+      // All APs in the domain aggregate into one prefixed counter set.
+      c->set_metrics(reg, prefix);
       c->set_offered_load(1.0);
       c->start();
     }
@@ -60,19 +67,29 @@ int main() {
   print_bench_header(std::cout, "C7", "paper §4.3 / La Roche & Widjaja [28]",
                      "X2 coordination load is kbit/s-scale and tunable "
                      "against backhaul constraints");
+  dlte::bench::Harness harness{"c7_x2_overhead"};
 
   TextTable t{{"domain size", "report period", "per-AP X2 load",
                "per-AP msg rate", "domain total"}};
   const double window_s = 30.0;
   for (int n : {2, 4, 8, 16}) {
     for (double period_s : {0.2, 1.0, 5.0}) {
-      Domain d{n, Duration::seconds(period_s)};
+      const std::string prefix =
+          "c7.n" + std::to_string(n) + ".p" +
+          std::to_string(static_cast<int>(period_s * 1000.0)) + "ms.";
+      Domain d{n, Duration::seconds(period_s), &harness.metrics(), prefix};
       d.run_for(window_s);
+      harness.add_sim_seconds(window_s);
       double total_kbps = 0.0;
       for (auto& c : d.coords) {
         total_kbps += c->stats().bytes_sent * 8.0 / window_s / 1000.0;
       }
       const auto& leader = d.coords[0]->stats();
+      harness.gauge(prefix + "perap_kbps",
+                    leader.bytes_sent * 8.0 / window_s / 1000.0);
+      harness.gauge(prefix + "perap_msg_rate",
+                    leader.messages_sent / window_s);
+      harness.gauge(prefix + "domain_kbps", total_kbps);
       t.row()
           .integer(n)
           .num(period_s, 1, "s")
@@ -104,6 +121,11 @@ int main() {
         break;
       }
     }
+    harness.add_sim_seconds(d.sim.now().to_seconds());
+    harness.gauge("c7.conv.p" +
+                      std::to_string(static_cast<int>(period_s * 1000.0)) +
+                      "ms.reconvergence_s",
+                  converged_s);
     c.row().num(period_s, 1, "s").num(converged_s, 2, "s");
   }
   c.print(std::cout);
@@ -111,5 +133,5 @@ int main() {
   std::cout << "\nShape check: load scales with domain size and report "
                "frequency but stays far below\nany broadband backhaul; "
                "slower reporting trades convergence time, not correctness.\n";
-  return 0;
+  return harness.finish(0);
 }

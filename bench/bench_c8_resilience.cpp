@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "fault/failover.h"
 #include "fault/fault.h"
@@ -44,13 +45,20 @@ struct RunResult {
 // One town, two cells 4 km apart, every UE parked near AP 1. With
 // `shared_core` the fault plan models a centralized deployment: both
 // cells depend on the same core site, so the crash takes both down.
-RunResult run_town(std::uint64_t seed, bool shared_core) {
+// `reg` may be null (the determinism replay runs without metrics so the
+// main run's counters are not double-counted).
+RunResult run_town(std::uint64_t seed, bool shared_core,
+                   obs::MetricsRegistry* reg = nullptr,
+                   const std::string& metrics_prefix = "") {
   sim::Simulator sim;
+  sim.set_metrics(reg, metrics_prefix);
   net::Network net{sim};
+  net.set_metrics(reg, metrics_prefix);
   net.set_impairment_seed(seed);
   core::RadioEnvironment radio;
   spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
   sim::TraceLog trace{sim};
+  trace.set_metrics(reg, metrics_prefix);
   const NodeId internet = net.add_node("internet");
 
   std::vector<std::unique_ptr<core::DlteAccessPoint>> aps;
@@ -66,6 +74,9 @@ RunResult run_town(std::uint64_t seed, bool shared_core) {
     aps.push_back(
         std::make_unique<core::DlteAccessPoint>(sim, net, node, radio, cfg));
     aps.back()->bring_up(registry);
+    // Both APs aggregate into one set of town-wide EPC/X2 counters.
+    aps.back()->core().set_metrics(reg, metrics_prefix);
+    aps.back()->coordinator().set_metrics(reg, metrics_prefix);
   }
   sim.run_until(TimePoint{} + Duration::seconds(2.0));
 
@@ -94,6 +105,7 @@ RunResult run_town(std::uint64_t seed, bool shared_core) {
   agent.start();
 
   fault::FaultInjector injector{sim};
+  injector.set_metrics(reg, metrics_prefix);
   for (auto& ap : aps) injector.register_ap(ap.get());
   injector.set_network(&net);
   injector.set_registry(&registry);
@@ -142,10 +154,23 @@ int main() {
       "an AP core failure is contained: UEs fail over to a neighbor in "
       "seconds, while a centralized core is a region-wide single point of "
       "failure");
+  dlte::bench::Harness harness{"c8_resilience"};
 
   const std::uint64_t seed = 2018;
-  const RunResult dlte = run_town(seed, /*shared_core=*/false);
-  const RunResult central = run_town(seed, /*shared_core=*/true);
+  const RunResult dlte =
+      run_town(seed, /*shared_core=*/false, &harness.metrics(), "c8.dlte.");
+  const RunResult central =
+      run_town(seed, /*shared_core=*/true, &harness.metrics(), "c8.central.");
+  harness.add_sim_seconds(2 * kHorizonS);
+  harness.gauge("c8.dlte.availability", dlte.report.availability);
+  harness.gauge("c8.dlte.mttr_s", dlte.report.mttr_s);
+  harness.gauge("c8.dlte.reattach_p95_s", dlte.report.reattach_p95_s);
+  harness.gauge("c8.dlte.eventual_attach_rate",
+                dlte.report.eventual_attach_rate);
+  harness.gauge("c8.dlte.in_service_mid_outage", dlte.in_service_mid_outage);
+  harness.gauge("c8.central.availability", central.report.availability);
+  harness.gauge("c8.central.in_service_mid_outage",
+                central.in_service_mid_outage);
 
   TextTable t{{"architecture", "ues", "avail", "mttr", "reattach-p95",
                "eventual-attach", "in-service@t=45s"}};
@@ -186,5 +211,5 @@ int main() {
                     : "FAIL — expected dLTE to keep serving mid-outage and "
                       "the centralized town to go dark")
             << "\n";
-  return contained && deterministic ? 0 : 1;
+  return harness.finish(contained && deterministic ? 0 : 1);
 }

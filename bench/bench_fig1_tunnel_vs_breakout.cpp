@@ -11,7 +11,9 @@
 // We build both topologies on the same substrate and sweep the backhaul
 // RTT to the core site.
 #include <iostream>
+#include <string>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "core/enodeb.h"
 #include "core/s1_fabric.h"
@@ -37,9 +39,13 @@ const crypto::Block128 kOp = [] {
 }();
 
 // Measured attach latency through a given S1 pipe.
-double attach_ms(bool networked, Duration backhaul_one_way) {
+double attach_ms(bool networked, Duration backhaul_one_way,
+                 obs::MetricsRegistry* reg = nullptr,
+                 const std::string& prefix = "") {
   sim::Simulator sim;
+  sim.set_metrics(reg, prefix);
   net::Network net{sim};
+  net.set_metrics(reg, prefix);
   epc::EpcCore core{sim,
                     epc::EpcConfig{.deployment =
                                        networked
@@ -47,6 +53,7 @@ double attach_ms(bool networked, Duration backhaul_one_way) {
                                            : epc::CoreDeployment::kLocalStub,
                                    .network_id = "n"},
                     sim::RngStream{5}};
+  core.set_metrics(reg, prefix);
   core::S1Fabric fabric{sim, core.mme()};
   core::EnodeB enb{sim, fabric, core::EnbConfig{.cell = CellId{1}}};
   if (networked) {
@@ -138,17 +145,29 @@ int main() {
       std::cout, "F1", "paper Fig. 1 + §4.1/§4.2",
       "local breakout removes the EPC trombone from data, control and "
       "coordination paths");
+  dlte::bench::Harness harness{"fig1_tunnel_vs_breakout"};
 
   TextTable t{{"backhaul to EPC", "arch", "AP-to-net latency", "hops",
                "stretch", "tunnel overhead", "attach", "AP-AP coord RTT"}};
   for (double one_way_ms : {10.0, 20.0, 40.0}) {
+    const std::string bh =
+        "f1.bh" + std::to_string(static_cast<int>(one_way_ms)) + "ms.";
     DataPath d{}, c{};
     double coord_direct = 0.0, coord_mediated = 0.0;
     measure_paths(Duration::millis(static_cast<std::int64_t>(one_way_ms)), d,
                   c, coord_direct, coord_mediated);
-    const double dlte_attach = attach_ms(false, Duration{});
+    const double dlte_attach =
+        attach_ms(false, Duration{}, &harness.metrics(), bh + "dlte.");
     const double lte_attach = attach_ms(
-        true, Duration::millis(static_cast<std::int64_t>(one_way_ms)));
+        true, Duration::millis(static_cast<std::int64_t>(one_way_ms)),
+        &harness.metrics(), bh + "lte.");
+    harness.gauge(bh + "dlte.latency_ms", d.latency_ms);
+    harness.gauge(bh + "dlte.attach_ms", dlte_attach);
+    harness.gauge(bh + "dlte.coord_rtt_ms", coord_direct);
+    harness.gauge(bh + "lte.latency_ms", c.latency_ms);
+    harness.gauge(bh + "lte.stretch", c.stretch);
+    harness.gauge(bh + "lte.attach_ms", lte_attach);
+    harness.gauge(bh + "lte.coord_rtt_ms", coord_mediated);
 
     t.row()
         .num(one_way_ms, 0, "ms")
@@ -174,5 +193,5 @@ int main() {
   std::cout << "\nShape check: dLTE latency/attach/coordination are flat in "
                "backhaul distance;\nthe EPC rows grow with it (the trombone) "
                "and carry 40 B/pkt of GTP overhead.\n";
-  return 0;
+  return harness.finish(0);
 }

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "mac/lte_cell_mac.h"
 #include "phy/link_budget.h"
@@ -74,6 +75,7 @@ int main() {
   print_bench_header(std::cout, "F2", "paper Fig. 2 + §5",
                      "one sub-$8000 band-5 site covers a town that would "
                      "take a fleet of WiFi APs");
+  dlte::bench::Harness harness{"fig2_deployment"};
 
   // Rate-vs-distance profile of the site.
   const auto enb = phy::DeviceProfiles::lte_enb_rural();
@@ -101,6 +103,14 @@ int main() {
   const double wifi_r_km = wifi_radius(2.0) / 1000.0;
   const double wifi_area = M_PI * wifi_r_km * wifi_r_km;
   const double wifi_sites = std::ceil(area_km2 / wifi_area);
+
+  harness.gauge("f2.dlte.radius_km", r_km);
+  harness.gauge("f2.dlte.area_km2", area_km2);
+  harness.gauge("f2.dlte.capex_per_km2", kDlteSiteCost / area_km2);
+  harness.gauge("f2.wifi.radius_km", wifi_r_km);
+  harness.gauge("f2.wifi.sites", wifi_sites);
+  harness.gauge("f2.wifi.capex_per_km2",
+                wifi_sites * kWifiSiteCost / area_km2);
 
   std::cout << "\nSite dimensioning (service floor: DL 2 Mb/s, UL 0.5 "
                "Mb/s):\n";
@@ -133,10 +143,12 @@ int main() {
                 mac::UeTrafficConfig{.full_buffer = true});
   }
   cell.run(Duration::seconds(2.0));
+  harness.add_sim_seconds(2.0);
   double total = 0.0;
   for (UeId id : cell.ue_ids()) {
     total += cell.stats(id).goodput(cell.elapsed()).to_mbps();
   }
+  harness.gauge("f2.shared_capacity_mbps", total);
   std::cout << "\nShared downlink capacity with 20 active users spread over "
                "the disc: "
             << total << " Mb/s ("
@@ -148,5 +160,5 @@ int main() {
                "cost,\nthe WiFi build needs "
             << wifi_sites
             << " powered, backhauled sites to match the town footprint.\n";
-  return 0;
+  return harness.finish(0);
 }

@@ -1,0 +1,72 @@
+#include "bench_harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/json.h"
+#include "obs/snapshot.h"
+
+namespace dlte::bench {
+
+std::string git_rev() {
+  if (const char* rev = std::getenv("DLTE_GIT_REV")) return rev;
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  std::string out;
+  if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+    pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+Harness::Harness(std::string name)
+    : name_(std::move(name)),
+      wall_start_(std::chrono::steady_clock::now()) {}
+
+std::string Harness::to_json() const {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(name_);
+  w.key("git_rev").value(git_rev());
+  w.key("sim_seconds").value(sim_seconds_);
+  w.key("wall_seconds").value(wall_seconds);
+  // Raw string splice: the snapshot serializes itself (already an
+  // object, already sorted and byte-stable).
+  w.key("metrics");
+  std::string doc = w.str();
+  doc += obs::MetricsSnapshot{registry_}.to_json();
+  obs::JsonWriter t;
+  t.begin_object();
+  for (const auto& [name, seconds] : timings_) t.key(name).value(seconds);
+  t.end_object();
+  doc += ",\"timings\":";
+  doc += t.str();
+  doc += "}";
+  return doc;
+}
+
+int Harness::finish(int exit_code) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("DLTE_BENCH_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << to_json() << "\n";
+  if (!out) {
+    std::cerr << "bench_harness: failed to write " << path << "\n";
+    return exit_code == 0 ? 1 : exit_code;
+  }
+  std::cout << "\n[bench json] " << path << "\n";
+  return exit_code;
+}
+
+}  // namespace dlte::bench

@@ -1,0 +1,78 @@
+// Shared bench harness: every bench binary owns one Harness, routes its
+// scenario metrics into harness.metrics(), and ends with
+// `return harness.finish(exit_code);` — which writes BENCH_<name>.json
+// next to the human-readable tables the bench already prints.
+//
+// Schema (DESIGN.md §8):
+//   {
+//     "bench": "<name>",
+//     "git_rev": "<sha or 'unknown'>",
+//     "sim_seconds": <total simulated seconds driven>,
+//     "wall_seconds": <process wall time>,
+//     "metrics": { counters/gauges/histograms from the registry },
+//     "timings": { "<label>": <wall seconds>, ... }
+//   }
+//
+// Determinism contract: everything under "metrics" derives from
+// simulated time and seeded draws, so two same-seed runs produce a
+// byte-identical "metrics" object (CI checks this). "wall_seconds" and
+// "timings" are wall-clock and vary run to run — they are what the CI
+// perf-regression gate compares against bench/baselines/.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dlte::bench {
+
+// Best-effort git revision: $DLTE_GIT_REV, else $GITHUB_SHA, else
+// `git rev-parse HEAD`, else "unknown".
+[[nodiscard]] std::string git_rev();
+
+class Harness {
+ public:
+  explicit Harness(std::string name);
+
+  // The registry scenario components attach to via set_metrics().
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
+
+  // Total simulated time this bench drove (summed across scenarios).
+  void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
+
+  // Record a named wall-clock timing (a non-deterministic section, e.g.
+  // one microbenchmark's per-iteration time). Kept outside "metrics" so
+  // the determinism check stays byte-exact.
+  void timing(const std::string& name, double seconds) {
+    timings_[name] = seconds;
+  }
+
+  // Conveniences for result-shaped values a bench wants in the JSON.
+  void gauge(const std::string& name, double value) {
+    registry_.gauge(name).set(value);
+  }
+  void counter(const std::string& name, std::uint64_t value) {
+    registry_.counter(name).inc(value);
+  }
+
+  // Serialize and write BENCH_<name>.json into $DLTE_BENCH_DIR (or the
+  // working directory), then pass `exit_code` through — benches end with
+  // `return harness.finish(code);`. Returns 1 if the write failed and
+  // `exit_code` was 0.
+  [[nodiscard]] int finish(int exit_code = 0);
+
+  // The full JSON document (what finish() writes). Exposed for tests.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry registry_;
+  double sim_seconds_{0.0};
+  std::map<std::string, double> timings_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace dlte::bench

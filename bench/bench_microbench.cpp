@@ -5,6 +5,7 @@
 // cheap).
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "crypto/milenage.h"
 #include "crypto/sha256.h"
 #include "lte/nas.h"
@@ -141,6 +142,39 @@ void BM_DcfSimulatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DcfSimulatedSecond);
 
+// Console output as usual, plus each benchmark's per-iteration real
+// time captured into the harness. Times land under "timings" (wall
+// clock, non-deterministic); only the run count goes into "metrics".
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(dlte::bench::Harness& harness)
+      : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      const double per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      harness_.timing(run.benchmark_name(), per_iter);
+      harness_.metrics().counter("micro.benchmarks_run").inc();
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  dlte::bench::Harness& harness_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dlte::bench::Harness harness{"microbench"};
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter{harness};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return harness.finish(0);
+}

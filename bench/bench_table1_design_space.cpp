@@ -12,8 +12,10 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/enodeb.h"
@@ -167,9 +169,12 @@ void wifi_throughput(bool channel_planned, QuadrantResult& r) {
 }
 
 // Measured attach against a local vs remote core (LTE quadrants).
-double lte_attach_ms(bool remote) {
+double lte_attach_ms(bool remote, obs::MetricsRegistry* reg = nullptr,
+                     const std::string& prefix = "") {
   sim::Simulator sim;
+  sim.set_metrics(reg, prefix);
   net::Network net{sim};
+  net.set_metrics(reg, prefix);
   crypto::Block128 op{};
   op[0] = 0xcd;
   crypto::Key128 k{};
@@ -181,6 +186,7 @@ double lte_attach_ms(bool remote) {
                                            : epc::CoreDeployment::kLocalStub,
                                    .network_id = "n"},
                     sim::RngStream{5}};
+  core.set_metrics(reg, prefix);
   core::S1Fabric fabric{sim, core.mme()};
   core::EnodeB enb{sim, fabric, core::EnbConfig{.cell = CellId{1}}};
   if (remote) {
@@ -213,9 +219,11 @@ int main() {
   print_bench_header(std::cout, "T1", "paper Table 1",
                      "dLTE occupies the unexplored quadrant: licensed-radio "
                      "performance with open-core growth");
+  dlte::bench::Harness harness{"table1_design_space"};
 
   QuadrantResult legacy_wifi;
   wifi_throughput(false, legacy_wifi);
+  harness.add_sim_seconds(2.0);  // One contended DCF run.
   legacy_wifi.net_latency_ms = 15.0;  // Local ISP breakout.
   legacy_wifi.attach_ms = 50.0;       // WiFi association + DHCP.
   legacy_wifi.open = "yes";
@@ -223,6 +231,7 @@ int main() {
 
   QuadrantResult enterprise;
   wifi_throughput(true, enterprise);
+  harness.add_sim_seconds(2.0 * kAps);  // One DCF run per channel.
   enterprise.net_latency_ms = 15.0 + 10.0;  // Controller/gateway hop.
   enterprise.attach_ms = 60.0;              // 802.1X to central AAA.
   enterprise.open = "no";
@@ -230,17 +239,34 @@ int main() {
 
   QuadrantResult telecom;
   lte_throughput(true, telecom);
+  harness.add_sim_seconds(2.0 * kAps);  // One cell MAC per AP.
   telecom.net_latency_ms = 15.0 + 2.0 * 25.0;  // Trombone via EPC site.
-  telecom.attach_ms = lte_attach_ms(true);
+  telecom.attach_ms = lte_attach_ms(true, &harness.metrics(), "t1.telecom.");
   telecom.open = "no";
   telecom.coordination = "carrier-planned";
 
   QuadrantResult dlte;
   lte_throughput(true, dlte);
+  harness.add_sim_seconds(2.0 * kAps);
   dlte.net_latency_ms = 15.0;  // Local breakout.
-  dlte.attach_ms = lte_attach_ms(false);
+  dlte.attach_ms = lte_attach_ms(false, &harness.metrics(), "t1.dlte.");
   dlte.open = "yes";
   dlte.coordination = "registry + peer X2";
+
+  const struct {
+    const char* slug;
+    const QuadrantResult* q;
+  } quadrants[] = {{"legacy_wifi", &legacy_wifi},
+                   {"enterprise", &enterprise},
+                   {"telecom", &telecom},
+                   {"dlte", &dlte}};
+  for (const auto& [slug, q] : quadrants) {
+    const std::string p = std::string{"t1."} + slug + ".";
+    harness.gauge(p + "aggregate_mbps", q->aggregate_mbps);
+    harness.gauge(p + "fairness", q->fairness);
+    harness.gauge(p + "net_latency_ms", q->net_latency_ms);
+    harness.gauge(p + "attach_ms", q->attach_ms);
+  }
 
   TextTable t{{"quadrant", "radio", "core", "aggregate", "Jain",
                "net latency", "attach", "new AP may join?",
@@ -291,5 +317,5 @@ int main() {
                "spectral performance while\nkeeping legacy WiFi's openness "
                "and local-breakout latency — the empty quadrant\nof Table 1 "
                "is reachable.\n";
-  return 0;
+  return harness.finish(0);
 }

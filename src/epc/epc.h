@@ -41,6 +41,13 @@ class EpcCore {
   [[nodiscard]] Gateway& gateway() { return gateway_; }
   [[nodiscard]] const EpcConfig& config() const { return config_; }
 
+  // Attach the whole core (MME + gateway) to a metrics registry.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "") {
+    mme_.set_metrics(registry, prefix);
+    gateway_.set_metrics(registry, prefix);
+  }
+
   // Crash-and-restart of the core process (src/fault): MME contexts and
   // gateway bearers are volatile and vanish; the HSS subscriber database
   // (flash-backed) and CDRs (already shipped off-box) survive.

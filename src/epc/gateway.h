@@ -14,6 +14,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace dlte::epc {
 
@@ -40,7 +41,10 @@ class Gateway {
   // dies with the process. Address/TEID counters keep advancing, so UEs
   // re-attaching after the restart get fresh addresses (dLTE §4.2 treats
   // an address change as normal).
-  void clear_sessions() { by_imsi_.clear(); }
+  void clear_sessions() {
+    obs::inc(m_bearers_released_, by_imsi_.size());
+    by_imsi_.clear();
+  }
 
   [[nodiscard]] const BearerContext* find_by_imsi(Imsi imsi) const;
   [[nodiscard]] const BearerContext* find_by_uplink_teid(Teid teid) const;
@@ -52,11 +56,18 @@ class Gateway {
   void count_uplink(int bytes) {
     uplink_packets_ += 1;
     uplink_bytes_ += static_cast<std::uint64_t>(bytes);
+    obs::inc(m_uplink_bytes_, static_cast<std::uint64_t>(bytes));
   }
   void count_downlink(int bytes) {
     downlink_packets_ += 1;
     downlink_bytes_ += static_cast<std::uint64_t>(bytes);
+    obs::inc(m_downlink_bytes_, static_cast<std::uint64_t>(bytes));
   }
+
+  // Export bearer lifecycle and user-plane byte counters under
+  // `<prefix>epc.gw.*`.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
   [[nodiscard]] std::uint64_t uplink_packets() const { return uplink_packets_; }
   [[nodiscard]] std::uint64_t downlink_packets() const {
     return downlink_packets_;
@@ -75,6 +86,12 @@ class Gateway {
   std::uint64_t downlink_packets_{0};
   std::uint64_t uplink_bytes_{0};
   std::uint64_t downlink_bytes_{0};
+
+  obs::Counter* m_bearers_created_{nullptr};
+  obs::Counter* m_bearers_completed_{nullptr};
+  obs::Counter* m_bearers_released_{nullptr};
+  obs::Counter* m_uplink_bytes_{nullptr};
+  obs::Counter* m_downlink_bytes_{nullptr};
 };
 
 }  // namespace dlte::epc

@@ -72,16 +72,34 @@ void GatewayDataPlane::bind_enb(Teid enb_downlink_teid, NodeId enb_node) {
   enb_nodes_[enb_downlink_teid] = enb_node;
 }
 
+void GatewayDataPlane::set_metrics(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  if (registry == nullptr) {
+    m_up_ = nullptr;
+    m_down_ = nullptr;
+    m_unknown_teid_ = nullptr;
+    m_unknown_ue_ = nullptr;
+    return;
+  }
+  m_up_ = &registry->counter(prefix + "epc.gtp.uplink_decapsulated");
+  m_down_ = &registry->counter(prefix + "epc.gtp.downlink_encapsulated");
+  m_unknown_teid_ =
+      &registry->counter(prefix + "epc.gtp.unknown_teid_drops");
+  m_unknown_ue_ = &registry->counter(prefix + "epc.gtp.unknown_ue_drops");
+}
+
 void GatewayDataPlane::on_gtp(const net::Packet& packet) {
   auto frame = deframe_gtp(packet.payload);
   if (!frame) return;
   const auto* bearer = gateway_.find_by_uplink_teid(frame->header.teid);
   if (bearer == nullptr) {
     ++unknown_teid_;
+    obs::inc(m_unknown_teid_);
     return;
   }
   gateway_.count_uplink(frame->inner.size_bytes);
   ++up_count_;
+  obs::inc(m_up_);
   // Decapsulate: the inner datagram continues to its Internet endpoint.
   net_.send(net::Packet{node_, frame->inner.remote, frame->inner.size_bytes,
                         kUserIpProtocol, encode_inner(frame->inner)});
@@ -93,15 +111,18 @@ void GatewayDataPlane::on_user_ip(const net::Packet& packet) {
   const auto* bearer = gateway_.find_by_ue_ip(inner->ue_ip);
   if (bearer == nullptr) {
     ++unknown_ue_;
+    obs::inc(m_unknown_ue_);
     return;
   }
   const auto node_it = enb_nodes_.find(bearer->downlink_teid);
   if (node_it == enb_nodes_.end()) {
     ++unknown_ue_;
+    obs::inc(m_unknown_ue_);
     return;
   }
   gateway_.count_downlink(inner->size_bytes);
   ++down_count_;
+  obs::inc(m_down_);
   net_.send(net::Packet{
       node_, node_it->second,
       inner->size_bytes + lte::kGtpTunnelOverheadBytes, kGtpUProtocol,
@@ -121,15 +142,31 @@ void EnbDataPlane::configure_bearer(net::Ipv4 ue_ip, Teid sgw_uplink_teid) {
   uplink_teids_[ue_ip.addr] = sgw_uplink_teid;
 }
 
+void EnbDataPlane::set_metrics(obs::MetricsRegistry* registry,
+                               const std::string& prefix) {
+  if (registry == nullptr) {
+    m_up_ = nullptr;
+    m_down_ = nullptr;
+    m_unconfigured_ = nullptr;
+    return;
+  }
+  m_up_ = &registry->counter(prefix + "epc.gtp.enb.uplink_sent");
+  m_down_ = &registry->counter(prefix + "epc.gtp.enb.downlink_received");
+  m_unconfigured_ =
+      &registry->counter(prefix + "epc.gtp.enb.unconfigured_drops");
+}
+
 void EnbDataPlane::send_uplink(net::Ipv4 ue_ip, NodeId remote,
                                int size_bytes) {
   const auto it = uplink_teids_.find(ue_ip.addr);
   if (it == uplink_teids_.end()) {
     ++unconfigured_;
+    obs::inc(m_unconfigured_);
     return;
   }
   InnerDatagram inner{ue_ip, remote, size_bytes};
   ++up_count_;
+  obs::inc(m_up_);
   net_.send(net::Packet{node_, gw_node_,
                         size_bytes + lte::kGtpTunnelOverheadBytes,
                         kGtpUProtocol,
@@ -140,6 +177,7 @@ void EnbDataPlane::on_gtp(const net::Packet& packet) {
   auto frame = deframe_gtp(packet.payload);
   if (!frame) return;
   ++down_count_;
+  obs::inc(m_down_);
   if (on_downlink_) on_downlink_(frame->inner);
 }
 

@@ -16,6 +16,7 @@
 #include "epc/gateway.h"
 #include "lte/gtp.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace dlte::epc {
 
@@ -54,6 +55,10 @@ class GatewayDataPlane {
   }
   [[nodiscard]] std::uint64_t unknown_ue_drops() const { return unknown_ue_; }
 
+  // Export tunnel packet/drop counters under `<prefix>epc.gtp.*`.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   void on_gtp(const net::Packet& packet);     // Uplink from eNodeBs.
   void on_user_ip(const net::Packet& packet); // Downlink from the Internet.
@@ -66,6 +71,11 @@ class GatewayDataPlane {
   std::uint64_t down_count_{0};
   std::uint64_t unknown_teid_{0};
   std::uint64_t unknown_ue_{0};
+
+  obs::Counter* m_up_{nullptr};
+  obs::Counter* m_down_{nullptr};
+  obs::Counter* m_unknown_teid_{nullptr};
+  obs::Counter* m_unknown_ue_{nullptr};
 };
 
 // eNodeB-side endpoint.
@@ -93,6 +103,10 @@ class EnbDataPlane {
     return unconfigured_;
   }
 
+  // Export eNodeB-side tunnel counters under `<prefix>epc.gtp.enb.*`.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   void on_gtp(const net::Packet& packet);  // Downlink tunnel traffic.
 
@@ -105,6 +119,10 @@ class EnbDataPlane {
   std::uint64_t up_count_{0};
   std::uint64_t down_count_{0};
   std::uint64_t unconfigured_{0};
+
+  obs::Counter* m_up_{nullptr};
+  obs::Counter* m_down_{nullptr};
+  obs::Counter* m_unconfigured_{nullptr};
 };
 
 }  // namespace dlte::epc

@@ -9,14 +9,53 @@ namespace dlte::epc {
 Mme::Mme(sim::Simulator& sim, Hss& hss, Gateway& gateway, MmeConfig config)
     : sim_(sim), hss_(hss), gateway_(gateway), config_(config) {}
 
+void Mme::set_metrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix) {
+  if (registry == nullptr) {
+    m_messages_ = nullptr;
+    m_attaches_ = nullptr;
+    m_auth_failures_ = nullptr;
+    m_detaches_ = nullptr;
+    m_path_switches_ = nullptr;
+    m_handovers_in_ = nullptr;
+    m_handovers_out_ = nullptr;
+    m_paging_ = nullptr;
+    m_service_requests_ = nullptr;
+    m_nas_retx_ = nullptr;
+    m_throttled_ = nullptr;
+    m_state_losses_ = nullptr;
+    m_attach_latency_ms_ = nullptr;
+    m_queueing_delay_ms_ = nullptr;
+    return;
+  }
+  m_messages_ = &registry->counter(prefix + "epc.messages_processed");
+  m_attaches_ = &registry->counter(prefix + "epc.attaches_completed");
+  m_auth_failures_ = &registry->counter(prefix + "epc.auth_failures");
+  m_detaches_ = &registry->counter(prefix + "epc.detaches");
+  m_path_switches_ = &registry->counter(prefix + "epc.path_switches");
+  m_handovers_in_ = &registry->counter(prefix + "epc.handovers_in");
+  m_handovers_out_ = &registry->counter(prefix + "epc.handovers_out");
+  m_paging_ = &registry->counter(prefix + "epc.paging_messages");
+  m_service_requests_ = &registry->counter(prefix + "epc.service_requests");
+  m_nas_retx_ = &registry->counter(prefix + "epc.nas_retransmissions");
+  m_throttled_ = &registry->counter(prefix + "epc.attaches_throttled");
+  m_state_losses_ = &registry->counter(prefix + "epc.state_losses");
+  m_attach_latency_ms_ =
+      &registry->histogram(prefix + "epc.attach_latency_ms");
+  m_queueing_delay_ms_ =
+      &registry->histogram(prefix + "epc.queueing_delay_ms");
+}
+
 void Mme::handle_s1ap(CellId from_cell, lte::S1apMessage message) {
   // Single-server processing queue: messages wait for MME CPU.
   const TimePoint now = sim_.now();
   const TimePoint start = std::max(now, busy_until_);
   busy_until_ = start + config_.nas_processing;
   stats_.queueing_delay_ms.add((start - now).to_millis());
+  obs::observe(m_queueing_delay_ms_, (start - now).to_millis());
   sim_.schedule_at(busy_until_, [this, from_cell, m = std::move(message)] {
     ++stats_.messages_processed;
+    obs::inc(m_messages_);
     process(from_cell, m);
   });
 }
@@ -38,6 +77,7 @@ void Mme::process(CellId from_cell, const lte::S1apMessage& message) {
           ue.cell = init->cell;
           ue.enb_ue_id = init->enb_ue_id;
           ++stats_.service_requests;
+          obs::inc(m_service_requests_);
           if (ue.on_paged) {
             auto cb = std::move(ue.on_paged);
             ue.on_paged = nullptr;
@@ -85,6 +125,7 @@ void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
     ghost.cell = cell;
     send_nas(ghost, lte::NasMessage{lte::AttachReject{/*cause=*/0x16}});
     ++stats_.attaches_throttled;
+    obs::inc(m_throttled_);
     return;
   }
   auto vector =
@@ -97,10 +138,14 @@ void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
     ghost.cell = cell;
     send_nas(ghost, lte::NasMessage{lte::AttachReject{/*cause=*/0x0f}});
     ++stats_.auth_failures;
+    obs::inc(m_auth_failures_);
     return;
   }
 
   UeContext& ue = ues_[request.imsi];
+  // Latency is measured from the first AttachRequest of the dialogue: a
+  // retransmitted request must not restart the clock.
+  if (ue.state == EmmState::kDeregistered) ue.attach_started = sim_.now();
   ue.imsi = request.imsi;
   ue.enb_ue_id = enb_ue_id;
   if (ue.mme_ue_id.value() == 0) {
@@ -129,6 +174,7 @@ void Mme::handle_nas(UeContext& ue, const lte::NasMessage& nas) {
       if (resp == nullptr) return;
       if (resp->res != ue.xres) {
         ++stats_.auth_failures;
+        obs::inc(m_auth_failures_);
         ue.state = EmmState::kDeregistered;
         send_nas(ue, lte::NasMessage{lte::AuthenticationReject{}});
         return;
@@ -172,6 +218,7 @@ void Mme::handle_nas(UeContext& ue, const lte::NasMessage& nas) {
         gateway_.delete_session(ue.imsi);
         by_mme_id_.erase(ue.mme_ue_id.value());
         ++stats_.detaches;
+        obs::inc(m_detaches_);
         ues_.erase(ue.imsi);  // `ue` invalid beyond this point.
       }
       return;
@@ -186,6 +233,9 @@ void Mme::maybe_finish_attach(UeContext& ue) {
       ue.attach_complete_seen) {
     ue.state = EmmState::kRegistered;
     ++stats_.attaches_completed;
+    obs::inc(m_attaches_);
+    obs::observe(m_attach_latency_ms_,
+                 (sim_.now() - ue.attach_started).to_millis());
   }
 }
 
@@ -215,6 +265,7 @@ void Mme::arm_nas_retx(UeContext& ue) {
     if (u.state == EmmState::kRegistered || u.retx_left <= 0) return;
     --u.retx_left;
     ++stats_.nas_retransmissions;
+    obs::inc(m_nas_retx_);
     // If the radio-side context setup is also outstanding, the original
     // InitialContextSetupRequest may have been the lost message: re-issue
     // it alongside the NAS retransmission.
@@ -243,13 +294,16 @@ void Mme::path_switch(Imsi imsi, CellId new_cell, Teid new_enb_teid) {
   const TimePoint start = std::max(now, busy_until_);
   busy_until_ = start + config_.nas_processing;
   stats_.queueing_delay_ms.add((start - now).to_millis());
+  obs::observe(m_queueing_delay_ms_, (start - now).to_millis());
   sim_.schedule_at(busy_until_, [this, imsi, new_cell, new_enb_teid] {
     ++stats_.messages_processed;
+    obs::inc(m_messages_);
     auto it = ues_.find(imsi);
     if (it == ues_.end()) return;
     it->second.cell = new_cell;
     gateway_.complete_session(imsi, new_enb_teid);
     ++stats_.path_switches;
+    obs::inc(m_path_switches_);
   });
 }
 
@@ -277,10 +331,12 @@ void Mme::page(Imsi imsi, std::function<void()> on_connected) {
   const lte::Paging message{ue.tmsi};
   sender_(ue.cell, lte::S1apMessage{message});
   ++stats_.paging_messages;
+  obs::inc(m_paging_);
   for (CellId cell : config_.tracking_area) {
     if (cell == ue.cell) continue;
     sender_(cell, lte::S1apMessage{message});
     ++stats_.paging_messages;
+    obs::inc(m_paging_);
   }
 }
 
@@ -301,6 +357,7 @@ Result<BearerContext> Mme::admit_handover(
   ue.context_setup_done = true;
   ue.attach_complete_seen = true;
   ++stats_.handovers_in;
+  obs::inc(m_handovers_in_);
   return gateway_.create_session(imsi, BearerId{5});
 }
 
@@ -311,6 +368,7 @@ void Mme::release_ue(Imsi imsi) {
   by_mme_id_.erase(it->second.mme_ue_id.value());
   ues_.erase(it);
   ++stats_.handovers_out;
+  obs::inc(m_handovers_out_);
 }
 
 Mme::UeContext* Mme::find_by_mme_id(MmeUeId id) {
@@ -325,6 +383,7 @@ void Mme::lose_volatile_state() {
   by_mme_id_.clear();
   busy_until_ = sim_.now();
   ++stats_.state_losses;
+  obs::inc(m_state_losses_);
 }
 
 std::size_t Mme::attaches_in_progress() const {

@@ -21,6 +21,7 @@
 #include "epc/hss.h"
 #include "lte/nas.h"
 #include "lte/s1ap.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dlte::epc {
@@ -118,6 +119,12 @@ class Mme {
   [[nodiscard]] std::size_t attaches_in_progress() const;
   [[nodiscard]] const MmeStats& stats() const { return stats_; }
 
+  // Export signaling counters and the attach-latency / queueing-delay
+  // histograms under `<prefix>epc.*` (all simulated-time derived, so
+  // values are deterministic for a given seed).
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   struct UeContext {
     Imsi imsi;
@@ -126,6 +133,7 @@ class Mme {
     MmeUeId mme_ue_id;
     CellId cell;
     EmmState state{EmmState::kDeregistered};
+    TimePoint attach_started{};  // First AttachRequest of this dialogue.
     crypto::Res64 xres{};
     crypto::Kasme kasme{};
     bool context_setup_done{false};
@@ -161,6 +169,21 @@ class Mme {
   std::uint32_t next_mme_id_{1};
   std::uint32_t next_tmsi_{0x1000};
   MmeStats stats_;
+
+  obs::Counter* m_messages_{nullptr};
+  obs::Counter* m_attaches_{nullptr};
+  obs::Counter* m_auth_failures_{nullptr};
+  obs::Counter* m_detaches_{nullptr};
+  obs::Counter* m_path_switches_{nullptr};
+  obs::Counter* m_handovers_in_{nullptr};
+  obs::Counter* m_handovers_out_{nullptr};
+  obs::Counter* m_paging_{nullptr};
+  obs::Counter* m_service_requests_{nullptr};
+  obs::Counter* m_nas_retx_{nullptr};
+  obs::Counter* m_throttled_{nullptr};
+  obs::Counter* m_state_losses_{nullptr};
+  obs::Histogram* m_attach_latency_ms_{nullptr};
+  obs::Histogram* m_queueing_delay_ms_{nullptr};
 };
 
 }  // namespace dlte::epc

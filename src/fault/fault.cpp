@@ -182,8 +182,22 @@ void FaultInjector::trace_event(const FaultSpec& spec, const char* phase) {
   }
 }
 
+void FaultInjector::set_metrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  if (registry == nullptr) {
+    m_injected_ = nullptr;
+    m_healed_ = nullptr;
+    m_repair_time_s_ = nullptr;
+    return;
+  }
+  m_injected_ = &registry->counter(prefix + "fault.injected");
+  m_healed_ = &registry->counter(prefix + "fault.healed");
+  m_repair_time_s_ = &registry->histogram(prefix + "fault.repair_time_s");
+}
+
 void FaultInjector::inject(const FaultSpec& spec) {
   ++stats_.injected;
+  obs::inc(m_injected_);
   trace_event(spec, "inject");
   switch (spec.kind) {
     case FaultKind::kApCrash:
@@ -224,6 +238,8 @@ void FaultInjector::inject(const FaultSpec& spec) {
 
 void FaultInjector::heal(const FaultSpec& spec) {
   ++stats_.healed;
+  obs::inc(m_healed_);
+  obs::observe(m_repair_time_s_, spec.duration.to_seconds());
   trace_event(spec, "heal");
   switch (spec.kind) {
     case FaultKind::kApCrash:

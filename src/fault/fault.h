@@ -19,6 +19,7 @@
 #include "common/time.h"
 #include "core/access_point.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -110,6 +111,12 @@ class FaultInjector {
 
   [[nodiscard]] const FaultInjectorStats& stats() const { return stats_; }
 
+  // Export fault counters under `<prefix>fault.*`, plus a repair-time
+  // histogram (`fault.repair_time_s`) fed at each heal — the per-fault
+  // injected repair duration, the ground truth MTTR input.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   void inject(const FaultSpec& spec);
   void heal(const FaultSpec& spec);
@@ -124,6 +131,9 @@ class FaultInjector {
   spectrum::Registry* registry_{nullptr};
   sim::TraceLog* trace_{nullptr};
   FaultInjectorStats stats_;
+  obs::Counter* m_injected_{nullptr};
+  obs::Counter* m_healed_{nullptr};
+  obs::Histogram* m_repair_time_s_{nullptr};
   // Overlapping partition windows on one link refcount: the link comes
   // back only when the *last* window closes. [10,40] ∪ [20,30] heals the
   // link once, at t=40.

@@ -97,6 +97,25 @@ void Network::send(Packet packet) {
   forward(std::move(packet), origin);
 }
 
+void Network::set_metrics(obs::MetricsRegistry* registry,
+                          const std::string& prefix) {
+  if (registry == nullptr) {
+    m_packets_sent_ = nullptr;
+    m_bytes_sent_ = nullptr;
+    m_queue_drops_ = nullptr;
+    m_impaired_drops_ = nullptr;
+    m_unroutable_drops_ = nullptr;
+    m_partition_seconds_ = nullptr;
+    return;
+  }
+  m_packets_sent_ = &registry->counter(prefix + "net.packets_sent");
+  m_bytes_sent_ = &registry->counter(prefix + "net.bytes_sent");
+  m_queue_drops_ = &registry->counter(prefix + "net.queue_drops");
+  m_impaired_drops_ = &registry->counter(prefix + "net.impaired_drops");
+  m_unroutable_drops_ = &registry->counter(prefix + "net.unroutable_drops");
+  m_partition_seconds_ = &registry->gauge(prefix + "net.partition_seconds");
+}
+
 void Network::forward(Packet&& packet, NodeId at) {
   if (at == packet.dst) {
     Node& node = nodes_[at.value()];
@@ -110,13 +129,17 @@ void Network::forward(Packet&& packet, NodeId at) {
   }
   if (routes_dirty_) recompute_routes();
   const std::size_t li = next_hop_[at.value()][packet.dst.value()];
-  if (li == kNoRoute) return;  // Unroutable: dropped.
+  if (li == kNoRoute) {
+    obs::inc(m_unroutable_drops_);
+    return;  // Unroutable: dropped.
+  }
   DirectedLink& link = links_[li];
 
   if (link.impairment.loss > 0.0 &&
       impairment_rng_.bernoulli(link.impairment.loss)) {
     ++link.stats.packets_dropped;
     ++link.stats.packets_lost_impaired;
+    obs::inc(m_impaired_drops_);
     return;
   }
 
@@ -127,6 +150,7 @@ void Network::forward(Packet&& packet, NodeId at) {
       (start - now).to_seconds() * link.config.rate.bps() / 8.0;
   if (backlog_bytes > static_cast<double>(link.config.queue_bytes)) {
     ++link.stats.packets_dropped;
+    obs::inc(m_queue_drops_);
     return;
   }
   const Duration tx = Duration::seconds(
@@ -134,6 +158,8 @@ void Network::forward(Packet&& packet, NodeId at) {
   link.busy_until = start + tx;
   ++link.stats.packets_sent;
   link.stats.bytes_sent += static_cast<std::uint64_t>(packet.size_bytes);
+  obs::inc(m_packets_sent_);
+  obs::inc(m_bytes_sent_, static_cast<std::uint64_t>(packet.size_bytes));
 
   const TimePoint arrival =
       start + tx + link.config.delay + link.impairment.extra_delay;
@@ -196,7 +222,16 @@ void Network::set_link_impairment(NodeId a, NodeId b,
 
 void Network::set_link_enabled(NodeId a, NodeId b, bool enabled) {
   for (std::size_t li : nodes_[a.value()].links) {
-    if (links_[li].to == b) links_[li].enabled = enabled;
+    if (links_[li].to != b) continue;
+    DirectedLink& link = links_[li];
+    // Partition accounting on the a→b direction only (both directions
+    // flip together, counting one avoids doubling the outage).
+    if (link.enabled && !enabled) {
+      link.down_since = sim_.now();
+    } else if (!link.enabled && enabled && m_partition_seconds_ != nullptr) {
+      m_partition_seconds_->add((sim_.now() - link.down_since).to_seconds());
+    }
+    link.enabled = enabled;
   }
   for (std::size_t li : nodes_[b.value()].links) {
     if (links_[li].to == a) links_[li].enabled = enabled;

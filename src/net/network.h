@@ -17,6 +17,7 @@
 #include "common/ids.h"
 #include "common/time.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -118,6 +119,12 @@ class Network {
   // Recompute routing tables (called lazily after topology changes).
   void recompute_routes();
 
+  // Export network-wide aggregates under `<prefix>net.*`: packets/bytes
+  // sent, queue and impairment drops, unroutable drops, and cumulative
+  // link-partition seconds (accrued when a disabled link re-enables).
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   struct DirectedLink {
     NodeId to;
@@ -126,6 +133,7 @@ class Network {
     LinkStats stats;
     bool enabled{true};
     LinkImpairment impairment{};
+    TimePoint down_since{};
   };
   struct Node {
     std::string name;
@@ -145,6 +153,13 @@ class Network {
   std::vector<std::vector<std::size_t>> next_hop_;
   bool routes_dirty_{true};
   sim::RngStream impairment_rng_{0xfa171u};
+
+  obs::Counter* m_packets_sent_{nullptr};
+  obs::Counter* m_bytes_sent_{nullptr};
+  obs::Counter* m_queue_drops_{nullptr};
+  obs::Counter* m_impaired_drops_{nullptr};
+  obs::Counter* m_unroutable_drops_{nullptr};
+  obs::Gauge* m_partition_seconds_{nullptr};
 
   static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);
 };

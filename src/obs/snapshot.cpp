@@ -1,0 +1,60 @@
+#include "obs/snapshot.h"
+
+#include "obs/json.h"
+
+namespace dlte::obs {
+
+MetricsSnapshot::MetricsSnapshot(const MetricsRegistry& registry) {
+  counters_.reserve(registry.counters().size());
+  for (const auto& [name, c] : registry.counters()) {
+    counters_.emplace_back(name, c.value());
+  }
+  gauges_.reserve(registry.gauges().size());
+  for (const auto& [name, g] : registry.gauges()) {
+    gauges_.emplace_back(name, g.value());
+  }
+  histograms_.reserve(registry.histograms().size());
+  for (const auto& [name, h] : registry.histograms()) {
+    HistogramSnapshot s;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.mean = h.mean();
+    s.p50 = h.p50();
+    s.p90 = h.p90();
+    s.p95 = h.p95();
+    s.p99 = h.p99();
+    histograms_.emplace_back(name, s);
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters_) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges_) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("mean").value(h.mean);
+    w.key("p50").value(h.p50);
+    w.key("p90").value(h.p90);
+    w.key("p95").value(h.p95);
+    w.key("p99").value(h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dlte::obs

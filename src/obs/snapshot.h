@@ -1,0 +1,54 @@
+// MetricsSnapshot: a frozen, sorted copy of a MetricsRegistry plus the
+// deterministic JSON form the bench harness embeds in BENCH_*.json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dlte::obs {
+
+struct HistogramSnapshot {
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+  double mean{0.0};
+  double p50{0.0};
+  double p90{0.0};
+  double p95{0.0};
+  double p99{0.0};
+};
+
+class MetricsSnapshot {
+ public:
+  MetricsSnapshot() = default;
+  explicit MetricsSnapshot(const MetricsRegistry& registry);
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}
+  // with keys in sorted order — byte-stable for identical registries.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& gauges()
+      const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, HistogramSnapshot>>&
+  histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms_;
+};
+
+}  // namespace dlte::obs

@@ -1,0 +1,59 @@
+// ScopedTimer: measures a span of *simulated* time into a Histogram.
+//
+// obs sits below sim in the library graph, so the clock comes in as a
+// callable rather than a Simulator reference:
+//
+//   obs::ScopedTimer t{reg.histogram("epc.attach_latency_ms"),
+//                      [&] { return sim.now(); }};
+//   ... run the attach ...
+//   t.stop();   // or let the destructor record it
+//
+// Timers nest naturally — each instance holds its own start time.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace dlte::obs {
+
+class ScopedTimer {
+ public:
+  using NowFn = std::function<TimePoint()>;
+
+  // `scale` converts the elapsed Duration's nanoseconds into the
+  // histogram's unit; the default records milliseconds.
+  ScopedTimer(Histogram& hist, NowFn now, double scale = 1e-6)
+      : hist_(&hist),
+        now_(std::move(now)),
+        scale_(scale),
+        start_(now_()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  // Record now instead of at scope exit. Idempotent.
+  void stop() {
+    if (hist_ == nullptr) return;
+    const Duration elapsed = now_() - start_;
+    hist_->record(static_cast<double>(elapsed.ns()) * scale_);
+    hist_ = nullptr;
+  }
+
+  // Leave the scope without recording anything.
+  void cancel() { hist_ = nullptr; }
+
+  [[nodiscard]] TimePoint start() const { return start_; }
+
+ private:
+  Histogram* hist_;
+  NowFn now_;
+  double scale_;
+  TimePoint start_;
+};
+
+}  // namespace dlte::obs

@@ -13,6 +13,34 @@ void Simulator::schedule(Duration delay, Action action) {
 void Simulator::schedule_at(TimePoint when, Action action) {
   if (when < now_) when = now_;
   queue_.push(Event{when, next_seq_++, std::move(action)});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+}
+
+void Simulator::set_metrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  if (registry == nullptr) {
+    events_counter_ = nullptr;
+    queue_depth_gauge_ = nullptr;
+    sim_seconds_gauge_ = nullptr;
+    return;
+  }
+  events_counter_ = &registry->counter(prefix + "sim.events_executed");
+  queue_depth_gauge_ = &registry->gauge(prefix + "sim.max_queue_depth");
+  sim_seconds_gauge_ = &registry->gauge(prefix + "sim.seconds");
+  events_flushed_ = events_executed_;
+}
+
+void Simulator::flush_metrics() {
+  if (events_counter_ != nullptr) {
+    events_counter_->inc(events_executed_ - events_flushed_);
+    events_flushed_ = events_executed_;
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->set_max(static_cast<double>(max_queue_depth_));
+  }
+  if (sim_seconds_gauge_ != nullptr) {
+    sim_seconds_gauge_->set_max(now_.to_seconds());
+  }
 }
 
 void Simulator::every(Duration period, Action action) {
@@ -50,6 +78,7 @@ void Simulator::run_until(TimePoint deadline) {
     ev.action();
   }
   if (now_ < deadline) now_ = deadline;
+  flush_metrics();
 }
 
 void Simulator::run_all() {
@@ -61,6 +90,7 @@ void Simulator::run_all() {
     ++events_executed_;
     ev.action();
   }
+  flush_metrics();
 }
 
 }  // namespace dlte::sim

@@ -10,9 +10,11 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
+#include "obs/metrics.h"
 
 namespace dlte::sim {
 
@@ -78,8 +80,18 @@ class Simulator {
     return events_executed_;
   }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t max_queue_depth() const {
+    return max_queue_depth_;
+  }
+
+  // Attach a metrics registry: events dispatched flow into
+  // `<prefix>sim.events_executed` at the end of each run, and the high
+  // watermark of the event queue into `<prefix>sim.max_queue_depth`.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
 
  private:
+  void flush_metrics();
   struct Event {
     TimePoint when;
     std::uint64_t seq;
@@ -95,7 +107,13 @@ class Simulator {
   TimePoint now_{};
   std::uint64_t next_seq_{0};
   std::uint64_t events_executed_{0};
+  std::size_t max_queue_depth_{0};
   bool stopped_{false};
+
+  obs::Counter* events_counter_{nullptr};
+  obs::Gauge* queue_depth_gauge_{nullptr};
+  obs::Gauge* sim_seconds_gauge_{nullptr};
+  std::uint64_t events_flushed_{0};
 };
 
 }  // namespace dlte::sim

@@ -29,9 +29,39 @@ void TraceLog::record(TraceCategory category, std::string component,
   if (events_.size() >= capacity_) {
     events_.pop_front();
     ++dropped_;
+    ++total_dropped_;
+    obs::inc(dropped_counter_);
+  }
+  ++total_recorded_;
+  obs::inc(recorded_counter_);
+  const auto cat = static_cast<std::size_t>(category);
+  if (cat < category_counters_.size()) {
+    obs::inc(category_counters_[cat]);
   }
   events_.push_back(TraceEvent{sim_.now(), category, std::move(component),
                                std::move(message)});
+}
+
+void TraceLog::set_metrics(obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  category_counters_.clear();
+  if (registry == nullptr) {
+    recorded_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    return;
+  }
+  recorded_counter_ = &registry->counter(prefix + "trace.recorded");
+  dropped_counter_ = &registry->counter(prefix + "trace.dropped");
+  constexpr TraceCategory kAll[] = {
+      TraceCategory::kRegistry,  TraceCategory::kAttach,
+      TraceCategory::kCoordination, TraceCategory::kHandover,
+      TraceCategory::kData,      TraceCategory::kMobility,
+      TraceCategory::kFault,
+  };
+  for (const TraceCategory c : kAll) {
+    category_counters_.push_back(&registry->counter(
+        prefix + "trace.recorded." + trace_category_name(c)));
+  }
 }
 
 std::vector<const TraceEvent*> TraceLog::by_category(

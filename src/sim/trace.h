@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dlte::sim {
@@ -51,19 +52,42 @@ class TraceLog {
   [[nodiscard]] std::vector<const TraceEvent*> by_category(
       TraceCategory category) const;
   [[nodiscard]] std::size_t count(TraceCategory category) const;
+  // Events evicted from the current window (resets with clear()).
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  // Lifetime totals. Unlike dropped(), these survive clear(): a scenario
+  // that clears the ring between phases previously lost all evidence
+  // that earlier phases overflowed, so silent trace loss was invisible.
+  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return total_recorded_;
+  }
 
   void print(std::ostream& os) const;
+  // Empties the window. Window-scoped dropped() resets; lifetime totals
+  // and attached metrics counters do not.
   void clear() {
     events_.clear();
     dropped_ = 0;
   }
+
+  // Route recorded/dropped totals into `registry`:
+  // `<prefix>trace.recorded`, `<prefix>trace.dropped`, and per-category
+  // `<prefix>trace.recorded.<category>`. Counters accumulate from the
+  // moment of attachment and are unaffected by clear().
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
 
  private:
   const Simulator& sim_;
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
   std::uint64_t dropped_{0};
+  std::uint64_t total_dropped_{0};
+  std::uint64_t total_recorded_{0};
+
+  obs::Counter* recorded_counter_{nullptr};
+  obs::Counter* dropped_counter_{nullptr};
+  std::vector<obs::Counter*> category_counters_;
 };
 
 }  // namespace dlte::sim

@@ -22,6 +22,27 @@ PeerCoordinator::~PeerCoordinator() {
   net_.set_protocol_handler(node_, kX2Protocol, nullptr);
 }
 
+void PeerCoordinator::set_metrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) {
+  if (registry == nullptr) {
+    m_messages_sent_ = nullptr;
+    m_bytes_sent_ = nullptr;
+    m_messages_received_ = nullptr;
+    m_rounds_led_ = nullptr;
+    m_shares_applied_ = nullptr;
+    m_grant_churn_ = nullptr;
+    m_peers_expired_ = nullptr;
+    return;
+  }
+  m_messages_sent_ = &registry->counter(prefix + "x2.messages_sent");
+  m_bytes_sent_ = &registry->counter(prefix + "x2.bytes_sent");
+  m_messages_received_ = &registry->counter(prefix + "x2.messages_received");
+  m_rounds_led_ = &registry->counter(prefix + "x2.rounds_led");
+  m_shares_applied_ = &registry->counter(prefix + "x2.shares_applied");
+  m_grant_churn_ = &registry->counter(prefix + "x2.grant_churn");
+  m_peers_expired_ = &registry->counter(prefix + "x2.peers_expired");
+}
+
 void PeerCoordinator::add_peer(ApId ap, NodeId node) {
   if (ap == config_.ap) return;
   peers_[ap] = node;
@@ -43,6 +64,7 @@ void PeerCoordinator::expire_dead_peers() {
       last_heard_.erase(dead);
       it = peers_.erase(it);
       ++stats_.peers_expired;
+      obs::inc(m_peers_expired_);
       // The next round recomputes shares over the survivors — the dead
       // peer's spectrum is reclaimed (and, should it return, its hello /
       // status re-establishes peering).
@@ -92,6 +114,8 @@ void PeerCoordinator::send_to(NodeId node, const lte::X2Message& message) {
                           lte::encode_x2(message)});
     ++stats_.messages_sent;
     stats_.bytes_sent += static_cast<std::uint64_t>(size);
+    obs::inc(m_messages_sent_);
+    obs::inc(m_bytes_sent_, static_cast<std::uint64_t>(size));
   }
 }
 
@@ -148,6 +172,7 @@ void PeerCoordinator::maybe_lead_round() {
   proposal.ap_ids = ids;
   proposal.shares = shares;
   ++stats_.rounds_led;
+  obs::inc(m_rounds_led_);
   broadcast(lte::X2Message{proposal});
   // Apply our own slice directly.
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -156,8 +181,11 @@ void PeerCoordinator::maybe_lead_round() {
 }
 
 void PeerCoordinator::apply_share(double share) {
+  const double previous = current_share_;
   current_share_ = std::clamp(share, 0.0, 1.0);
   ++stats_.shares_applied;
+  obs::inc(m_shares_applied_);
+  if (current_share_ != previous) obs::inc(m_grant_churn_);
   if (cell_ != nullptr) cell_->set_prb_share(current_share_);
   if (share_observer_) share_observer_(current_share_);
 }
@@ -167,6 +195,7 @@ void PeerCoordinator::on_packet(const net::Packet& packet) {
   auto message = lte::decode_x2(packet.payload);
   if (!message) return;
   ++stats_.messages_received;
+  obs::inc(m_messages_received_);
 
   if (const auto* hello = std::get_if<lte::DlteHello>(&*message)) {
     // A new AP announced itself; its reachable node is the packet source.

@@ -20,6 +20,7 @@
 #include "lte/x2ap.h"
 #include "mac/lte_cell_mac.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -122,6 +123,11 @@ class PeerCoordinator {
   // assignment in core/).
   [[nodiscard]] const lte::DltePeerStatus* peer_status(ApId ap) const;
 
+  // Export X2 coordination counters under `<prefix>x2.*`, including
+  // grant churn (share changes that actually moved the PRB quota).
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   void on_packet(const net::Packet& packet);
   void send_to(NodeId node, const lte::X2Message& message);
@@ -156,6 +162,14 @@ class PeerCoordinator {
   X2Impairment impairment_{};
   sim::RngStream impair_rng_;
   CoordinatorStats stats_;
+
+  obs::Counter* m_messages_sent_{nullptr};
+  obs::Counter* m_bytes_sent_{nullptr};
+  obs::Counter* m_messages_received_{nullptr};
+  obs::Counter* m_rounds_led_{nullptr};
+  obs::Counter* m_shares_applied_{nullptr};
+  obs::Counter* m_grant_churn_{nullptr};
+  obs::Counter* m_peers_expired_{nullptr};
 };
 
 }  // namespace dlte::spectrum

@@ -1,0 +1,93 @@
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dlte::obs {
+namespace {
+
+// Deterministic pseudo-random stream standing in for a seeded run.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  double next_double() {
+    return static_cast<double>(next() % 1'000'000) / 997.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// One "seeded run": the kind of mixed-metric activity a scenario drives.
+void seeded_run(MetricsRegistry& reg, std::uint64_t seed) {
+  Lcg rng{seed};
+  for (int i = 0; i < 500; ++i) {
+    reg.counter("epc.messages_processed").inc(rng.next() % 5);
+    reg.histogram("epc.attach_latency_ms").record(rng.next_double());
+    reg.gauge("sim.max_queue_depth").set_max(rng.next_double());
+  }
+  reg.counter("net.packets_sent").inc(rng.next());
+  reg.gauge("x2.share").set(rng.next_double());
+}
+
+TEST(MetricsSnapshot, SameSeedSnapshotsAreByteIdentical) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  seeded_run(a, 2018);
+  seeded_run(b, 2018);
+  const std::string ja = MetricsSnapshot{a}.to_json();
+  const std::string jb = MetricsSnapshot{b}.to_json();
+  EXPECT_EQ(ja, jb);
+  EXPECT_FALSE(ja.empty());
+}
+
+TEST(MetricsSnapshot, DifferentSeedSnapshotsDiffer) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  seeded_run(a, 2018);
+  seeded_run(b, 2019);
+  EXPECT_NE(MetricsSnapshot{a}.to_json(), MetricsSnapshot{b}.to_json());
+}
+
+TEST(MetricsSnapshot, InsertionOrderDoesNotAffectOutput) {
+  MetricsRegistry a;
+  a.counter("zebra").inc(1);
+  a.counter("apple").inc(2);
+  a.gauge("mid").set(3.0);
+  MetricsRegistry b;
+  b.gauge("mid").set(3.0);
+  b.counter("apple").inc(2);
+  b.counter("zebra").inc(1);
+  EXPECT_EQ(MetricsSnapshot{a}.to_json(), MetricsSnapshot{b}.to_json());
+  // Names serialize sorted, so diffs are stable across code motion.
+  const std::string j = MetricsSnapshot{a}.to_json();
+  EXPECT_LT(j.find("apple"), j.find("zebra"));
+}
+
+TEST(MetricsSnapshot, EmptyRegistrySerializesAllSections) {
+  MetricsRegistry reg;
+  EXPECT_EQ(MetricsSnapshot{reg}.to_json(),
+            R"({"counters":{},"gauges":{},"histograms":{}})");
+}
+
+TEST(MetricsSnapshot, HistogramSectionCarriesSummary) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.histogram("lat").record(static_cast<double>(i));
+  }
+  const std::string j = MetricsSnapshot{reg}.to_json();
+  EXPECT_NE(j.find(R"("lat":{"count":100)"), std::string::npos);
+  EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(j.find("\"mean\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlte::obs

@@ -1,0 +1,93 @@
+#include "obs/timer.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dlte::obs {
+namespace {
+
+// A hand-cranked simulated clock: tests advance it explicitly, exactly
+// how ScopedTimer consumes sim::Simulator::now() in the stack.
+struct FakeClock {
+  TimePoint now{};
+  void advance(Duration d) { now = now + d; }
+  [[nodiscard]] ScopedTimer::NowFn fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(ScopedTimer, RecordsElapsedSimulatedMillis) {
+  FakeClock clock;
+  Histogram h;
+  {
+    ScopedTimer t{h, clock.fn()};
+    clock.advance(Duration::millis(250));
+  }  // Destructor records.
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 250.0);
+}
+
+TEST(ScopedTimer, StopIsIdempotent) {
+  FakeClock clock;
+  Histogram h;
+  ScopedTimer t{h, clock.fn()};
+  clock.advance(Duration::millis(10));
+  t.stop();
+  clock.advance(Duration::millis(90));
+  t.stop();  // No second sample.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(ScopedTimer, CancelRecordsNothing) {
+  FakeClock clock;
+  Histogram h;
+  {
+    ScopedTimer t{h, clock.fn()};
+    clock.advance(Duration::millis(10));
+    t.cancel();
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ScopedTimer, NestedTimersMeasureTheirOwnSpans) {
+  FakeClock clock;
+  Histogram outer;
+  Histogram inner;
+  {
+    ScopedTimer to{outer, clock.fn()};
+    clock.advance(Duration::millis(100));
+    {
+      ScopedTimer ti{inner, clock.fn()};
+      clock.advance(Duration::millis(40));
+    }
+    clock.advance(Duration::millis(60));
+  }
+  ASSERT_EQ(inner.count(), 1u);
+  ASSERT_EQ(outer.count(), 1u);
+  EXPECT_DOUBLE_EQ(inner.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(outer.sum(), 200.0);
+}
+
+TEST(ScopedTimer, CustomScaleRecordsSeconds) {
+  FakeClock clock;
+  Histogram h;
+  {
+    ScopedTimer t{h, clock.fn(), 1e-9};  // Nanoseconds -> seconds.
+    clock.advance(Duration::seconds(3.0));
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+}
+
+TEST(ScopedTimer, SameSimulatedInstantRecordsZero) {
+  FakeClock clock;
+  Histogram h;
+  { ScopedTimer t{h, clock.fn()}; }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace dlte::obs

@@ -60,6 +60,44 @@ TEST(TraceLog, ClearResetsEventsAndDropCounter) {
   EXPECT_EQ(log.dropped(), 1u);
 }
 
+TEST(TraceLog, LifetimeTotalsSurviveClear) {
+  Simulator sim;
+  TraceLog log{sim, 2};
+  for (int i = 0; i < 5; ++i) {
+    log.record(TraceCategory::kFault, "x", std::to_string(i));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_EQ(log.total_dropped(), 3u);
+  log.clear();
+  // The window counter resets but the lifetime totals keep accumulating,
+  // so drop accounting stays consistent across clears.
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_EQ(log.total_dropped(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    log.record(TraceCategory::kFault, "x", std::to_string(i));
+  }
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.total_recorded(), 8u);
+  EXPECT_EQ(log.total_dropped(), 4u);
+}
+
+TEST(TraceLog, MetricsCountRecordsAndDrops) {
+  Simulator sim;
+  obs::MetricsRegistry reg;
+  TraceLog log{sim, 2};
+  log.set_metrics(&reg, "t.");
+  for (int i = 0; i < 4; ++i) {
+    log.record(TraceCategory::kAttach, "x", std::to_string(i));
+  }
+  log.clear();
+  log.record(TraceCategory::kFault, "x", "after clear");
+  EXPECT_EQ(reg.counter("t.trace.recorded").value(), 5u);
+  EXPECT_EQ(reg.counter("t.trace.dropped").value(), 2u);
+  EXPECT_EQ(reg.counter("t.trace.recorded.attach").value(), 4u);
+  EXPECT_EQ(reg.counter("t.trace.recorded.fault").value(), 1u);
+}
+
 TEST(TraceLog, PrintsReadableLines) {
   Simulator sim;
   TraceLog log{sim};

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate bench results against checked-in baselines.
+
+Two modes:
+
+  Regression gate (default): for every baseline bench/baselines/
+  BENCH_<name>.json, find the matching BENCH_<name>.json under
+  --result-dir and fail if its wall_seconds exceeds the baseline by more
+  than --threshold (fractional, default 0.25 = +25%).
+
+      tools/check_bench_regression.py \
+          --baseline-dir bench/baselines --result-dir out
+
+  Determinism compare: byte-compare the "metrics" objects of two result
+  files (the deterministic slice of the schema; wall_seconds and timings
+  are wall-clock and exempt).
+
+      tools/check_bench_regression.py --compare-metrics a.json b.json
+
+Exit status: 0 = all gates passed, 1 = regression/mismatch, 2 = usage or
+missing/malformed input.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_KEYS = ("bench", "git_rev", "sim_seconds", "wall_seconds", "metrics")
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    missing = [k for k in REQUIRED_KEYS if k not in doc]
+    if missing:
+        sys.exit(f"error: {path} lacks required keys: {', '.join(missing)}")
+    return doc
+
+
+def compare_metrics(a_path: pathlib.Path, b_path: pathlib.Path) -> int:
+    a, b = load(a_path), load(b_path)
+    a_json = json.dumps(a["metrics"], sort_keys=True)
+    b_json = json.dumps(b["metrics"], sort_keys=True)
+    if a_json != b_json:
+        print(f"FAIL: metrics differ between {a_path} and {b_path}")
+        for section in ("counters", "gauges", "histograms"):
+            am, bm = a["metrics"].get(section, {}), b["metrics"].get(section, {})
+            for key in sorted(set(am) | set(bm)):
+                if am.get(key) != bm.get(key):
+                    print(f"  {section}.{key}: {am.get(key)!r} != {bm.get(key)!r}")
+        return 1
+    print(f"OK: metrics byte-identical ({a_path.name})")
+    return 0
+
+
+def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
+                    threshold: float, slack: float) -> int:
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        sys.exit(f"error: no BENCH_*.json baselines in {baseline_dir}")
+    failures = 0
+    for base_path in baselines:
+        result_path = result_dir / base_path.name
+        if not result_path.exists():
+            print(f"FAIL: {result_path} missing (baseline exists)")
+            failures += 1
+            continue
+        base, result = load(base_path), load(result_path)
+        base_wall, result_wall = base["wall_seconds"], result["wall_seconds"]
+        if base_wall <= 0:
+            print(f"SKIP: {base_path.name} baseline wall_seconds <= 0")
+            continue
+        # The absolute slack keeps sub-second benches from tripping the
+        # ratio gate on scheduler noise.
+        allowed = base_wall * (1.0 + threshold) + slack
+        verdict = "OK" if result_wall <= allowed else "FAIL"
+        print(f"{verdict}: {base_path.name} wall {result_wall:.3f}s vs "
+              f"baseline {base_wall:.3f}s "
+              f"(limit {allowed:.3f}s = +{threshold:.0%} + {slack:.1f}s)")
+        if verdict == "FAIL":
+            failures += 1
+    if failures:
+        print(f"{failures} bench(es) regressed beyond +{threshold:.0%}; "
+              "if intentional, refresh bench/baselines/ (see README).")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=pathlib.Path("bench/baselines"))
+    parser.add_argument("--result-dir", type=pathlib.Path,
+                        default=pathlib.Path("."))
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional wall-time growth "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--slack", type=float, default=0.5,
+                        help="absolute wall-time grace in seconds added "
+                             "on top of the threshold (default 0.5)")
+    parser.add_argument("--compare-metrics", nargs=2, type=pathlib.Path,
+                        metavar=("A", "B"),
+                        help="byte-compare the metrics objects of two "
+                             "result files instead of gating wall time")
+    args = parser.parse_args()
+    if args.compare_metrics:
+        return compare_metrics(*args.compare_metrics)
+    return regression_gate(args.baseline_dir, args.result_dir,
+                           args.threshold, args.slack)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
