@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "obs/json.h"
 #include "obs/snapshot.h"
+#include "obs/trace_export.h"
 
 namespace dlte::bench {
 
@@ -28,6 +30,34 @@ std::string git_rev() {
 Harness::Harness(std::string name)
     : name_(std::move(name)),
       wall_start_(std::chrono::steady_clock::now()) {}
+
+void Harness::enable_tracing(std::string path) {
+  trace_path_ = std::move(path);
+  if (tracer_ == nullptr) {
+    // No clock yet — the bench attaches its Simulator's via
+    // set_trace_clock(). Latency rollups land in the shared registry.
+    tracer_ = std::make_unique<obs::SpanTracer>();
+    tracer_->set_metrics(&registry_);
+  }
+}
+
+void Harness::parse_args(int argc, char** argv) {
+  constexpr const char kFlag[] = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      enable_tracing(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  if (tracer_ == nullptr) {
+    if (const char* env = std::getenv("DLTE_TRACE_OUT")) {
+      enable_tracing(env);
+    }
+  }
+}
+
+void Harness::set_trace_clock(obs::SpanTracer::NowFn now) {
+  if (tracer_ != nullptr) tracer_->set_clock(std::move(now));
+}
 
 std::string Harness::to_json() const {
   const double wall_seconds =
@@ -56,6 +86,14 @@ std::string Harness::to_json() const {
 }
 
 int Harness::finish(int exit_code) {
+  if (tracer_ != nullptr && !trace_path_.empty()) {
+    if (obs::ChromeTraceExporter::write_file(*tracer_, trace_path_)) {
+      std::cout << "\n[trace json] " << trace_path_ << "\n";
+    } else {
+      std::cerr << "bench_harness: failed to write " << trace_path_ << "\n";
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
   std::string dir = ".";
   if (const char* env = std::getenv("DLTE_BENCH_DIR")) dir = env;
   const std::string path = dir + "/BENCH_" + name_ + ".json";

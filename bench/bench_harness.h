@@ -23,9 +23,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace dlte::bench {
 
@@ -39,6 +41,21 @@ class Harness {
 
   // The registry scenario components attach to via set_metrics().
   [[nodiscard]] obs::MetricsRegistry& metrics() { return registry_; }
+
+  // Opt-in causal tracing: `--trace-out=<file>` on the command line (or
+  // $DLTE_TRACE_OUT) creates a SpanTracer whose latency rollups land in
+  // metrics() as `span.*` histograms; finish() writes the Chrome
+  // trace-event JSON to the given path. Unknown flags are ignored, so a
+  // bench just forwards its argc/argv.
+  void parse_args(int argc, char** argv);
+  void enable_tracing(std::string path);
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
+  // nullptr unless tracing was enabled — scenario components take it via
+  // their null-safe set_tracer().
+  [[nodiscard]] obs::SpanTracer* tracer() { return tracer_.get(); }
+  // Attach the simulated clock once the scenario's Simulator exists
+  // (e.g. `[&sim] { return sim.now(); }`). No-op when not tracing.
+  void set_trace_clock(obs::SpanTracer::NowFn now);
 
   // Total simulated time this bench drove (summed across scenarios).
   void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
@@ -70,6 +87,8 @@ class Harness {
  private:
   std::string name_;
   obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::SpanTracer> tracer_;
+  std::string trace_path_;
   double sim_seconds_{0.0};
   std::map<std::string, double> timings_;
   std::chrono::steady_clock::time_point wall_start_;

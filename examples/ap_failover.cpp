@@ -16,17 +16,39 @@
 #include "fault/failover.h"
 #include "fault/fault.h"
 #include "fault/resilience.h"
+#include "obs/trace_export.h"
 #include "sim/trace.h"
 #include "ue/mobility.h"
 
 using namespace dlte;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional: `--trace-out=<file>` exports the whole walkthrough —
+  // attach waves, X2 rounds, the injected crash — as Chrome trace-event
+  // JSON for ui.perfetto.dev. Fault events land as annotations on
+  // whatever procedure span they interrupt.
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    }
+  }
+
   sim::Simulator sim;
+  std::unique_ptr<obs::SpanTracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::SpanTracer>([&sim] { return sim.now(); });
+  }
   net::Network net{sim};
+  net.set_tracer(tracer.get());
   core::RadioEnvironment radio;
   spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
+  registry.set_tracer(tracer.get());
   sim::TraceLog trace{sim};
+  // Bridge: TraceLog lines recorded while a span is active become that
+  // span's annotations (the legacy log joins the causal tree).
+  trace.set_tracer(tracer.get());
   const NodeId internet = net.add_node("internet");
 
   // Two APs 3.5 km apart, both with their own core stub.
@@ -43,6 +65,8 @@ int main() {
     aps.push_back(
         std::make_unique<core::DlteAccessPoint>(sim, net, node, radio, cfg));
     aps.back()->set_trace(&trace);
+    aps.back()->set_span_tracer(tracer.get(),
+                                "ap" + std::to_string(id) + "/");
     aps.back()->bring_up(registry);
   }
   sim.run_until(sim.now() + Duration::seconds(2.0));
@@ -83,6 +107,7 @@ int main() {
   injector.register_ap(aps[1].get());
   injector.set_registry(&registry);
   injector.set_trace(&trace);
+  injector.set_tracer(tracer.get());
   fault::FaultPlan plan;
   fault::FaultSpec crash;
   crash.kind = fault::FaultKind::kApCrash;
@@ -111,5 +136,16 @@ int main() {
   report.fault_events = trace.count(sim::TraceCategory::kFault);
   std::cout << "\nresilience report:\n" << report.to_string();
   std::cout << "\nno carrier NOC was paged; the town healed itself.\n";
+
+  if (tracer != nullptr) {
+    if (obs::ChromeTraceExporter::write_file(*tracer, trace_out)) {
+      std::cout << "span trace (" << tracer->spans().size()
+                << " spans) written to " << trace_out
+                << " — load it in ui.perfetto.dev\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_out << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -8,18 +8,38 @@
 //   5. attach the phone — full RRC + EPS-AKA against the on-box core;
 //   6. pass data and read the counters.
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "core/access_point.h"
+#include "obs/trace_export.h"
 #include "ue/mobility.h"
 
 using namespace dlte;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional: `--trace-out=<file>` exports a causal span trace of the
+  // whole bring-up + attach as Chrome trace-event JSON (open it in
+  // ui.perfetto.dev or chrome://tracing).
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    }
+  }
+
   // 1. World.
   sim::Simulator sim;
+  std::unique_ptr<obs::SpanTracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::SpanTracer>([&sim] { return sim.now(); });
+  }
   net::Network net{sim};
+  net.set_tracer(tracer.get());
   core::RadioEnvironment radio;
   spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
+  registry.set_tracer(tracer.get());
 
   const NodeId internet = net.add_node("internet");
   const NodeId ap_node = net.add_node("barn-roof-ap");
@@ -33,6 +53,7 @@ int main() {
   cfg.position = Position{0.0, 0.0};
   cfg.operator_contact = "farmer@valley.example";
   core::DlteAccessPoint ap{sim, net, ap_node, radio, cfg};
+  ap.set_span_tracer(tracer.get());
 
   // 3. License + peer discovery through the registry.
   ap.bring_up(registry, [&](bool ok) {
@@ -83,5 +104,16 @@ int main() {
             << ap.core().gateway().session_count()
             << ", billing records: " << ap.core().cdr_count()
             << " (the stub does not bill — §4.1)\n";
+
+  if (tracer != nullptr) {
+    if (obs::ChromeTraceExporter::write_file(*tracer, trace_out)) {
+      std::cout << "span trace (" << tracer->spans().size()
+                << " spans) written to " << trace_out
+                << " — load it in ui.perfetto.dev\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_out << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

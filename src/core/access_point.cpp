@@ -56,6 +56,13 @@ void DlteAccessPoint::set_trace(sim::TraceLog* trace) {
   });
 }
 
+void DlteAccessPoint::set_span_tracer(obs::SpanTracer* tracer,
+                                      const std::string& prefix) {
+  enodeb_->set_tracer(tracer, prefix);
+  core_->set_tracer(tracer, prefix);
+  coordinator_->set_tracer(tracer, prefix);
+}
+
 void DlteAccessPoint::trace(sim::TraceCategory category,
                             std::string message) {
   if (trace_ != nullptr) {

@@ -112,6 +112,14 @@ class DlteAccessPoint {
   // Optional structured event tracing (grant, attach, share decisions).
   void set_trace(sim::TraceLog* trace);
 
+  // Causal span tracing: wires one SpanTracer through this AP's eNodeB
+  // (attach root spans), MME (NAS/AKA phase spans) and X2 coordinator
+  // (share-round spans). All APs in a scenario share the tracer so
+  // cross-AP procedures (handover, X2 rounds) parent correctly; `prefix`
+  // lands in the span categories, not the names. Null-safe.
+  void set_span_tracer(obs::SpanTracer* tracer,
+                       const std::string& prefix = "");
+
   [[nodiscard]] ApId id() const { return config_.id; }
   [[nodiscard]] CellId cell_id() const { return config_.cell; }
   [[nodiscard]] NodeId node() const { return node_; }

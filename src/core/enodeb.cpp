@@ -5,6 +5,22 @@ namespace dlte::core {
 EnodeB::EnodeB(sim::Simulator& sim, S1Fabric& fabric, EnbConfig config)
     : sim_(sim), fabric_(fabric), config_(config) {}
 
+void EnodeB::set_tracer(obs::SpanTracer* tracer, const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "ran";
+}
+
+void EnodeB::close_attach_span(EnbUeId id, PendingUe& ue,
+                               const char* result) {
+  obs::span_annotate(tracer_, ue.span, "result", result);
+  obs::span_end(tracer_, ue.span);
+  if (tracer_ != nullptr) {
+    tracer_->take(
+        obs::span_key("attach", config_.cell.value(), id.value()));
+  }
+  ue.span = obs::kNoSpan;
+}
+
 void EnodeB::attach_ue(ue::NasClient& client,
                        std::function<void(AttachOutcome)> on_done) {
   const EnbUeId id{next_enb_ue_id_++};
@@ -12,6 +28,14 @@ void EnodeB::attach_ue(ue::NasClient& client,
   ue.client = &client;
   ue.on_done = std::move(on_done);
   ue.started_at = sim_.now();
+  ue.span = obs::span_begin(tracer_, "attach", span_cat_);
+  obs::span_annotate(tracer_, ue.span, "cell",
+                     std::to_string(config_.cell.value()));
+  if (tracer_ != nullptr) {
+    // Handoff to the core: the MME parents its dialogue phases here.
+    tracer_->stash(
+        obs::span_key("attach", config_.cell.value(), id.value()), ue.span);
+  }
   pending_.emplace(id.value(), std::move(ue));
   ++started_;
 
@@ -30,6 +54,7 @@ void EnodeB::attach_ue(ue::NasClient& client,
     auto it = pending_.find(id.value());
     if (it == pending_.end() || it->second.done) return;
     ++failed_;
+    close_attach_span(id, it->second, "guard_expired");
     AttachOutcome out;
     out.success = false;
     out.elapsed = sim_.now() - it->second.started_at;
@@ -126,6 +151,7 @@ void EnodeB::check_completion(EnbUeId id, PendingUe& ue) {
   if (ue.client->state() == ue::NasClientState::kRejected) {
     ue.done = true;
     ++failed_;
+    close_attach_span(id, ue, "rejected");
     AttachOutcome out;
     out.success = false;
     out.elapsed = sim_.now() - ue.started_at;
@@ -136,6 +162,9 @@ void EnodeB::check_completion(EnbUeId id, PendingUe& ue) {
   if (ue.client->registered() && ue.context_setup) {
     ue.done = true;
     ++succeeded_;
+    obs::span_annotate(tracer_, ue.span, "ue_ip",
+                       std::to_string(ue.client->ue_ip()));
+    close_attach_span(id, ue, "registered");
     AttachOutcome out;
     out.success = true;
     out.elapsed = sim_.now() - ue.started_at;

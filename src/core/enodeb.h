@@ -12,6 +12,7 @@
 
 #include "core/s1_fabric.h"
 #include "lte/nas.h"
+#include "obs/span.h"
 #include "ue/nas_client.h"
 
 namespace dlte::core {
@@ -58,6 +59,12 @@ class EnodeB {
   [[nodiscard]] int pages_received() const { return pages_received_; }
   [[nodiscard]] int pages_answered() const { return pages_answered_; }
 
+  // Causal tracing: each attach_ue() opens an "attach" root span in
+  // category `<prefix>ran`, covering RRC setup through completion/guard
+  // expiry, and stashes it under span_key("attach", cell, enb_ue_id) so
+  // the MME parents its dialogue phases beneath it. Null-safe.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   struct PendingUe {
     ue::NasClient* client{nullptr};
@@ -66,6 +73,7 @@ class EnodeB {
     MmeUeId mme_ue_id{};
     bool context_setup{false};
     bool done{false};
+    obs::SpanId span{obs::kNoSpan};
   };
   struct CampedUe {
     ue::NasClient* client{nullptr};
@@ -77,6 +85,8 @@ class EnodeB {
   void send_nas_to_mme(EnbUeId enb_id, MmeUeId mme_id,
                        const lte::NasMessage& nas);
   void check_completion(EnbUeId id, PendingUe& ue);
+  // Annotates the outcome, closes the attach span, and drops the stash.
+  void close_attach_span(EnbUeId id, PendingUe& ue, const char* result);
 
   sim::Simulator& sim_;
   S1Fabric& fabric_;
@@ -86,6 +96,8 @@ class EnodeB {
   // page with a ServiceRequest or originate a detach.
   std::unordered_map<std::uint32_t, CampedUe> camped_;
   std::uint32_t next_enb_ue_id_{1};
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"ran"};
   int started_{0};
   int succeeded_{0};
   int failed_{0};

@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "core/access_point.h"
+#include "obs/span.h"
 
 namespace dlte::core {
 
@@ -49,6 +50,13 @@ class HandoverManager {
   [[nodiscard]] int handovers_admitted() const { return admitted_; }
   [[nodiscard]] int handovers_refused() const { return refused_; }
 
+  // Causal tracing: initiate() opens a "handover" root span (category
+  // `<prefix>handover`) stashed under span_key("handover", imsi); the
+  // target's admission becomes a "handover_admit" child (via the shared
+  // tracer's stash) and the source's RRC reconfiguration an
+  // "rrc_reconfiguration" child. Null-safe.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   struct Pending {
     UeDevice* ue{nullptr};
@@ -56,6 +64,7 @@ class HandoverManager {
     std::function<void(HandoverOutcome)> on_done;
     TimePoint started_at{};
     ApId target;
+    obs::SpanId span{obs::kNoSpan};
   };
 
   void on_x2(const lte::X2Message& message, NodeId from);
@@ -70,6 +79,8 @@ class HandoverManager {
   int initiated_{0};
   int admitted_{0};
   int refused_{0};
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"handover"};
 
   // Radio interruption of an RRC-reconfiguration-based handover (no RRC
   // idle→connected, no AKA).

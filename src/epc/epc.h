@@ -48,6 +48,12 @@ class EpcCore {
     gateway_.set_metrics(registry, prefix);
   }
 
+  // Attach the core to a span tracer (currently the MME's EMM dialogue
+  // phases; the user-plane spans live in the data-plane objects).
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "") {
+    mme_.set_tracer(tracer, prefix);
+  }
+
   // Crash-and-restart of the core process (src/fault): MME contexts and
   // gateway bearers are volatile and vanish; the HSS subscriber database
   // (flash-backed) and CDRs (already shipped off-box) survive.

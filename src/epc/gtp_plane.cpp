@@ -88,21 +88,44 @@ void GatewayDataPlane::set_metrics(obs::MetricsRegistry* registry,
   m_unknown_ue_ = &registry->counter(prefix + "epc.gtp.unknown_ue_drops");
 }
 
+void GatewayDataPlane::set_tracer(obs::SpanTracer* tracer,
+                                  const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "gtp";
+}
+
 void GatewayDataPlane::on_gtp(const net::Packet& packet) {
   auto frame = deframe_gtp(packet.payload);
   if (!frame) return;
+  // The eNodeB endpoint stashed the packet's "gtp_uplink" span under its
+  // (teid, seq) — decapsulation here is where the tunnel leg ends.
+  const obs::SpanId span =
+      tracer_ != nullptr
+          ? tracer_->take(obs::span_key("gtpu", frame->header.teid.value(),
+                                        frame->header.sequence))
+          : obs::kNoSpan;
   const auto* bearer = gateway_.find_by_uplink_teid(frame->header.teid);
   if (bearer == nullptr) {
     ++unknown_teid_;
     obs::inc(m_unknown_teid_);
+    obs::span_annotate(tracer_, span, "drop", "unknown uplink teid");
+    obs::span_end(tracer_, span);
     return;
   }
   gateway_.count_uplink(frame->inner.size_bytes);
   ++up_count_;
   obs::inc(m_up_);
-  // Decapsulate: the inner datagram continues to its Internet endpoint.
-  net_.send(net::Packet{node_, frame->inner.remote, frame->inner.size_bytes,
-                        kUserIpProtocol, encode_inner(frame->inner)});
+  obs::span_annotate(tracer_, span, "decapsulated",
+                     lte::gtpu_brief(frame->header));
+  {
+    // The decapsulated datagram's delivery is causally part of the
+    // uplink: the span closes once it is on its way to the Internet.
+    obs::ScopedActivation act{tracer_, span};
+    net_.send(net::Packet{node_, frame->inner.remote,
+                          frame->inner.size_bytes, kUserIpProtocol,
+                          encode_inner(frame->inner)});
+  }
+  obs::span_end(tracer_, span);
 }
 
 void GatewayDataPlane::on_user_ip(const net::Packet& packet) {
@@ -123,10 +146,23 @@ void GatewayDataPlane::on_user_ip(const net::Packet& packet) {
   gateway_.count_downlink(inner->size_bytes);
   ++down_count_;
   obs::inc(m_down_);
+  const std::uint16_t seq = next_seq_++;
+  const obs::SpanId span =
+      obs::span_begin(tracer_, "gtp_downlink", span_cat_);
+  obs::span_annotate(
+      tracer_, span, "tunnel",
+      lte::gtpu_brief(lte::GtpUHeader{
+          bearer->downlink_teid,
+          static_cast<std::uint16_t>(inner->size_bytes), seq}));
+  if (tracer_ != nullptr && span != obs::kNoSpan) {
+    tracer_->stash(
+        obs::span_key("gtpd", bearer->downlink_teid.value(), seq), span);
+  }
+  obs::ScopedActivation act{tracer_, span};
   net_.send(net::Packet{
       node_, node_it->second,
       inner->size_bytes + lte::kGtpTunnelOverheadBytes, kGtpUProtocol,
-      frame_gtp(bearer->downlink_teid, 0, *inner)});
+      frame_gtp(bearer->downlink_teid, seq, *inner)});
 }
 
 // ---------------------------------------------------------------- eNB --
@@ -156,21 +192,44 @@ void EnbDataPlane::set_metrics(obs::MetricsRegistry* registry,
       &registry->counter(prefix + "epc.gtp.enb.unconfigured_drops");
 }
 
+void EnbDataPlane::set_tracer(obs::SpanTracer* tracer,
+                              const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "gtp";
+}
+
 void EnbDataPlane::send_uplink(net::Ipv4 ue_ip, NodeId remote,
                                int size_bytes) {
   const auto it = uplink_teids_.find(ue_ip.addr);
   if (it == uplink_teids_.end()) {
     ++unconfigured_;
     obs::inc(m_unconfigured_);
+    if (tracer_ != nullptr) {
+      // Zero-duration marker: the datagram died here, trace says why.
+      const obs::SpanId s =
+          obs::span_begin(tracer_, "gtp_uplink", span_cat_);
+      obs::span_annotate(tracer_, s, "drop", "no uplink teid for ue");
+      obs::span_end(tracer_, s);
+    }
     return;
   }
   InnerDatagram inner{ue_ip, remote, size_bytes};
   ++up_count_;
   obs::inc(m_up_);
+  const std::uint16_t seq = next_seq_++;
+  const obs::SpanId span = obs::span_begin(tracer_, "gtp_uplink", span_cat_);
+  obs::span_annotate(
+      tracer_, span, "tunnel",
+      lte::gtpu_brief(lte::GtpUHeader{
+          it->second, static_cast<std::uint16_t>(size_bytes), seq}));
+  if (tracer_ != nullptr && span != obs::kNoSpan) {
+    // The gateway endpoint closes this span at decapsulation.
+    tracer_->stash(obs::span_key("gtpu", it->second.value(), seq), span);
+  }
+  obs::ScopedActivation act{tracer_, span};
   net_.send(net::Packet{node_, gw_node_,
                         size_bytes + lte::kGtpTunnelOverheadBytes,
-                        kGtpUProtocol,
-                        frame_gtp(it->second, next_seq_++, inner)});
+                        kGtpUProtocol, frame_gtp(it->second, seq, inner)});
 }
 
 void EnbDataPlane::on_gtp(const net::Packet& packet) {
@@ -178,6 +237,15 @@ void EnbDataPlane::on_gtp(const net::Packet& packet) {
   if (!frame) return;
   ++down_count_;
   obs::inc(m_down_);
+  if (tracer_ != nullptr) {
+    // Close the gateway's stashed "gtp_downlink" span: the tunnel leg
+    // ends where the datagram reaches the serving eNodeB.
+    const obs::SpanId span = tracer_->take(obs::span_key(
+        "gtpd", frame->header.teid.value(), frame->header.sequence));
+    obs::span_annotate(tracer_, span, "delivered",
+                       lte::gtpu_brief(frame->header));
+    obs::span_end(tracer_, span);
+  }
   if (on_downlink_) on_downlink_(frame->inner);
 }
 

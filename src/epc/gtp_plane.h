@@ -17,6 +17,7 @@
 #include "lte/gtp.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace dlte::epc {
 
@@ -59,6 +60,11 @@ class GatewayDataPlane {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Causal tracing: closes the eNodeB's stashed "gtp_uplink" span at
+  // decapsulation and opens a "gtp_downlink" span per tunnelled downlink
+  // datagram (closed by the eNodeB endpoint). Category `<prefix>gtp`.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   void on_gtp(const net::Packet& packet);     // Uplink from eNodeBs.
   void on_user_ip(const net::Packet& packet); // Downlink from the Internet.
@@ -67,6 +73,11 @@ class GatewayDataPlane {
   NodeId node_;
   Gateway& gateway_;
   std::unordered_map<Teid, NodeId> enb_nodes_;
+  // Downlink GTP-U sequence numbers (uplink seqs live in EnbDataPlane):
+  // they key the per-packet span handoff, so "always 0" would alias.
+  std::uint16_t next_seq_{0};
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"gtp"};
   std::uint64_t up_count_{0};
   std::uint64_t down_count_{0};
   std::uint64_t unknown_teid_{0};
@@ -107,6 +118,12 @@ class EnbDataPlane {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Causal tracing: send_uplink opens a "gtp_uplink" span stashed under
+  // span_key("gtpu", teid, seq) for the gateway endpoint to close; the
+  // gateway's "gtp_downlink" spans are closed here. Category
+  // `<prefix>gtp`. Both planes must share one tracer.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   void on_gtp(const net::Packet& packet);  // Downlink tunnel traffic.
 
@@ -116,6 +133,8 @@ class EnbDataPlane {
   std::unordered_map<std::uint32_t, Teid> uplink_teids_;  // By UE address.
   DownlinkHandler on_downlink_;
   std::uint16_t next_seq_{0};
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"gtp"};
   std::uint64_t up_count_{0};
   std::uint64_t down_count_{0};
   std::uint64_t unconfigured_{0};

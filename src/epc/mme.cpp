@@ -46,6 +46,27 @@ void Mme::set_metrics(obs::MetricsRegistry* registry,
       &registry->histogram(prefix + "epc.queueing_delay_ms");
 }
 
+void Mme::set_tracer(obs::SpanTracer* tracer, const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "epc";
+}
+
+obs::SpanId Mme::ran_span(CellId cell, EnbUeId enb_ue_id) const {
+  if (tracer_ == nullptr) return obs::kNoSpan;
+  return tracer_->stashed(
+      obs::span_key("attach", cell.value(), enb_ue_id.value()));
+}
+
+void Mme::begin_phase(UeContext& ue, const char* name) {
+  end_phase(ue);
+  ue.phase_span = obs::span_begin(tracer_, name, span_cat_, ue.proc_span);
+}
+
+void Mme::end_phase(UeContext& ue) {
+  obs::span_end(tracer_, ue.phase_span);
+  ue.phase_span = obs::kNoSpan;
+}
+
 void Mme::handle_s1ap(CellId from_cell, lte::S1apMessage message) {
   // Single-server processing queue: messages wait for MME CPU.
   const TimePoint now = sim_.now();
@@ -101,8 +122,12 @@ void Mme::process(CellId from_cell, const lte::S1apMessage& message) {
           std::get_if<lte::InitialContextSetupResponse>(&message)) {
     UeContext* ue = find_by_mme_id(resp->mme_ue_id);
     if (ue == nullptr) return;
+    obs::ScopedActivation act{tracer_, ue->proc_span};
     gateway_.complete_session(ue->imsi, resp->enb_downlink_teid);
     ue->context_setup_done = true;
+    obs::span_annotate(
+        tracer_, ue->phase_span, "context_setup",
+        "enb_downlink_teid=" + std::to_string(resp->enb_downlink_teid.value()));
     maybe_finish_attach(*ue);
     return;
   }
@@ -123,6 +148,8 @@ void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
     ghost.enb_ue_id = enb_ue_id;
     ghost.mme_ue_id = MmeUeId{next_mme_id_++};
     ghost.cell = cell;
+    obs::span_annotate(tracer_, ran_span(cell, enb_ue_id), "reject",
+                       "congestion (attach storm throttle)");
     send_nas(ghost, lte::NasMessage{lte::AttachReject{/*cause=*/0x16}});
     ++stats_.attaches_throttled;
     obs::inc(m_throttled_);
@@ -136,6 +163,8 @@ void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
     ghost.enb_ue_id = enb_ue_id;
     ghost.mme_ue_id = MmeUeId{next_mme_id_++};
     ghost.cell = cell;
+    obs::span_annotate(tracer_, ran_span(cell, enb_ue_id), "reject",
+                       "unknown subscriber");
     send_nas(ghost, lte::NasMessage{lte::AttachReject{/*cause=*/0x0f}});
     ++stats_.auth_failures;
     obs::inc(m_auth_failures_);
@@ -144,8 +173,17 @@ void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
 
   UeContext& ue = ues_[request.imsi];
   // Latency is measured from the first AttachRequest of the dialogue: a
-  // retransmitted request must not restart the clock.
-  if (ue.state == EmmState::kDeregistered) ue.attach_started = sim_.now();
+  // retransmitted request must not restart the clock (nor re-open spans).
+  if (ue.state == EmmState::kDeregistered) {
+    ue.attach_started = sim_.now();
+    ue.proc_span = ran_span(cell, enb_ue_id);
+    obs::span_annotate(tracer_, ue.proc_span, "imsi",
+                       std::to_string(request.imsi.value()));
+    begin_phase(ue, "aka");
+  } else {
+    obs::span_annotate(tracer_, ue.proc_span, "nas_retx",
+                       "AttachRequest retransmitted");
+  }
   ue.imsi = request.imsi;
   ue.enb_ue_id = enb_ue_id;
   if (ue.mme_ue_id.value() == 0) {
@@ -168,6 +206,9 @@ void Mme::start_attach(CellId cell, EnbUeId enb_ue_id,
 }
 
 void Mme::handle_nas(UeContext& ue, const lte::NasMessage& nas) {
+  // Legacy TraceLog lines and fault events recorded while this dialogue
+  // is being processed annotate its RAN attach span.
+  obs::ScopedActivation act{tracer_, ue.proc_span};
   switch (ue.state) {
     case EmmState::kAuthPending: {
       const auto* resp = std::get_if<lte::AuthenticationResponse>(&nas);
@@ -175,11 +216,16 @@ void Mme::handle_nas(UeContext& ue, const lte::NasMessage& nas) {
       if (resp->res != ue.xres) {
         ++stats_.auth_failures;
         obs::inc(m_auth_failures_);
+        obs::span_annotate(tracer_, ue.phase_span, "result",
+                           "xres mismatch — authentication rejected");
+        end_phase(ue);
         ue.state = EmmState::kDeregistered;
         send_nas(ue, lte::NasMessage{lte::AuthenticationReject{}});
         return;
       }
+      end_phase(ue);
       ue.state = EmmState::kSecurityPending;
+      begin_phase(ue, "security_mode");
       send_nas(ue, lte::NasMessage{lte::SecurityModeCommand{}});
       return;
     }
@@ -187,9 +233,15 @@ void Mme::handle_nas(UeContext& ue, const lte::NasMessage& nas) {
       if (!std::holds_alternative<lte::SecurityModeComplete>(nas)) return;
       // Session setup: allocate bearer + UE address, push the radio-side
       // context, and accept the attach.
+      end_phase(ue);
       BearerContext& bearer = gateway_.create_session(ue.imsi, BearerId{5});
       ue.tmsi = Tmsi{next_tmsi_++};
       ue.state = EmmState::kAttachAccepted;
+      begin_phase(ue, "bearer_setup");
+      obs::span_annotate(tracer_, ue.phase_span, "uplink_teid",
+                         std::to_string(bearer.uplink_teid.value()));
+      obs::span_annotate(tracer_, ue.phase_span, "ue_ip",
+                         bearer.ue_ip.to_string());
 
       const auto kenb = crypto::derive_kenb(ue.kasme, 0);
       lte::InitialContextSetupRequest ctx;
@@ -236,10 +288,13 @@ void Mme::maybe_finish_attach(UeContext& ue) {
     obs::inc(m_attaches_);
     obs::observe(m_attach_latency_ms_,
                  (sim_.now() - ue.attach_started).to_millis());
+    end_phase(ue);
+    obs::span_annotate(tracer_, ue.proc_span, "core", "registered");
   }
 }
 
 void Mme::send_nas(UeContext& ue, const lte::NasMessage& nas) {
+  obs::span_annotate(tracer_, ue.proc_span, "nas_tx", lte::nas_brief(nas));
   lte::DownlinkNasTransport transport;
   transport.enb_ue_id = ue.enb_ue_id;
   transport.mme_ue_id = ue.mme_ue_id;
@@ -266,6 +321,9 @@ void Mme::arm_nas_retx(UeContext& ue) {
     --u.retx_left;
     ++stats_.nas_retransmissions;
     obs::inc(m_nas_retx_);
+    obs::span_annotate(tracer_, u.proc_span, "nas_retx",
+                       "downlink NAS re-sent (" +
+                           std::to_string(u.retx_left) + " left)");
     // If the radio-side context setup is also outstanding, the original
     // InitialContextSetupRequest may have been the lost message: re-issue
     // it alongside the NAS retransmission.
@@ -379,6 +437,15 @@ Mme::UeContext* Mme::find_by_mme_id(MmeUeId id) {
 }
 
 void Mme::lose_volatile_state() {
+  for (auto& [imsi, ue] : ues_) {
+    if (ue.phase_span != obs::kNoSpan) {
+      obs::span_annotate(tracer_, ue.phase_span, "fault",
+                         "mme volatile state lost mid-dialogue");
+      end_phase(ue);
+    }
+    obs::span_annotate(tracer_, ue.proc_span, "fault",
+                       "mme volatile state lost");
+  }
   ues_.clear();
   by_mme_id_.clear();
   busy_until_ = sim_.now();

@@ -22,6 +22,7 @@
 #include "lte/nas.h"
 #include "lte/s1ap.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 
 namespace dlte::epc {
@@ -125,6 +126,13 @@ class Mme {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Causal tracing (DESIGN.md §9): the EMM dialogue's core-side phases
+  // ("aka", "security_mode", "bearer_setup") become child spans of the
+  // eNodeB's "attach" span, found via the tracer's stash under
+  // span_key("attach", cell, enb_ue_id). Spans land in category
+  // `<prefix>epc`. Null tracer disables tracing.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   struct UeContext {
     Imsi imsi;
@@ -146,6 +154,11 @@ class Mme {
     int retx_left{0};
     EmmState retx_state{EmmState::kDeregistered};
     std::vector<std::uint8_t> retx_pdu;
+    // Causal tracing: the RAN-side "attach" span this dialogue belongs
+    // to (owned and closed by the eNodeB), and the currently open
+    // core-side phase child span.
+    obs::SpanId proc_span{obs::kNoSpan};
+    obs::SpanId phase_span{obs::kNoSpan};
   };
 
   void process(CellId from_cell, const lte::S1apMessage& message);
@@ -156,6 +169,12 @@ class Mme {
                     const lte::AttachRequest& request);
   void maybe_finish_attach(UeContext& ue);
   UeContext* find_by_mme_id(MmeUeId id);
+  // The RAN's stashed "attach" span for this dialogue (kNoSpan if the
+  // eNodeB is untraced or the stash expired).
+  [[nodiscard]] obs::SpanId ran_span(CellId cell, EnbUeId enb_ue_id) const;
+  // Closes the open phase span (if any) and opens `name` under proc_span.
+  void begin_phase(UeContext& ue, const char* name);
+  void end_phase(UeContext& ue);
 
   sim::Simulator& sim_;
   Hss& hss_;
@@ -169,6 +188,9 @@ class Mme {
   std::uint32_t next_mme_id_{1};
   std::uint32_t next_tmsi_{0x1000};
   MmeStats stats_;
+
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"epc"};
 
   obs::Counter* m_messages_{nullptr};
   obs::Counter* m_attaches_{nullptr};

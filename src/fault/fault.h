@@ -20,6 +20,7 @@
 #include "core/access_point.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -117,6 +118,12 @@ class FaultInjector {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Causal tracing: every inject/heal emits a zero-duration
+  // "fault_inject"/"fault_heal" marker span (category `<prefix>fault`)
+  // and, when a procedure span is currently active, annotates it — so a
+  // trace shows which attach/handover a fault landed in the middle of.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   void inject(const FaultSpec& spec);
   void heal(const FaultSpec& spec);
@@ -130,6 +137,8 @@ class FaultInjector {
   net::Network* net_{nullptr};
   spectrum::Registry* registry_{nullptr};
   sim::TraceLog* trace_{nullptr};
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"fault"};
   FaultInjectorStats stats_;
   obs::Counter* m_injected_{nullptr};
   obs::Counter* m_healed_{nullptr};

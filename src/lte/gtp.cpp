@@ -83,4 +83,10 @@ Result<CreateSessionResponse> decode_gtpc_create_resp(
   return CreateSessionResponse{Teid{*teid}, *ip};
 }
 
+std::string gtpu_brief(const GtpUHeader& h) {
+  return "teid=" + std::to_string(h.teid.value()) +
+         " seq=" + std::to_string(h.sequence) +
+         " len=" + std::to_string(h.length);
+}
+
 }  // namespace dlte::lte

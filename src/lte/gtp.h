@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
@@ -32,6 +33,9 @@ inline constexpr int kGtpTunnelOverheadBytes = 20 + 8 + kGtpUHeaderBytes;
 [[nodiscard]] std::vector<std::uint8_t> encode_gtpu(const GtpUHeader& h);
 [[nodiscard]] Result<GtpUHeader> decode_gtpu(
     std::span<const std::uint8_t> bytes);
+
+// One-line "teid=<t> seq=<s> len=<l>" description for span annotations.
+[[nodiscard]] std::string gtpu_brief(const GtpUHeader& h);
 
 // GTP-C session management (S11/S5 collapsed).
 struct CreateSessionRequest {

@@ -191,4 +191,28 @@ const char* nas_message_name(const NasMessage& message) {
   return std::visit(Namer{}, message);
 }
 
+std::string nas_brief(const NasMessage& message) {
+  std::string out = nas_message_name(message);
+  out += std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AttachRequest>) {
+          return m.tmsi.value() != 0
+                     ? " tmsi=" + std::to_string(m.tmsi.value())
+                     : " imsi=" + std::to_string(m.imsi.value());
+        } else if constexpr (std::is_same_v<T, AttachAccept>) {
+          return " tmsi=" + std::to_string(m.tmsi.value()) +
+                 " ue_ip=" + std::to_string(m.ue_ip);
+        } else if constexpr (std::is_same_v<T, AttachReject>) {
+          return " cause=" + std::to_string(m.cause);
+        } else if constexpr (std::is_same_v<T, ServiceRequest>) {
+          return " tmsi=" + std::to_string(m.tmsi.value());
+        } else {
+          return "";
+        }
+      },
+      message);
+  return out;
+}
+
 }  // namespace dlte::lte

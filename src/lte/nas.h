@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -81,5 +82,10 @@ using NasMessage =
 
 // Human-readable message name, for traces and tests.
 [[nodiscard]] const char* nas_message_name(const NasMessage& message);
+
+// One-line description with the salient fields (IMSI, cause, UE IP, …)
+// — what span annotations record so a trace shows *which* NAS exchange
+// happened, not just that one did.
+[[nodiscard]] std::string nas_brief(const NasMessage& message);
 
 }  // namespace dlte::lte

@@ -94,7 +94,19 @@ const Network::DirectedLink* Network::next_hop(NodeId from, NodeId to) const {
 
 void Network::send(Packet packet) {
   const NodeId origin = packet.src;
+  if (tracer_ != nullptr) {
+    packet.trace_span = tracer_->begin("net_delivery", span_cat_);
+    obs::span_annotate(tracer_, packet.trace_span, "route",
+                       node_name(packet.src) + "->" + node_name(packet.dst));
+    obs::span_annotate(tracer_, packet.trace_span, "bytes",
+                       std::to_string(packet.size_bytes));
+  }
   forward(std::move(packet), origin);
+}
+
+void Network::set_tracer(obs::SpanTracer* tracer, const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "net";
 }
 
 void Network::set_metrics(obs::MetricsRegistry* registry,
@@ -118,6 +130,7 @@ void Network::set_metrics(obs::MetricsRegistry* registry,
 
 void Network::forward(Packet&& packet, NodeId at) {
   if (at == packet.dst) {
+    obs::span_end(tracer_, packet.trace_span);
     Node& node = nodes_[at.value()];
     if (const auto it = node.protocol_handlers.find(packet.protocol);
         it != node.protocol_handlers.end()) {
@@ -131,6 +144,8 @@ void Network::forward(Packet&& packet, NodeId at) {
   const std::size_t li = next_hop_[at.value()][packet.dst.value()];
   if (li == kNoRoute) {
     obs::inc(m_unroutable_drops_);
+    obs::span_annotate(tracer_, packet.trace_span, "drop", "unroutable");
+    obs::span_end(tracer_, packet.trace_span);
     return;  // Unroutable: dropped.
   }
   DirectedLink& link = links_[li];
@@ -140,6 +155,8 @@ void Network::forward(Packet&& packet, NodeId at) {
     ++link.stats.packets_dropped;
     ++link.stats.packets_lost_impaired;
     obs::inc(m_impaired_drops_);
+    obs::span_annotate(tracer_, packet.trace_span, "drop", "impaired_loss");
+    obs::span_end(tracer_, packet.trace_span);
     return;
   }
 
@@ -151,6 +168,8 @@ void Network::forward(Packet&& packet, NodeId at) {
   if (backlog_bytes > static_cast<double>(link.config.queue_bytes)) {
     ++link.stats.packets_dropped;
     obs::inc(m_queue_drops_);
+    obs::span_annotate(tracer_, packet.trace_span, "drop", "queue_overflow");
+    obs::span_end(tracer_, packet.trace_span);
     return;
   }
   const Duration tx = Duration::seconds(

@@ -18,6 +18,7 @@
 #include "common/time.h"
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -39,6 +40,10 @@ struct Packet {
   // each protocol module).
   std::uint16_t protocol{0};
   std::vector<std::uint8_t> payload;
+  // Delivery span (obs::SpanId) carried with the packet so the hop that
+  // finally delivers or drops it can close the span. kNoSpan (0) when
+  // tracing is off.
+  std::uint64_t trace_span{0};
 };
 
 struct LinkConfig {
@@ -125,6 +130,11 @@ class Network {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Causal tracing: each send() opens a "net_delivery" span (child of
+  // the active span) in category `<prefix>net`, closed at delivery or
+  // annotated with the drop reason. Null tracer disables tracing.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   struct DirectedLink {
     NodeId to;
@@ -153,6 +163,9 @@ class Network {
   std::vector<std::vector<std::size_t>> next_hop_;
   bool routes_dirty_{true};
   sim::RngStream impairment_rng_{0xfa171u};
+
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"net"};
 
   obs::Counter* m_packets_sent_{nullptr};
   obs::Counter* m_bytes_sent_{nullptr};

@@ -1,0 +1,133 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace dlte::obs {
+
+SpanTracer::SpanTracer(NowFn now, std::size_t capacity)
+    : now_(std::move(now)), capacity_(capacity) {
+  spans_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+TimePoint SpanTracer::tick() {
+  // Clock-less tracers (harness-created before any Simulator exists)
+  // freeze at the latest timestamp seen, keeping ordering monotone.
+  TimePoint t = now_ ? now_() : latest_;
+  if (t > latest_) latest_ = t;
+  return latest_;
+}
+
+SpanId SpanTracer::begin(std::string name, std::string category,
+                         SpanId parent) {
+  const TimePoint now = tick();
+  if (spans_.size() >= capacity_) {
+    ++dropped_spans_;
+    inc(m_dropped_);
+    return kNoSpan;
+  }
+  if (parent == kCurrentSpan) parent = current();
+  Span s;
+  s.id = static_cast<SpanId>(spans_.size() + 1);
+  s.parent = parent;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start = now;
+  s.end = now;
+  spans_.push_back(std::move(s));
+  inc(m_total_);
+  return spans_.back().id;
+}
+
+void SpanTracer::end(SpanId id) {
+  const TimePoint now = tick();
+  Span* s = find_mut(id);
+  if (s == nullptr || !s->open) return;
+  s->open = false;
+  s->end = now;
+  // Ended spans cannot stay current: drop every stack occurrence, so an
+  // out-of-order end (parent before child) leaves a consistent stack.
+  stack_.erase(std::remove(stack_.begin(), stack_.end(), id), stack_.end());
+  if (registry_ != nullptr) {
+    registry_->histogram(metrics_prefix_ + "span." + s->name)
+        .record(s->duration().to_millis());
+  }
+}
+
+void SpanTracer::annotate(SpanId id, std::string key, std::string value) {
+  const TimePoint now = tick();
+  Span* s = find_mut(id);
+  if (s == nullptr) return;
+  if (s->annotations.size() >= kMaxAnnotationsPerSpan) {
+    ++dropped_annotations_;
+    return;
+  }
+  s->annotations.push_back(
+      SpanAnnotation{now, std::move(key), std::move(value)});
+}
+
+void SpanTracer::annotate_current(std::string key, std::string value) {
+  if (const SpanId id = current(); id != kNoSpan) {
+    annotate(id, std::move(key), std::move(value));
+  }
+}
+
+void SpanTracer::activate(SpanId id) {
+  if (const Span* s = find(id); s != nullptr && s->open) {
+    stack_.push_back(id);
+  }
+}
+
+void SpanTracer::deactivate(SpanId id) {
+  // Usually the top of the stack; tolerate out-of-order deactivation
+  // (remove the innermost matching entry).
+  auto it = std::find(stack_.rbegin(), stack_.rend(), id);
+  if (it != stack_.rend()) stack_.erase(std::next(it).base());
+}
+
+void SpanTracer::stash(std::uint64_t key, SpanId id) {
+  if (id == kNoSpan) return;
+  stash_[key] = id;
+}
+
+SpanId SpanTracer::stashed(std::uint64_t key) const {
+  auto it = stash_.find(key);
+  return it == stash_.end() ? kNoSpan : it->second;
+}
+
+SpanId SpanTracer::take(std::uint64_t key) {
+  auto it = stash_.find(key);
+  if (it == stash_.end()) return kNoSpan;
+  const SpanId id = it->second;
+  stash_.erase(it);
+  return id;
+}
+
+const Span* SpanTracer::find(SpanId id) const {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+Span* SpanTracer::find_mut(SpanId id) {
+  return const_cast<Span*>(std::as_const(*this).find(id));
+}
+
+std::size_t SpanTracer::open_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(),
+                    [](const Span& s) { return s.open; }));
+}
+
+void SpanTracer::set_metrics(MetricsRegistry* registry,
+                             const std::string& prefix) {
+  registry_ = registry;
+  metrics_prefix_ = prefix;
+  if (registry == nullptr) {
+    m_total_ = nullptr;
+    m_dropped_ = nullptr;
+    return;
+  }
+  m_total_ = &registry->counter(prefix + "span.total");
+  m_dropped_ = &registry->counter(prefix + "span.dropped");
+}
+
+}  // namespace dlte::obs

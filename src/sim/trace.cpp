@@ -38,6 +38,10 @@ void TraceLog::record(TraceCategory category, std::string component,
   if (cat < category_counters_.size()) {
     obs::inc(category_counters_[cat]);
   }
+  if (tracer_ != nullptr && tracer_->current() != obs::kNoSpan) {
+    tracer_->annotate_current(trace_category_name(category),
+                              component + ": " + message);
+  }
   events_.push_back(TraceEvent{sim_.now(), category, std::move(component),
                                std::move(message)});
 }

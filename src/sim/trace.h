@@ -14,6 +14,7 @@
 
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 
 namespace dlte::sim {
@@ -77,6 +78,12 @@ class TraceLog {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Bridge into causal tracing: every record() also annotates the span
+  // currently active on `tracer` (key = category name, value =
+  // "component: message"), so legacy one-line events appear inside the
+  // causal tree instead of a parallel stream. Null-safe.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
  private:
   const Simulator& sim_;
   std::size_t capacity_;
@@ -85,6 +92,7 @@ class TraceLog {
   std::uint64_t total_dropped_{0};
   std::uint64_t total_recorded_{0};
 
+  obs::SpanTracer* tracer_{nullptr};
   obs::Counter* recorded_counter_{nullptr};
   obs::Counter* dropped_counter_{nullptr};
   std::vector<obs::Counter*> category_counters_;

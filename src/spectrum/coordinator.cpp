@@ -43,6 +43,24 @@ void PeerCoordinator::set_metrics(obs::MetricsRegistry* registry,
   m_peers_expired_ = &registry->counter(prefix + "x2.peers_expired");
 }
 
+void PeerCoordinator::set_tracer(obs::SpanTracer* tracer,
+                                 const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "x2";
+}
+
+void PeerCoordinator::close_round_span(const char* result) {
+  if (round_span_ == obs::kNoSpan) return;
+  obs::span_annotate(tracer_, round_span_, "result", result);
+  obs::span_end(tracer_, round_span_);
+  if (tracer_ != nullptr) {
+    tracer_->take(obs::span_key("x2_round", round_span_round_));
+  }
+  round_span_ = obs::kNoSpan;
+  round_accepts_.clear();
+  round_accepts_needed_ = 0;
+}
+
 void PeerCoordinator::add_peer(ApId ap, NodeId node) {
   if (ap == config_.ap) return;
   peers_[ap] = node;
@@ -173,11 +191,31 @@ void PeerCoordinator::maybe_lead_round() {
   proposal.shares = shares;
   ++stats_.rounds_led;
   obs::inc(m_rounds_led_);
-  broadcast(lte::X2Message{proposal});
-  // Apply our own slice directly.
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i] == config_.ap.value()) apply_share(shares[i]);
+  // A previous round still waiting for accepts is superseded.
+  close_round_span("incomplete (superseded by next round)");
+  round_span_ = obs::span_begin(tracer_, "x2_round", span_cat_, obs::kNoSpan);
+  round_span_round_ = proposal.round;
+  round_accepts_.clear();
+  round_accepts_needed_ = peers_.size();
+  obs::span_annotate(tracer_, round_span_, "round",
+                     std::to_string(proposal.round));
+  obs::span_annotate(tracer_, round_span_, "members",
+                     std::to_string(ids.size()));
+  if (tracer_ != nullptr) {
+    tracer_->stash(obs::span_key("x2_round", proposal.round), round_span_);
   }
+  {
+    // Proposal packets (and our own share application) belong to the
+    // round causally.
+    obs::ScopedActivation act{tracer_, round_span_};
+    broadcast(lte::X2Message{proposal});
+    // Apply our own slice directly.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == config_.ap.value()) apply_share(shares[i]);
+    }
+  }
+  // A leader with no peers has nobody to wait for.
+  if (round_accepts_needed_ == 0) close_round_span("complete");
 }
 
 void PeerCoordinator::apply_share(double share) {
@@ -213,10 +251,34 @@ void PeerCoordinator::on_packet(const net::Packet& packet) {
     for (std::size_t i = 0; i < proposal->ap_ids.size(); ++i) {
       if (proposal->ap_ids[i] == config_.ap.value() &&
           i < proposal->shares.size()) {
+        if (tracer_ != nullptr) {
+          // The leader's round span lives in the shared tracer's stash.
+          obs::span_annotate(
+              tracer_,
+              tracer_->stashed(obs::span_key("x2_round", proposal->round)),
+              "applied",
+              "ap" + std::to_string(config_.ap.value()) +
+                  " share=" + std::to_string(proposal->shares[i]));
+        }
         apply_share(proposal->shares[i]);
         // Acknowledge to the proposer.
         lte::DlteShareAccept accept{proposal->round, config_.ap};
         send_to(packet.src, lte::X2Message{accept});
+      }
+    }
+    return;
+  }
+  if (const auto* accept = std::get_if<lte::DlteShareAccept>(&*message)) {
+    // Leader side: the round's span closes when every proposal recipient
+    // has acknowledged. (Previously accepts were received and dropped —
+    // the span gives them a job.)
+    note_heard(accept->ap);
+    if (accept->round == round_span_round_ && round_span_ != obs::kNoSpan &&
+        round_accepts_.insert(accept->ap.value()).second) {
+      obs::span_annotate(tracer_, round_span_, "accept",
+                         "ap" + std::to_string(accept->ap.value()));
+      if (round_accepts_.size() >= round_accepts_needed_) {
+        close_round_span("complete");
       }
     }
     return;

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -21,6 +22,7 @@
 #include "mac/lte_cell_mac.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -128,6 +130,12 @@ class PeerCoordinator {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // Causal tracing: when this coordinator leads a round it opens an
+  // "x2_round" span (category `<prefix>x2`) covering proposal broadcast
+  // through the last peer's DlteShareAccept; peers annotate the leader's
+  // span via the shared tracer's stash under span_key("x2_round", round).
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
  private:
   void on_packet(const net::Packet& packet);
   void send_to(NodeId node, const lte::X2Message& message);
@@ -138,6 +146,8 @@ class PeerCoordinator {
   void note_heard(ApId ap);
   [[nodiscard]] bool is_leader() const;
   void apply_share(double share);
+  // Closes the led round's span (all accepts in, or superseded/offline).
+  void close_round_span(const char* result);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -162,6 +172,15 @@ class PeerCoordinator {
   X2Impairment impairment_{};
   sim::RngStream impair_rng_;
   CoordinatorStats stats_;
+
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"x2"};
+  // Led-round span state: open until every proposal recipient accepted
+  // (a set, so injected duplicate accepts cannot complete a round early).
+  obs::SpanId round_span_{obs::kNoSpan};
+  std::uint32_t round_span_round_{0};
+  std::set<std::uint32_t> round_accepts_;
+  std::size_t round_accepts_needed_{0};
 
   obs::Counter* m_messages_sent_{nullptr};
   obs::Counter* m_bytes_sent_{nullptr};

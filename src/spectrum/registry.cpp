@@ -106,19 +106,36 @@ Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
   return g;
 }
 
+void Registry::set_tracer(obs::SpanTracer* tracer,
+                          const std::string& prefix) {
+  tracer_ = tracer;
+  span_cat_ = prefix + "registry";
+}
+
 Status<> Registry::heartbeat(GrantId id) {
-  if (outage_ == RegistryOutage::kOffline) {
-    return fail("registry unreachable");
-  }
-  prune_expired();
-  for (auto& g : grants_) {
-    if (g.id == id) {
-      if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
-      g.degraded = false;
-      return {};
+  const Status<> status = [&]() -> Status<> {
+    if (outage_ == RegistryOutage::kOffline) {
+      return fail("registry unreachable");
     }
-  }
-  return fail("grant lapsed or unknown: re-apply");
+    prune_expired();
+    for (auto& g : grants_) {
+      if (g.id == id) {
+        if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
+        g.degraded = false;
+        return {};
+      }
+    }
+    return fail("grant lapsed or unknown: re-apply");
+  }();
+  // Zero-duration marker: heartbeats are instantaneous in the model, but
+  // their cadence and failures belong in the trace.
+  const obs::SpanId span =
+      obs::span_begin(tracer_, "registry_heartbeat", span_cat_);
+  obs::span_annotate(tracer_, span, "grant", std::to_string(id.value()));
+  obs::span_annotate(tracer_, span, "result",
+                     status ? "renewed" : status.error());
+  obs::span_end(tracer_, span);
+  return status;
 }
 
 void Registry::prune_expired() {
@@ -179,6 +196,26 @@ void Registry::set_outage(RegistryOutage outage) {
 }
 
 void Registry::request_grant(GrantRequest request, GrantCallback callback) {
+  const obs::SpanId span =
+      obs::span_begin(tracer_, "registry_grant", span_cat_);
+  obs::span_annotate(tracer_, span, "ap", std::to_string(request.ap.value()));
+  if (span != obs::kNoSpan) {
+    // The span closes when the caller learns the outcome, so its duration
+    // is the full request→callback latency (stalls and all).
+    callback = [this, span,
+                cb = std::move(callback)](Result<SpectrumGrant> result) {
+      obs::span_annotate(tracer_, span, "result",
+                         result ? "grant " + std::to_string(result->id.value())
+                                : "failed: " + result.error());
+      obs::span_end(tracer_, span);
+      cb(std::move(result));
+    };
+  }
+  do_request_grant(std::move(request), std::move(callback), span);
+}
+
+void Registry::do_request_grant(GrantRequest request, GrantCallback callback,
+                                obs::SpanId span) {
   if (!reachable_for(request.location)) {
     sim_.schedule(failure_timeout_, [callback = std::move(callback)] {
       callback(fail("registry unreachable"));
@@ -187,10 +224,13 @@ void Registry::request_grant(GrantRequest request, GrantCallback callback) {
   }
   if (outage_ == RegistryOutage::kCommitStall) {
     // Reads still work; the commit waits for the stall to clear, then
-    // pays the normal commit latency on top.
-    stalled_commits_.push_back([this, request = std::move(request),
+    // pays the normal commit latency on top. The span stays open across
+    // the stall — the replay must not open a second one.
+    obs::span_annotate(tracer_, span, "stalled",
+                       "commit deferred: registry commit stall");
+    stalled_commits_.push_back([this, span, request = std::move(request),
                                 callback = std::move(callback)]() mutable {
-      request_grant(std::move(request), std::move(callback));
+      do_request_grant(std::move(request), std::move(callback), span);
     });
     return;
   }
@@ -226,9 +266,22 @@ std::vector<SpectrumGrant> Registry::grants_near(Position location) const {
 }
 
 void Registry::query_region(Position location, QueryCallback callback) {
+  const obs::SpanId span =
+      obs::span_begin(tracer_, "registry_query", span_cat_);
+  if (span != obs::kNoSpan) {
+    callback = [this, span, cb = std::move(callback)](
+                   std::vector<SpectrumGrant> grants) {
+      obs::span_annotate(tracer_, span, "grants",
+                         std::to_string(grants.size()));
+      obs::span_end(tracer_, span);
+      cb(std::move(grants));
+    };
+  }
   if (!reachable_for(location)) {
     // The querier can't tell "no grants" from "registry down" — exactly
     // the blindness the fault model wants to expose.
+    obs::span_annotate(tracer_, span, "unreachable",
+                       "registry down: empty reply after timeout");
     sim_.schedule(failure_timeout_, [callback = std::move(callback)] {
       callback({});
     });

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "common/units.h"
 #include "epc/hss.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 
 namespace dlte::spectrum {
@@ -158,6 +159,13 @@ class Registry {
       const SpectrumGrant& grant) const;
   [[nodiscard]] std::size_t grant_count() const { return grants_.size(); }
 
+  // Causal tracing: request_grant opens a "registry_grant" span that
+  // covers request → callback (a commit-stalled request keeps its span
+  // open across the whole stall), query_region a "registry_query" span,
+  // heartbeat a zero-duration "registry_heartbeat" marker. Category is
+  // `<prefix>registry`. Null-safe.
+  void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
+
   // --- Open-identity key publication (§4.2) ----------------------------
   void publish_subscriber(const epc::PublishedKeys& keys);
   [[nodiscard]] Result<epc::PublishedKeys> lookup_subscriber(Imsi imsi) const;
@@ -173,6 +181,10 @@ class Registry {
   [[nodiscard]] bool co_channel(const SpectrumGrant& a,
                                 const SpectrumGrant& b) const;
   [[nodiscard]] bool reachable_for(Position location) const;
+  // Grant machinery behind the traced facade; `span` survives the
+  // commit-stall replay so the trace shows the stall as latency.
+  void do_request_grant(GrantRequest request, GrantCallback callback,
+                        obs::SpanId span);
 
   sim::Simulator& sim_;
   RegistryKind kind_;
@@ -183,6 +195,9 @@ class Registry {
   std::vector<epc::PublishedKeys> published_;
   std::uint64_t next_grant_{1};
   std::uint64_t lapsed_{0};
+
+  obs::SpanTracer* tracer_{nullptr};
+  std::string span_cat_{"registry"};
 
   RegistryOutage outage_{RegistryOutage::kNone};
   std::vector<int> offline_zones_;

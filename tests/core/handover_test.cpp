@@ -195,5 +195,91 @@ TEST(Handover, UnknownPeerRejected) {
   EXPECT_EQ(out.failure_reason, "target AP is not a known peer");
 }
 
+// End-to-end causal tracing: one attach plus one handover must come out
+// as two span trees whose phases are parented correctly across
+// components (eNodeB -> MME, source AP -> target AP).
+TEST(Handover, SpansFormCausalTreeAcrossAttachAndHandover) {
+  Town town;
+  obs::SpanTracer tracer{[&town] { return town.sim.now(); }};
+  town.net.set_tracer(&tracer);
+  town.registry.set_tracer(&tracer);
+  auto& src = town.add_ap(1, 0.0);
+  town.add_ap(2, 5'000.0);
+  for (std::size_t i = 0; i < town.aps.size(); ++i) {
+    const std::string prefix = "ap" + std::to_string(i + 1) + "/";
+    town.aps[i]->set_span_tracer(&tracer, prefix);
+    town.managers[i]->set_tracer(&tracer, prefix);
+  }
+  town.bring_up_all();
+
+  auto ue = town.make_ue(700007, Position{2'500.0, 0.0});
+  bool attached = false;
+  src.attach(ue, mac::UeTrafficConfig{},
+             [&](AttachOutcome o) { attached = o.success; });
+  town.run_for(2.0);
+  ASSERT_TRUE(attached);
+
+  HandoverOutcome out;
+  town.managers[0]->initiate(ue, ApId{2}, mac::UeTrafficConfig{},
+                             [&](HandoverOutcome o) { out = o; });
+  town.run_for(2.0);
+  ASSERT_TRUE(out.success) << out.failure_reason;
+
+  auto find_span = [&](const std::string& name) -> const obs::Span* {
+    for (const obs::Span& s : tracer.spans()) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const obs::Span* attach = find_span("attach");
+  ASSERT_NE(attach, nullptr);
+  EXPECT_EQ(attach->category, "ap1/ran");
+  EXPECT_EQ(attach->parent, obs::kNoSpan);
+  EXPECT_FALSE(attach->open);
+  EXPECT_GT(attach->duration().to_millis(), 0.0);
+
+  // The NAS phases the eNodeB never sees directly still parent under
+  // the eNodeB's attach span, via the stash handoff to the MME.
+  for (const char* phase : {"aka", "security_mode", "bearer_setup"}) {
+    const obs::Span* s = find_span(phase);
+    ASSERT_NE(s, nullptr) << phase;
+    EXPECT_EQ(s->parent, attach->id) << phase;
+    EXPECT_EQ(s->category, "ap1/epc") << phase;
+    EXPECT_FALSE(s->open) << phase;
+  }
+
+  const obs::Span* handover = find_span("handover");
+  ASSERT_NE(handover, nullptr);
+  EXPECT_EQ(handover->category, "ap1/handover");
+  EXPECT_FALSE(handover->open);
+  // Admission runs on the *target* AP but is a child of the source's
+  // handover span; the RRC reconfiguration stays on the source.
+  const obs::Span* admit = find_span("handover_admit");
+  ASSERT_NE(admit, nullptr);
+  EXPECT_EQ(admit->parent, handover->id);
+  EXPECT_EQ(admit->category, "ap2/handover");
+  const obs::Span* rrc = find_span("rrc_reconfiguration");
+  ASSERT_NE(rrc, nullptr);
+  EXPECT_EQ(rrc->parent, handover->id);
+
+  // Transport hops joined the tree: at least one net_delivery span is
+  // parented under some procedure span.
+  bool parented_delivery = false;
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.name == "net_delivery" && s.parent != obs::kNoSpan) {
+      parented_delivery = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(parented_delivery);
+  // Nothing leaked: every handoff stash was claimed, every procedure
+  // span closed (X2 rounds may legitimately still be open mid-cycle).
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.name == "attach" || s.name == "handover") {
+      EXPECT_FALSE(s.open);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dlte::core

@@ -290,6 +290,62 @@ TEST(FaultInjector, X2ImpairmentDropsInjectedMessages) {
   EXPECT_EQ(a.coordinator().stats().x2_drops_injected, dropped);
 }
 
+TEST(FaultInjector, SpansMarkFaultsAndAnnotateActiveProcedure) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.add_link(a, b,
+               net::LinkConfig{DataRate::mbps(10.0), Duration::millis(5)});
+
+  obs::SpanTracer tracer{[&sim] { return sim.now(); }};
+  FaultInjector injector{sim};
+  injector.set_network(&net);
+  injector.set_tracer(&tracer, "town/");
+
+  FaultPlan plan;
+  FaultSpec w;
+  w.kind = FaultKind::kLinkPartition;
+  w.at = at_s(1.0);
+  w.duration = Duration::seconds(2.0);
+  w.link_a = a;
+  w.link_b = b;
+  plan.add(w);
+  injector.arm(plan);
+
+  // A procedure is mid-flight across both the inject and the heal: the
+  // fault must land as annotations on it, not just as markers.
+  const obs::SpanId proc = tracer.begin("attach", "ran", obs::kNoSpan);
+  tracer.activate(proc);
+  sim.run_until(at_s(5.0));
+  tracer.end(proc);
+
+  const obs::Span* inject = nullptr;
+  const obs::Span* heal = nullptr;
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.name == "fault_inject") inject = &s;
+    if (s.name == "fault_heal") heal = &s;
+  }
+  ASSERT_NE(inject, nullptr);
+  ASSERT_NE(heal, nullptr);
+  // Zero-duration markers on the injector's own track, stamped with the
+  // spec so the timeline is self-describing.
+  EXPECT_EQ(inject->category, "town/fault");
+  EXPECT_EQ(inject->duration(), Duration{});
+  EXPECT_EQ(inject->start, at_s(1.0));
+  EXPECT_EQ(heal->start, at_s(3.0));
+  ASSERT_EQ(inject->annotations.size(), 1u);
+  EXPECT_EQ(inject->annotations[0].key, "spec");
+  EXPECT_NE(inject->annotations[0].value.find("link-partition"),
+            std::string::npos);
+
+  const obs::Span* p = tracer.find(proc);
+  ASSERT_EQ(p->annotations.size(), 2u);
+  EXPECT_EQ(p->annotations[0].key, "fault");
+  EXPECT_NE(p->annotations[0].value.find("inject"), std::string::npos);
+  EXPECT_NE(p->annotations[1].value.find("heal"), std::string::npos);
+}
+
 TEST(ResilienceReport, ByteStableToString) {
   sim::Simulator sim;
   ResilienceTracker t{sim};

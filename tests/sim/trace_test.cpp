@@ -108,6 +108,42 @@ TEST(TraceLog, PrintsReadableLines) {
   EXPECT_NE(os.str().find("dlte-ap-1: share 0.5"), std::string::npos);
 }
 
+TEST(TraceLog, BridgesRecordsIntoActiveSpan) {
+  Simulator sim;
+  obs::SpanTracer tracer{[&sim] { return sim.now(); }};
+  TraceLog log{sim};
+  log.set_tracer(&tracer);
+  // No active span: the line lands only in the ring, nothing else.
+  log.record(TraceCategory::kRegistry, "ap-1", "grant acquired");
+  const obs::SpanId attach = tracer.begin("attach", "ran", obs::kNoSpan);
+  {
+    obs::ScopedActivation act{&tracer, attach};
+    log.record(TraceCategory::kAttach, "ap-1", "security mode complete");
+  }
+  log.record(TraceCategory::kAttach, "ap-1", "after deactivation");
+  tracer.end(attach);
+  EXPECT_EQ(log.events().size(), 3u);
+  const obs::Span* s = tracer.find(attach);
+  ASSERT_NE(s, nullptr);
+  // Only the line recorded while the span was active bridged over,
+  // keyed by category with "component: message" as the value.
+  ASSERT_EQ(s->annotations.size(), 1u);
+  EXPECT_EQ(s->annotations[0].key, "attach");
+  EXPECT_EQ(s->annotations[0].value, "ap-1: security mode complete");
+}
+
+TEST(TraceLog, BridgeDetachesCleanly) {
+  Simulator sim;
+  obs::SpanTracer tracer;
+  TraceLog log{sim};
+  log.set_tracer(&tracer);
+  log.set_tracer(nullptr);
+  const obs::SpanId id = tracer.begin("attach", "ran", obs::kNoSpan);
+  obs::ScopedActivation act{&tracer, id};
+  log.record(TraceCategory::kAttach, "ap-1", "not bridged");
+  EXPECT_TRUE(tracer.find(id)->annotations.empty());
+}
+
 TEST(TraceLog, CategoryNamesComplete) {
   EXPECT_STREQ(trace_category_name(TraceCategory::kRegistry), "registry");
   EXPECT_STREQ(trace_category_name(TraceCategory::kMobility), "mobility");

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate and summarize a dLTE Chrome trace-event file (DESIGN.md §9).
+
+Validation (structural, fails hard):
+  * the document is the JSON object form: displayTimeUnit / otherData /
+    traceEvents;
+  * every `ph:"X"` event carries a unique positive integer args.id;
+  * every non-zero args.parent resolves to another span in the file;
+  * durations and timestamps are non-negative (simulated clock).
+
+Summary: a per-procedure latency breakdown table (count, mean, p50,
+p95, max in milliseconds) plus the parent→child link census, i.e. the
+same rollup the in-process `span.*` histograms feed, recomputed
+independently from the exported file.
+
+    tools/summarize_trace.py trace.json
+    tools/summarize_trace.py trace.json --require attach,handover
+    tools/summarize_trace.py trace.json --require-child attach:aka
+
+--require fails unless every named procedure appears at least once;
+--require-child PARENT:CHILD fails unless at least one CHILD span is
+parented under a PARENT span (the causal-linking acceptance check).
+
+Exit status: 0 = valid (and all requirements met), 1 = validation or
+requirement failure, 2 = usage or unreadable input.
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path}: top level is not a JSON object")
+    return doc
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def validate(doc: dict) -> list:
+    """Structural checks; returns the list of ph:'X' span events."""
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            fail(f"missing top-level key: {key}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty or not a list")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    metas = [e for e in events if e.get("ph") == "M"]
+    if not spans:
+        fail("no ph:'X' span events")
+
+    ids = set()
+    for e in spans:
+        args = e.get("args", {})
+        sid = args.get("id")
+        if not isinstance(sid, int) or sid <= 0:
+            fail(f"span {e.get('name')!r} has no positive integer args.id")
+        if sid in ids:
+            fail(f"duplicate span id {sid}")
+        ids.add(sid)
+        if e.get("ts", -1) < 0 or e.get("dur", -1) < 0:
+            fail(f"span id {sid} has negative ts/dur")
+        for field in ("name", "cat"):
+            if not e.get(field):
+                fail(f"span id {sid} lacks {field}")
+    for e in spans:
+        parent = e.get("args", {}).get("parent", 0)
+        if parent and parent not in ids:
+            fail(f"span id {e['args']['id']} has dangling parent {parent}")
+
+    # Every span's tid should be named by a thread_name metadata event.
+    named_tids = {
+        m.get("tid")
+        for m in metas
+        if m.get("name") == "thread_name"
+    }
+    for e in spans:
+        if e.get("tid") not in named_tids:
+            fail(f"span id {e['args']['id']} on unnamed tid {e.get('tid')}")
+    return spans
+
+
+def percentile(sorted_vals: list, q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def summarize(spans: list) -> None:
+    by_name = {}
+    for e in spans:
+        by_name.setdefault(e["name"], []).append(e["dur"] / 1000.0)
+
+    header = ("procedure", "count", "mean ms", "p50 ms", "p95 ms", "max ms")
+    rows = [header]
+    for name in sorted(by_name):
+        durs = sorted(by_name[name])
+        rows.append((
+            name,
+            str(len(durs)),
+            f"{sum(durs) / len(durs):.3f}",
+            f"{percentile(durs, 0.50):.3f}",
+            f"{percentile(durs, 0.95):.3f}",
+            f"{durs[-1]:.3f}",
+        ))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for r in rows:
+        line = "  ".join(
+            r[i].ljust(widths[i]) if i == 0 else r[i].rjust(widths[i])
+            for i in range(len(r))
+        )
+        print(line)
+
+    links = {}
+    by_id = {e["args"]["id"]: e for e in spans}
+    for e in spans:
+        parent = e.get("args", {}).get("parent", 0)
+        if parent:
+            key = (by_id[parent]["name"], e["name"])
+            links[key] = links.get(key, 0) + 1
+    if links:
+        print("\ncausal links (parent -> child):")
+        for (parent, child), n in sorted(links.items()):
+            print(f"  {parent} -> {child}: {n}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate + summarize a dLTE Chrome trace-event file")
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated span names that must appear at least once")
+    parser.add_argument(
+        "--require-child",
+        action="append",
+        default=[],
+        metavar="PARENT:CHILD",
+        help="require at least one CHILD span parented under a PARENT span")
+    args = parser.parse_args()
+
+    doc = load(args.trace)
+    spans = validate(doc)
+
+    other = doc.get("otherData", {})
+    print(f"{args.trace}: {len(spans)} spans, "
+          f"{other.get('open_spans', '?')} open at export, "
+          f"{other.get('dropped_spans', '?')} dropped")
+    print()
+    summarize(spans)
+
+    names = {e["name"] for e in spans}
+    missing = [r for r in args.require.split(",") if r and r not in names]
+    if missing:
+        fail(f"required procedures missing from trace: {', '.join(missing)}")
+
+    by_id = {e["args"]["id"]: e for e in spans}
+    for spec in args.require_child:
+        if ":" not in spec:
+            sys.exit(f"error: bad --require-child {spec!r}, want PARENT:CHILD")
+        parent_name, child_name = spec.split(":", 1)
+        found = any(
+            e["name"] == child_name
+            and e["args"].get("parent", 0)
+            and by_id[e["args"]["parent"]]["name"] == parent_name
+            for e in spans)
+        if not found:
+            fail(f"no {child_name!r} span parented under {parent_name!r}")
+
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
