@@ -22,8 +22,11 @@
 #include "common/table.h"
 #include "fault/failover.h"
 #include "fault/fault.h"
+#include "fault/health.h"
 #include "fault/resilience.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
+#include "spectrum/health.h"
 #include "ue/mobility.h"
 
 namespace {
@@ -34,6 +37,13 @@ constexpr double kHorizonS = 90.0;
 constexpr double kCrashAtS = 30.0;
 constexpr double kCrashDurationS = 30.0;
 constexpr double kMidOutageProbeS = 45.0;
+// A registry outage well before the crash: heartbeats fail for 8 s, the
+// APs ride it out in degraded-power mode (grace 12 s > outage), and the
+// registry_outage SLO alert fires and resolves on the health timeline.
+constexpr double kRegistryOutageAtS = 10.0;
+constexpr double kRegistryOutageDurationS = 8.0;
+constexpr double kLeaseLifetimeS = 6.0;  // Heartbeats every 2 s.
+constexpr double kLeaseGraceS = 12.0;
 
 struct RunResult {
   fault::ResilienceReport report;
@@ -46,10 +56,15 @@ struct RunResult {
 // `shared_core` the fault plan models a centralized deployment: both
 // cells depend on the same core site, so the crash takes both down.
 // `reg` may be null (the determinism replay runs without metrics so the
-// main run's counters are not double-counted).
+// main run's counters are not double-counted). With `sampler`/`monitor`
+// a TelemetryDriver ticks the §10 telemetry plane on this run's clock —
+// ticks only read metrics, so the replay (which runs without them) must
+// still reproduce the report byte for byte.
 RunResult run_town(std::uint64_t seed, bool shared_core,
                    obs::MetricsRegistry* reg = nullptr,
-                   const std::string& metrics_prefix = "") {
+                   const std::string& metrics_prefix = "",
+                   obs::TimeSeriesSampler* sampler = nullptr,
+                   obs::SloMonitor* monitor = nullptr) {
   sim::Simulator sim;
   sim.set_metrics(reg, metrics_prefix);
   net::Network net{sim};
@@ -57,8 +72,17 @@ RunResult run_town(std::uint64_t seed, bool shared_core,
   net.set_impairment_seed(seed);
   core::RadioEnvironment radio;
   spectrum::Registry registry{sim, spectrum::RegistryKind::kCentralizedSas};
+  registry.set_metrics(reg, metrics_prefix);
+  // CBRS-style leases: a dead AP's grant lapses instead of haunting the
+  // contention domain, and heartbeat failures give the SLO monitor a
+  // client-side symptom of registry outages.
+  registry.set_grant_lifetime(Duration::seconds(kLeaseLifetimeS));
+  registry.set_heartbeat_grace(Duration::seconds(kLeaseGraceS));
   sim::TraceLog trace{sim};
   trace.set_metrics(reg, metrics_prefix);
+  sim::TelemetryDriver telemetry{sim, sampler, monitor};
+  telemetry.set_trace(&trace);
+  if (sampler != nullptr || monitor != nullptr) telemetry.start();
   const NodeId internet = net.add_node("internet");
 
   std::vector<std::unique_ptr<core::DlteAccessPoint>> aps;
@@ -77,6 +101,8 @@ RunResult run_town(std::uint64_t seed, bool shared_core,
     // Both APs aggregate into one set of town-wide EPC/X2 counters.
     aps.back()->core().set_metrics(reg, metrics_prefix);
     aps.back()->coordinator().set_metrics(reg, metrics_prefix);
+    // Per-box health gauges (ap<id>.up / lease state) stay separate.
+    aps.back()->set_metrics(reg, metrics_prefix);
   }
   sim.run_until(TimePoint{} + Duration::seconds(2.0));
 
@@ -99,6 +125,7 @@ RunResult run_town(std::uint64_t seed, bool shared_core,
   for (auto& ap : aps) ap->import_published_subscribers(registry);
 
   fault::ResilienceTracker tracker{sim};
+  tracker.set_metrics(reg, metrics_prefix);
   fault::UeFailoverAgent agent{sim, radio, &tracker};
   for (auto& ap : aps) agent.add_ap(ap.get());
   for (auto& ue : ues) agent.manage(*ue, mac::UeTrafficConfig{});
@@ -112,6 +139,14 @@ RunResult run_town(std::uint64_t seed, bool shared_core,
   injector.set_trace(&trace);
 
   fault::FaultPlan plan;
+  // Registry outage first (both architectures — A/B stays fair): shorter
+  // than the heartbeat grace, so the APs degrade power but keep serving.
+  fault::FaultSpec outage;
+  outage.kind = fault::FaultKind::kRegistryOutage;
+  outage.at = TimePoint{} + Duration::seconds(kRegistryOutageAtS);
+  outage.duration = Duration::seconds(kRegistryOutageDurationS);
+  outage.outage = spectrum::RegistryOutage::kOffline;
+  plan.add(outage);
   fault::FaultSpec crash;
   crash.kind = fault::FaultKind::kApCrash;
   crash.at = TimePoint{} + Duration::seconds(kCrashAtS);
@@ -148,17 +183,36 @@ RunResult run_town(std::uint64_t seed, bool shared_core,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_bench_header(
       std::cout, "C8", "paper §4.1/§6, Local Cores",
       "an AP core failure is contained: UEs fail over to a neighbor in "
       "seconds, while a centralized core is a region-wide single point of "
       "failure");
   dlte::bench::Harness harness{"c8_resilience"};
+  harness.parse_args(argc, argv);
+  if (harness.slo() != nullptr) {
+    // SLO coverage for the metered dLTE run: registry symptoms, service
+    // (client-side) health, and one up/down rule per box.
+    harness.slo()->add_rules(
+        spectrum::default_registry_slo_rules("c8.dlte.", "registry"));
+    harness.slo()->add_rules(fault::default_resilience_slo_rules(
+        kUes, "c8.dlte.", "service"));
+    for (int ap = 1; ap <= 2; ++ap) {
+      obs::SloRule up;
+      up.name = "ap" + std::to_string(ap) + "_down";
+      up.scope = "ap" + std::to_string(ap);
+      up.metric = "c8.dlte.ap" + std::to_string(ap) + ".up";
+      up.predicate = obs::SloPredicate::kGaugeAtLeast;
+      up.threshold = 1.0;
+      harness.slo()->add_rule(up);
+    }
+  }
 
   const std::uint64_t seed = 2018;
   const RunResult dlte =
-      run_town(seed, /*shared_core=*/false, &harness.metrics(), "c8.dlte.");
+      run_town(seed, /*shared_core=*/false, &harness.metrics(), "c8.dlte.",
+               harness.sampler(), harness.slo());
   const RunResult central =
       run_town(seed, /*shared_core=*/true, &harness.metrics(), "c8.central.");
   harness.add_sim_seconds(2 * kHorizonS);

@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "obs/json.h"
+#include "obs/openmetrics.h"
+#include "obs/series_export.h"
 #include "obs/snapshot.h"
 #include "obs/trace_export.h"
 
@@ -41,16 +43,55 @@ void Harness::enable_tracing(std::string path) {
   }
 }
 
+void Harness::enable_series(std::string path) {
+  series_path_ = std::move(path);
+  if (sampler_ == nullptr) {
+    obs::SamplerConfig config;
+    config.interval = series_interval_;
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(registry_, config);
+    monitor_ = std::make_unique<obs::SloMonitor>(registry_);
+    // Alert state rolls back into the same registry, so the sampler
+    // picks up slo.* and health.* series automatically.
+    monitor_->set_metrics(&registry_);
+    if (tracer_ != nullptr) monitor_->set_tracer(tracer_.get());
+  }
+}
+
 void Harness::parse_args(int argc, char** argv) {
   constexpr const char kFlag[] = "--trace-out=";
+  constexpr const char kSeries[] = "--series-out=";
+  constexpr const char kInterval[] = "--series-interval-ms=";
+  constexpr const char kOpenMetrics[] = "--openmetrics-out=";
+  // Interval first: enable_series latches it into the sampler.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kInterval, sizeof(kInterval) - 1) == 0) {
+      const double ms = std::atof(argv[i] + sizeof(kInterval) - 1);
+      if (ms > 0.0) series_interval_ = Duration::seconds(ms / 1000.0);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
       enable_tracing(argv[i] + sizeof(kFlag) - 1);
+    } else if (std::strncmp(argv[i], kSeries, sizeof(kSeries) - 1) == 0) {
+      enable_series(argv[i] + sizeof(kSeries) - 1);
+    } else if (std::strncmp(argv[i], kOpenMetrics,
+                            sizeof(kOpenMetrics) - 1) == 0) {
+      openmetrics_path_ = argv[i] + sizeof(kOpenMetrics) - 1;
     }
   }
   if (tracer_ == nullptr) {
     if (const char* env = std::getenv("DLTE_TRACE_OUT")) {
       enable_tracing(env);
+    }
+  }
+  if (sampler_ == nullptr) {
+    if (const char* env = std::getenv("DLTE_SERIES_OUT")) {
+      enable_series(env);
+    }
+  }
+  if (openmetrics_path_.empty()) {
+    if (const char* env = std::getenv("DLTE_OPENMETRICS_OUT")) {
+      openmetrics_path_ = env;
     }
   }
 }
@@ -91,6 +132,24 @@ int Harness::finish(int exit_code) {
       std::cout << "\n[trace json] " << trace_path_ << "\n";
     } else {
       std::cerr << "bench_harness: failed to write " << trace_path_ << "\n";
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  if (sampler_ != nullptr && !series_path_.empty()) {
+    if (obs::SeriesExporter::write_file(*sampler_, monitor_.get(), name_,
+                                        series_path_)) {
+      std::cout << "\n[series json] " << series_path_ << "\n";
+    } else {
+      std::cerr << "bench_harness: failed to write " << series_path_ << "\n";
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  if (!openmetrics_path_.empty()) {
+    if (obs::OpenMetricsExporter::write_file(registry_, openmetrics_path_)) {
+      std::cout << "[openmetrics] " << openmetrics_path_ << "\n";
+    } else {
+      std::cerr << "bench_harness: failed to write " << openmetrics_path_
+                << "\n";
       if (exit_code == 0) exit_code = 1;
     }
   }

@@ -27,6 +27,8 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/series.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 
 namespace dlte::bench {
@@ -56,6 +58,21 @@ class Harness {
   // Attach the simulated clock once the scenario's Simulator exists
   // (e.g. `[&sim] { return sim.now(); }`). No-op when not tracing.
   void set_trace_clock(obs::SpanTracer::NowFn now);
+
+  // Opt-in time-series telemetry: `--series-out=<file>` (or
+  // $DLTE_SERIES_OUT) creates a TimeSeriesSampler + SloMonitor over
+  // metrics(); finish() writes the dlte-series-v1 JSON there.
+  // `--series-interval-ms=<n>` tunes the sampling cadence (default
+  // 500 ms of simulated time). `--openmetrics-out=<file>` (or
+  // $DLTE_OPENMETRICS_OUT) additionally writes the final registry state
+  // as OpenMetrics text. The harness stays sim-free: the scenario
+  // constructs a sim::TelemetryDriver next to its Simulator and points
+  // it at sampler()/slo().
+  void enable_series(std::string path);
+  [[nodiscard]] bool series_enabled() const { return sampler_ != nullptr; }
+  // nullptr unless series output was enabled.
+  [[nodiscard]] obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
+  [[nodiscard]] obs::SloMonitor* slo() { return monitor_.get(); }
 
   // Total simulated time this bench drove (summed across scenarios).
   void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
@@ -89,6 +106,11 @@ class Harness {
   obs::MetricsRegistry registry_;
   std::unique_ptr<obs::SpanTracer> tracer_;
   std::string trace_path_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::unique_ptr<obs::SloMonitor> monitor_;
+  std::string series_path_;
+  std::string openmetrics_path_;
+  Duration series_interval_{Duration::millis(500)};
   double sim_seconds_{0.0};
   std::map<std::string, double> timings_;
   std::chrono::steady_clock::time_point wall_start_;

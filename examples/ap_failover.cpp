@@ -15,8 +15,13 @@
 
 #include "fault/failover.h"
 #include "fault/fault.h"
+#include "fault/health.h"
 #include "fault/resilience.h"
+#include "obs/series.h"
+#include "obs/series_export.h"
+#include "obs/slo.h"
 #include "obs/trace_export.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "ue/mobility.h"
 
@@ -26,12 +31,17 @@ int main(int argc, char** argv) {
   // Optional: `--trace-out=<file>` exports the whole walkthrough —
   // attach waves, X2 rounds, the injected crash — as Chrome trace-event
   // JSON for ui.perfetto.dev. Fault events land as annotations on
-  // whatever procedure span they interrupt.
+  // whatever procedure span they interrupt. `--series-out=<file>` writes
+  // the health-monitoring time series (dlte-series-v1 JSON) that
+  // tools/health_report.py renders.
   std::string trace_out;
+  std::string series_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--series-out=", 0) == 0) {
+      series_out = arg.substr(std::string("--series-out=").size());
     }
   }
 
@@ -49,6 +59,31 @@ int main(int argc, char** argv) {
   // Bridge: TraceLog lines recorded while a span is active become that
   // span's annotations (the legacy log joins the causal tree).
   trace.set_tracer(tracer.get());
+
+  // Health monitoring (DESIGN.md §10): sample the metrics plane every
+  // 500 ms of simulated time and judge SLO rules against it. The alert
+  // timeline prints at the end; kHealth trace events interleave with the
+  // fault timeline as the run unfolds.
+  obs::MetricsRegistry metrics;
+  obs::TimeSeriesSampler sampler{metrics};
+  obs::SloMonitor monitor{metrics};
+  monitor.set_metrics(&metrics);
+  monitor.set_tracer(tracer.get());
+  monitor.add_rules(fault::default_resilience_slo_rules(
+      /*min_ues_in_service=*/8.0, "", "service"));
+  for (int id = 1; id <= 2; ++id) {
+    obs::SloRule up;
+    up.name = "ap" + std::to_string(id) + "_down";
+    up.scope = "ap" + std::to_string(id);
+    up.metric = "ap" + std::to_string(id) + ".up";
+    up.predicate = obs::SloPredicate::kGaugeAtLeast;
+    up.threshold = 1.0;
+    monitor.add_rule(up);
+  }
+  sim::TelemetryDriver telemetry{sim, &sampler, &monitor};
+  telemetry.set_trace(&trace);
+  telemetry.start();
+
   const NodeId internet = net.add_node("internet");
 
   // Two APs 3.5 km apart, both with their own core stub.
@@ -67,6 +102,7 @@ int main(int argc, char** argv) {
     aps.back()->set_trace(&trace);
     aps.back()->set_span_tracer(tracer.get(),
                                 "ap" + std::to_string(id) + "/");
+    aps.back()->set_metrics(&metrics);
     aps.back()->bring_up(registry);
   }
   sim.run_until(sim.now() + Duration::seconds(2.0));
@@ -92,6 +128,7 @@ int main(int argc, char** argv) {
   for (auto& ap : aps) ap->import_published_subscribers(registry);
 
   fault::ResilienceTracker tracker{sim};
+  tracker.set_metrics(&metrics);
   fault::UeFailoverAgent agent{sim, radio, &tracker};
   for (auto& ap : aps) agent.add_ap(ap.get());
   for (auto& home : homes) agent.manage(*home, mac::UeTrafficConfig{});
@@ -132,10 +169,32 @@ int main(int argc, char** argv) {
             << aps[1]->core().gateway().session_count() << " of "
             << homes.size() << " households\n";
 
+  std::cout << "\nhealth timeline (SLO alerts):\n";
+  for (const auto& event : monitor.events()) {
+    std::cout << "  " << event.describe() << "\n";
+  }
+  std::cout << "final health scores:";
+  for (const auto& scope : monitor.scopes()) {
+    std::cout << "  " << scope << "=" << monitor.health(scope);
+  }
+  std::cout << "\n";
+
   auto report = tracker.report(horizon);
   report.fault_events = trace.count(sim::TraceCategory::kFault);
   std::cout << "\nresilience report:\n" << report.to_string();
   std::cout << "\nno carrier NOC was paged; the town healed itself.\n";
+
+  if (!series_out.empty()) {
+    if (obs::SeriesExporter::write_file(sampler, &monitor, "ap_failover",
+                                        series_out)) {
+      std::cout << "series json (" << sampler.series().size()
+                << " series) written to " << series_out
+                << " — render with tools/health_report.py\n";
+    } else {
+      std::cerr << "failed to write series to " << series_out << "\n";
+      return 1;
+    }
+  }
 
   if (tracer != nullptr) {
     if (obs::ChromeTraceExporter::write_file(*tracer, trace_out)) {

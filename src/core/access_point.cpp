@@ -63,6 +63,23 @@ void DlteAccessPoint::set_span_tracer(obs::SpanTracer* tracer,
   coordinator_->set_tracer(tracer, prefix);
 }
 
+void DlteAccessPoint::set_metrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) {
+  if (registry == nullptr) {
+    m_up_ = nullptr;
+    m_lease_degraded_ = nullptr;
+    m_renewal_failures_ = nullptr;
+    return;
+  }
+  const std::string base =
+      prefix + "ap" + std::to_string(config_.id.value()) + ".";
+  m_up_ = &registry->gauge(base + "up");
+  m_lease_degraded_ = &registry->gauge(base + "lease_degraded");
+  m_renewal_failures_ = &registry->counter(base + "lease_renewal_failures");
+  m_up_->set(failed_ ? 0.0 : 1.0);
+  m_lease_degraded_->set(degraded_since_ ? 1.0 : 0.0);
+}
+
 void DlteAccessPoint::trace(sim::TraceCategory category,
                             std::string message) {
   if (trace_ != nullptr) {
@@ -135,11 +152,13 @@ void DlteAccessPoint::start_lease_heartbeat(spectrum::Registry& registry) {
             // Registry is back; resume full power.
             degraded_since_.reset();
             radio_env_.set_power_backoff_db(config_.cell, 0.0);
+            obs::set(m_lease_degraded_, 0.0);
             trace(sim::TraceCategory::kRegistry,
                   "lease renewed; leaving degraded mode");
           }
           return;
         }
+        obs::inc(m_renewal_failures_);
         // Renewal failed (registry outage, partition, or a lapsed lease).
         // Don't vanish from the air on the first miss: degrade to
         // conservative power and keep trying for the grace window — a
@@ -147,6 +166,7 @@ void DlteAccessPoint::start_lease_heartbeat(spectrum::Registry& registry) {
         // service.
         if (!degraded_since_) {
           degraded_since_ = sim_.now();
+          obs::set(m_lease_degraded_, 1.0);
           radio_env_.set_power_backoff_db(config_.cell,
                                           config_.degraded_power_backoff_db);
           trace(sim::TraceCategory::kFault,
@@ -158,6 +178,7 @@ void DlteAccessPoint::start_lease_heartbeat(spectrum::Registry& registry) {
                 "grace exhausted; grant lapsed, lost the lease");
           grant_.reset();
           degraded_since_.reset();
+          obs::set(m_lease_degraded_, 0.0);
           lease_heartbeat_.cancel();
         }
       });
@@ -252,6 +273,7 @@ void DlteAccessPoint::try_attach(UeDevice* ue, mac::UeTrafficConfig traffic,
 void DlteAccessPoint::fail() {
   if (failed_) return;
   failed_ = true;
+  obs::set(m_up_, 0.0);
   trace(sim::TraceCategory::kFault,
         "AP crashed: volatile core state lost, cell off air");
   // The core process dies: EMM contexts and bearers are volatile. The
@@ -276,6 +298,8 @@ void DlteAccessPoint::fail() {
 void DlteAccessPoint::recover(spectrum::Registry* registry) {
   if (!failed_) return;
   failed_ = false;
+  obs::set(m_up_, 1.0);
+  obs::set(m_lease_degraded_, 0.0);
   radio_env_.set_cell_active(config_.cell, true);
   radio_env_.set_power_backoff_db(config_.cell, 0.0);
   degraded_since_.reset();

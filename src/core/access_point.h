@@ -120,6 +120,14 @@ class DlteAccessPoint {
   void set_span_tracer(obs::SpanTracer* tracer,
                        const std::string& prefix = "");
 
+  // Per-AP health source (DESIGN.md §10): gauges `<prefix>ap<id>.up`
+  // (0 while crashed) and `<prefix>ap<id>.lease_degraded`, plus counter
+  // `<prefix>ap<id>.lease_renewal_failures`. The AP appends its own
+  // `ap<id>.` segment so a scenario wires every AP with one prefix and
+  // gets distinct per-box series. Null-safe.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
   [[nodiscard]] ApId id() const { return config_.id; }
   [[nodiscard]] CellId cell_id() const { return config_.cell; }
   [[nodiscard]] NodeId node() const { return node_; }
@@ -154,6 +162,9 @@ class DlteAccessPoint {
   std::uint32_t next_ue_{1};
   std::unordered_map<Imsi, UeId> mac_ue_ids_;
   sim::TraceLog* trace_{nullptr};
+  obs::Gauge* m_up_{nullptr};
+  obs::Gauge* m_lease_degraded_{nullptr};
+  obs::Counter* m_renewal_failures_{nullptr};
   sim::Simulator::PeriodicHandle lease_heartbeat_;
   bool failed_{false};
   // Set while lease renewals fail; cleared on renewal or final lapse.

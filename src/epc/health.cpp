@@ -1,0 +1,38 @@
+#include "epc/health.h"
+
+namespace dlte::epc {
+
+std::vector<obs::SloRule> default_core_slo_rules(const std::string& prefix,
+                                                 const std::string& scope,
+                                                 double max_attach_p95_ms,
+                                                 double max_auth_failure_rate) {
+  std::vector<obs::SloRule> rules;
+  {
+    obs::SloRule r;
+    r.name = "attach_p95";
+    r.scope = scope;
+    r.metric = prefix + "epc.attach_latency_ms";
+    r.predicate = obs::SloPredicate::kQuantileBelow;
+    r.quantile = 0.95;
+    r.threshold = max_attach_p95_ms;
+    r.window = Duration::seconds(5.0);
+    r.fire_after = 2;
+    r.resolve_after = 2;
+    rules.push_back(r);
+  }
+  {
+    obs::SloRule r;
+    r.name = "auth_failures";
+    r.scope = scope;
+    r.metric = prefix + "epc.auth_failures";
+    r.predicate = obs::SloPredicate::kRateBelow;
+    r.threshold = max_auth_failure_rate;
+    r.window = Duration::seconds(5.0);
+    r.fire_after = 2;
+    r.resolve_after = 2;
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+}  // namespace dlte::epc

@@ -1,0 +1,26 @@
+// Default SLO rule set for a local core (DESIGN.md §10).
+//
+// Watches the metrics Mme::set_metrics already exports — attach latency
+// and authentication failures — so attaching a monitor costs the core
+// nothing beyond what §8 instrumentation already pays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/slo.h"
+
+namespace dlte::epc {
+
+// Rules over `<prefix>epc.*` metrics, grouped under health scope
+// `scope` (per-AP cores pass e.g. scope "ap1"):
+//   * attach_p95 — windowed p95 of epc.attach_latency_ms stays under
+//     `max_attach_p95_ms` over 5 s (vacuously healthy with no attach
+//     traffic in the window).
+//   * auth_failures — rate of epc.auth_failures stays under
+//     `max_auth_failure_rate`/s over 5 s.
+std::vector<obs::SloRule> default_core_slo_rules(
+    const std::string& prefix = "", const std::string& scope = "core",
+    double max_attach_p95_ms = 250.0, double max_auth_failure_rate = 0.5);
+
+}  // namespace dlte::epc

@@ -207,16 +207,20 @@ void FaultInjector::set_metrics(obs::MetricsRegistry* registry,
     m_injected_ = nullptr;
     m_healed_ = nullptr;
     m_repair_time_s_ = nullptr;
+    m_active_ = nullptr;
     return;
   }
   m_injected_ = &registry->counter(prefix + "fault.injected");
   m_healed_ = &registry->counter(prefix + "fault.healed");
   m_repair_time_s_ = &registry->histogram(prefix + "fault.repair_time_s");
+  m_active_ = &registry->gauge(prefix + "fault.active");
+  m_active_->set(static_cast<double>(stats_.injected - stats_.healed));
 }
 
 void FaultInjector::inject(const FaultSpec& spec) {
   ++stats_.injected;
   obs::inc(m_injected_);
+  obs::set(m_active_, static_cast<double>(stats_.injected - stats_.healed));
   trace_event(spec, "inject");
   switch (spec.kind) {
     case FaultKind::kApCrash:
@@ -258,6 +262,7 @@ void FaultInjector::inject(const FaultSpec& spec) {
 void FaultInjector::heal(const FaultSpec& spec) {
   ++stats_.healed;
   obs::inc(m_healed_);
+  obs::set(m_active_, static_cast<double>(stats_.injected - stats_.healed));
   obs::observe(m_repair_time_s_, spec.duration.to_seconds());
   trace_event(spec, "heal");
   switch (spec.kind) {

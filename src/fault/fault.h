@@ -114,7 +114,9 @@ class FaultInjector {
 
   // Export fault counters under `<prefix>fault.*`, plus a repair-time
   // histogram (`fault.repair_time_s`) fed at each heal — the per-fault
-  // injected repair duration, the ground truth MTTR input.
+  // injected repair duration, the ground truth MTTR input — and a
+  // `fault.active` gauge (currently-unhealed faults; a health-timeline
+  // overlay for the §10 series plane).
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
@@ -143,6 +145,7 @@ class FaultInjector {
   obs::Counter* m_injected_{nullptr};
   obs::Counter* m_healed_{nullptr};
   obs::Histogram* m_repair_time_s_{nullptr};
+  obs::Gauge* m_active_{nullptr};
   // Overlapping partition windows on one link refcount: the link comes
   // back only when the *last* window closes. [10,40] ∪ [20,30] heals the
   // link once, at t=40.

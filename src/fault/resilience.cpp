@@ -32,11 +32,15 @@ void ResilienceTracker::on_attached(Imsi imsi) {
   if (ue.in_service) return;  // Duplicate notification.
   if (ue.ever_lost) {
     ++service_recoveries_;
-    repair_times_s_.push_back((sim_.now() - ue.lost_at).to_seconds());
+    obs::inc(m_recoveries_);
+    const double repair_s = (sim_.now() - ue.lost_at).to_seconds();
+    repair_times_s_.push_back(repair_s);
+    obs::observe(m_repair_time_s_, repair_s);
     ue.ever_lost = false;
   }
   ue.in_service = true;
   ue.interval_start = sim_.now();
+  obs::set(m_in_service_, static_cast<double>(in_service_count()));
 }
 
 void ResilienceTracker::on_service_lost(Imsi imsi) {
@@ -49,6 +53,33 @@ void ResilienceTracker::on_service_lost(Imsi imsi) {
   ue.lost_at = sim_.now();
   ue.in_service_time += sim_.now() - ue.interval_start;
   ++service_losses_;
+  obs::inc(m_losses_);
+  obs::set(m_in_service_, static_cast<double>(in_service_count()));
+}
+
+std::size_t ResilienceTracker::in_service_count() const {
+  std::size_t n = 0;
+  for (const auto& [imsi, ue] : ues_) {
+    if (ue.in_service) ++n;
+  }
+  return n;
+}
+
+void ResilienceTracker::set_metrics(obs::MetricsRegistry* registry,
+                                    const std::string& prefix) {
+  if (registry == nullptr) {
+    m_in_service_ = nullptr;
+    m_losses_ = nullptr;
+    m_recoveries_ = nullptr;
+    m_repair_time_s_ = nullptr;
+    return;
+  }
+  m_in_service_ = &registry->gauge(prefix + "resilience.ues_in_service");
+  m_losses_ = &registry->counter(prefix + "resilience.service_losses");
+  m_recoveries_ = &registry->counter(prefix + "resilience.service_recoveries");
+  m_repair_time_s_ =
+      &registry->histogram(prefix + "resilience.repair_time_s");
+  m_in_service_->set(static_cast<double>(in_service_count()));
 }
 
 ResilienceReport ResilienceTracker::report(TimePoint horizon) const {

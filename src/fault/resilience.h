@@ -14,6 +14,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dlte::fault {
@@ -62,6 +63,15 @@ class ResilienceTracker {
   // are credited up to the horizon). Const: callable repeatedly.
   [[nodiscard]] ResilienceReport report(TimePoint horizon) const;
 
+  // Health source (DESIGN.md §10): gauge
+  // `<prefix>resilience.ues_in_service`, counters
+  // `.service_losses`/`.service_recoveries`, and a `.repair_time_s`
+  // histogram of observed loss→recovery times (the client-side MTTR,
+  // vs fault.repair_time_s which is the injected ground truth).
+  // Null-safe.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
  private:
   struct UeState {
     bool in_service{false};
@@ -79,6 +89,13 @@ class ResilienceTracker {
   std::uint64_t service_losses_{0};
   std::uint64_t service_recoveries_{0};
   std::uint64_t fault_events_{0};
+
+  [[nodiscard]] std::size_t in_service_count() const;
+
+  obs::Gauge* m_in_service_{nullptr};
+  obs::Counter* m_losses_{nullptr};
+  obs::Counter* m_recoveries_{nullptr};
+  obs::Histogram* m_repair_time_s_{nullptr};
 };
 
 }  // namespace dlte::fault

@@ -69,6 +69,31 @@ double Histogram::quantile(double q) const {
   return estimate;
 }
 
+double Histogram::quantile_since(const Histogram& baseline, double q) const {
+  const std::uint64_t n = count_ - baseline.count_;
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = underflow_ - baseline.underflow_;
+  if (rank <= seen) return min_ < 0.0 ? min_ : 0.0;
+  double estimate = max_;
+  for (const auto& [index, count] : buckets_) {
+    std::uint64_t delta = count;
+    const auto it = baseline.buckets_.find(index);
+    if (it != baseline.buckets_.end()) delta -= it->second;
+    seen += delta;
+    if (seen >= rank) {
+      estimate = bucket_midpoint(index);
+      break;
+    }
+  }
+  if (estimate < min_) estimate = min_;
+  if (estimate > max_) estimate = max_;
+  return estimate;
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it != counters_.end() ? &it->second : nullptr;

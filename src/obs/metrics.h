@@ -27,17 +27,27 @@ class Counter {
 // Point-in-time value (last write wins).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
+  void set(double v) {
+    value_ = v;
+    written_ = true;
+  }
+  void add(double d) {
+    value_ += d;
+    written_ = true;
+  }
   // Keep the maximum seen: lets several instances (e.g. one simulator per
-  // scenario variant) share one "worst observed" gauge.
+  // scenario variant) share one "worst observed" gauge. The first write
+  // always sticks — a first negative observation must not lose to the
+  // 0.0 default.
   void set_max(double v) {
-    if (v > value_) value_ = v;
+    if (!written_ || v > value_) value_ = v;
+    written_ = true;
   }
   [[nodiscard]] double value() const { return value_; }
 
  private:
   double value_{0.0};
+  bool written_{false};
 };
 
 // Log-linear histogram: p50/p95/p99 without storing samples.
@@ -64,6 +74,19 @@ class Histogram {
 
   // q in [0,1]. Bucket-midpoint estimate, clamped to [min(), max()].
   [[nodiscard]] double quantile(double q) const;
+
+  // Windowed view by bucket subtraction: statistics of the samples
+  // recorded into *this since `baseline` was copied from it. `baseline`
+  // MUST be an earlier copy of this same histogram. The clamp range is
+  // the lifetime [min(), max()] (a superset of the window's), so the
+  // estimate keeps the log-linear ~1.6% bucket accuracy. This is what
+  // lets the SLO monitor compute "p95 over the last 5 s" without ever
+  // storing samples.
+  [[nodiscard]] std::uint64_t count_since(const Histogram& baseline) const {
+    return count_ - baseline.count_;
+  }
+  [[nodiscard]] double quantile_since(const Histogram& baseline,
+                                      double q) const;
   [[nodiscard]] double p50() const { return quantile(0.50); }
   [[nodiscard]] double p90() const { return quantile(0.90); }
   [[nodiscard]] double p95() const { return quantile(0.95); }
@@ -140,6 +163,9 @@ inline void inc(Counter* c, std::uint64_t n = 1) {
 }
 inline void observe(Histogram* h, double v) {
   if (h != nullptr) h->record(v);
+}
+inline void set(Gauge* g, double v) {
+  if (g != nullptr) g->set(v);
 }
 
 }  // namespace dlte::obs

@@ -1,0 +1,65 @@
+#include "obs/series.h"
+
+namespace dlte::obs {
+
+const char* series_kind_name(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kCounterRate:
+      return "rate";
+    case SeriesKind::kGauge:
+      return "gauge";
+    case SeriesKind::kHistogramCount:
+      return "hist_count";
+    case SeriesKind::kHistogramQuantile:
+      return "hist_quantile";
+  }
+  return "?";
+}
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry& registry,
+                                     SamplerConfig config)
+    : registry_(registry), config_(config) {}
+
+TimeSeries& TimeSeriesSampler::get(const std::string& name, SeriesKind kind) {
+  const auto it = series_.find(name);
+  if (it != series_.end()) return it->second;
+  return series_.emplace(name, TimeSeries{kind, config_.capacity})
+      .first->second;
+}
+
+void TimeSeriesSampler::sample(TimePoint now) {
+  const double t_s = (now - TimePoint{}).to_seconds();
+  for (const auto& [name, c] : registry_.counters()) {
+    const std::uint64_t value = c.value();
+    get(name, SeriesKind::kCounter).push(t_s, static_cast<double>(value));
+    double rate = 0.0;
+    const auto last = last_counters_.find(name);
+    const double dt = t_s - last_t_s_;
+    if (last != last_counters_.end() && dt > 0.0) {
+      rate = static_cast<double>(value - last->second) / dt;
+    }
+    get(name + ".rate", SeriesKind::kCounterRate).push(t_s, rate);
+    last_counters_[name] = value;
+  }
+  for (const auto& [name, g] : registry_.gauges()) {
+    get(name, SeriesKind::kGauge).push(t_s, g.value());
+  }
+  for (const auto& [name, h] : registry_.histograms()) {
+    get(name + ".count", SeriesKind::kHistogramCount)
+        .push(t_s, static_cast<double>(h.count()));
+    get(name + ".p50", SeriesKind::kHistogramQuantile).push(t_s, h.p50());
+    get(name + ".p95", SeriesKind::kHistogramQuantile).push(t_s, h.p95());
+    get(name + ".p99", SeriesKind::kHistogramQuantile).push(t_s, h.p99());
+  }
+  last_t_s_ = t_s;
+  ++samples_;
+}
+
+const TimeSeries* TimeSeriesSampler::find(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it != series_.end() ? &it->second : nullptr;
+}
+
+}  // namespace dlte::obs

@@ -1,0 +1,74 @@
+#include "obs/series_export.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace dlte::obs {
+
+std::string SeriesExporter::to_json(const TimeSeriesSampler& sampler,
+                                    const SloMonitor* monitor,
+                                    const std::string& source) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("dlte-series-v1");
+  w.key("source").value(source);
+  w.key("interval_s").value(sampler.interval().to_seconds());
+  w.key("samples").value(sampler.samples());
+  w.key("series").begin_object();
+  for (const auto& [name, series] : sampler.series()) {
+    w.key(name).begin_object();
+    w.key("kind").value(series_kind_name(series.kind()));
+    w.key("dropped").value(series.dropped());
+    w.key("points").begin_array();
+    for (const auto& point : series.points()) {
+      w.begin_array();
+      w.value(point.t_s);
+      w.value(point.value);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("rules").begin_array();
+  if (monitor != nullptr) {
+    for (const auto& rule : monitor->rule_descriptions()) w.value(rule);
+  }
+  w.end_array();
+  w.key("alerts").begin_array();
+  if (monitor != nullptr) {
+    for (const auto& event : monitor->events()) {
+      w.begin_object();
+      w.key("t_s").value(event.t_s);
+      w.key("event").value(event.fire ? "fire" : "resolve");
+      w.key("rule").value(event.rule);
+      w.key("scope").value(event.scope);
+      w.key("metric").value(event.metric);
+      w.key("value").value(event.value);
+      w.key("threshold").value(event.threshold);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("health").begin_object();
+  if (monitor != nullptr) {
+    for (const auto& scope : monitor->scopes()) {
+      w.key(scope).value(monitor->health(scope));
+    }
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool SeriesExporter::write_file(const TimeSeriesSampler& sampler,
+                                const SloMonitor* monitor,
+                                const std::string& source,
+                                const std::string& path) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << to_json(sampler, monitor, source) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace dlte::obs

@@ -1,0 +1,50 @@
+// Series-JSON export: the time-series counterpart of trace_export.h
+// (DESIGN.md §10).
+//
+// Serializes a TimeSeriesSampler (and, optionally, an SloMonitor's rule
+// set + alert timeline) into one deterministic JSON document:
+//
+//   {
+//     "schema": "dlte-series-v1",
+//     "source": "<bench/example name>",
+//     "interval_s": 0.5,
+//     "samples": 180,
+//     "series": {
+//       "<name>": {"kind": "counter", "dropped": 0,
+//                  "points": [[t_s, value], ...]}, ...
+//     },
+//     "rules": ["<rule description>", ...],
+//     "alerts": [{"t_s":..., "event":"fire"|"resolve", "rule":...,
+//                 "scope":..., "metric":..., "value":...,
+//                 "threshold":...}, ...],
+//     "health": {"<scope>": <final score>, ...}
+//   }
+//
+// Everything derives from simulated time, sorted maps, and JsonWriter
+// doubles, so same-seed runs write byte-identical files —
+// tools/health_report.py validates and renders them, and the CI health
+// gate byte-compares a double run.
+#pragma once
+
+#include <string>
+
+#include "obs/series.h"
+#include "obs/slo.h"
+
+namespace dlte::obs {
+
+class SeriesExporter {
+ public:
+  // `monitor` may be null: the rules/alerts/health sections then render
+  // empty.
+  [[nodiscard]] static std::string to_json(const TimeSeriesSampler& sampler,
+                                           const SloMonitor* monitor,
+                                           const std::string& source);
+
+  // Writes to_json() to `path`; false on I/O failure.
+  static bool write_file(const TimeSeriesSampler& sampler,
+                         const SloMonitor* monitor, const std::string& source,
+                         const std::string& path);
+};
+
+}  // namespace dlte::obs

@@ -1,0 +1,29 @@
+#include "sim/telemetry.h"
+
+namespace dlte::sim {
+
+void TelemetryDriver::start(Duration interval) {
+  if (interval.to_seconds() <= 0.0) {
+    interval = sampler_ != nullptr ? sampler_->interval()
+                                   : Duration::millis(500);
+  }
+  handle_ = sim_.every_cancellable(interval, [this] { tick(); });
+}
+
+void TelemetryDriver::tick() {
+  ++ticks_;
+  const TimePoint now = sim_.now();
+  if (monitor_ != nullptr) {
+    monitor_->evaluate(now);
+    if (trace_ != nullptr) {
+      const auto& events = monitor_->events();
+      for (; bridged_events_ < events.size(); ++bridged_events_) {
+        const auto& event = events[bridged_events_];
+        trace_->record(TraceCategory::kHealth, event.scope, event.describe());
+      }
+    }
+  }
+  if (sampler_ != nullptr) sampler_->sample(now);
+}
+
+}  // namespace dlte::sim

@@ -20,6 +20,8 @@ const char* trace_category_name(TraceCategory category) {
       return "mobility";
     case TraceCategory::kFault:
       return "fault";
+    case TraceCategory::kHealth:
+      return "health";
   }
   return "?";
 }
@@ -60,7 +62,7 @@ void TraceLog::set_metrics(obs::MetricsRegistry* registry,
       TraceCategory::kRegistry,  TraceCategory::kAttach,
       TraceCategory::kCoordination, TraceCategory::kHandover,
       TraceCategory::kData,      TraceCategory::kMobility,
-      TraceCategory::kFault,
+      TraceCategory::kFault,     TraceCategory::kHealth,
   };
   for (const TraceCategory c : kAll) {
     category_counters_.push_back(&registry->counter(

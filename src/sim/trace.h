@@ -26,7 +26,8 @@ enum class TraceCategory {
   kHandover,
   kData,
   kMobility,
-  kFault,  // Injected failures and recoveries (src/fault).
+  kFault,   // Injected failures and recoveries (src/fault).
+  kHealth,  // SLO alert fire/resolve transitions (src/obs/slo.h).
 };
 
 [[nodiscard]] const char* trace_category_name(TraceCategory category);

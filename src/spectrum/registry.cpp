@@ -86,9 +86,11 @@ bool Registry::co_channel(const SpectrumGrant& a,
 
 Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
   if (request.operator_contact.empty()) {
+    obs::inc(m_grant_failures_);
     return fail("grant requires an operator contact for recourse");
   }
   if (request.bandwidth.hz() <= 0.0) {
+    obs::inc(m_grant_failures_);
     return fail("grant requires positive bandwidth");
   }
   SpectrumGrant g;
@@ -103,6 +105,8 @@ Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
   g.coordination_node = request.coordination_node;
   if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
   grants_.push_back(g);
+  obs::inc(m_grants_issued_);
+  obs::set(m_active_grants_, static_cast<double>(grants_.size()));
   return g;
 }
 
@@ -127,6 +131,7 @@ Status<> Registry::heartbeat(GrantId id) {
     }
     return fail("grant lapsed or unknown: re-apply");
   }();
+  obs::inc(status ? m_hb_ok_ : m_hb_failed_);
   // Zero-duration marker: heartbeats are instantaneous in the model, but
   // their cadence and failures belong in the trace.
   const obs::SpanId span =
@@ -147,8 +152,14 @@ void Registry::prune_expired() {
       grants_.begin(), grants_.end(), [&](const SpectrumGrant& g) {
         return g.expires_at.ns() != 0 && g.expires_at + grace_ < now;
       });
-  lapsed_ += static_cast<std::uint64_t>(grants_.end() - first_dead);
+  const auto lapsed_now =
+      static_cast<std::uint64_t>(grants_.end() - first_dead);
+  lapsed_ += lapsed_now;
+  obs::inc(m_grants_lapsed_, lapsed_now);
   grants_.erase(first_dead, grants_.end());
+  if (lapsed_now > 0) {
+    obs::set(m_active_grants_, static_cast<double>(grants_.size()));
+  }
   for (auto& g : grants_) {
     if (g.expires_at.ns() != 0 && g.expires_at < now) g.degraded = true;
   }
@@ -185,12 +196,14 @@ void Registry::set_zone_offline(int zone, bool offline) {
 void Registry::set_outage(RegistryOutage outage) {
   const RegistryOutage previous = outage_;
   outage_ = outage;
+  obs::set(m_outage_active_, outage == RegistryOutage::kNone ? 0.0 : 1.0);
   if (previous == RegistryOutage::kCommitStall &&
       outage != RegistryOutage::kCommitStall) {
     // The chain caught up / the service recovered: stalled commits land
     // now, in submission order.
     auto pending = std::move(stalled_commits_);
     stalled_commits_.clear();
+    obs::set(m_stalled_commits_, 0.0);
     for (auto& commit : pending) commit();
   }
 }
@@ -217,6 +230,7 @@ void Registry::request_grant(GrantRequest request, GrantCallback callback) {
 void Registry::do_request_grant(GrantRequest request, GrantCallback callback,
                                 obs::SpanId span) {
   if (!reachable_for(request.location)) {
+    obs::inc(m_grant_failures_);
     sim_.schedule(failure_timeout_, [callback = std::move(callback)] {
       callback(fail("registry unreachable"));
     });
@@ -232,6 +246,7 @@ void Registry::do_request_grant(GrantRequest request, GrantCallback callback,
                                 callback = std::move(callback)]() mutable {
       do_request_grant(std::move(request), std::move(callback), span);
     });
+    obs::set(m_stalled_commits_, static_cast<double>(stalled_commits_.size()));
     return;
   }
   if (kind_ == RegistryKind::kBlockchain && chain_ != nullptr) {
@@ -300,6 +315,33 @@ void Registry::revoke(GrantId id) {
                                  return g.id == id;
                                }),
                 grants_.end());
+  obs::set(m_active_grants_, static_cast<double>(grants_.size()));
+}
+
+void Registry::set_metrics(obs::MetricsRegistry* metrics,
+                           const std::string& prefix) {
+  if (metrics == nullptr) {
+    m_hb_ok_ = nullptr;
+    m_hb_failed_ = nullptr;
+    m_grants_issued_ = nullptr;
+    m_grant_failures_ = nullptr;
+    m_grants_lapsed_ = nullptr;
+    m_outage_active_ = nullptr;
+    m_stalled_commits_ = nullptr;
+    m_active_grants_ = nullptr;
+    return;
+  }
+  m_hb_ok_ = &metrics->counter(prefix + "registry.heartbeats_ok");
+  m_hb_failed_ = &metrics->counter(prefix + "registry.heartbeats_failed");
+  m_grants_issued_ = &metrics->counter(prefix + "registry.grants_issued");
+  m_grant_failures_ = &metrics->counter(prefix + "registry.grant_failures");
+  m_grants_lapsed_ = &metrics->counter(prefix + "registry.grants_lapsed");
+  m_outage_active_ = &metrics->gauge(prefix + "registry.outage_active");
+  m_stalled_commits_ = &metrics->gauge(prefix + "registry.stalled_commits");
+  m_active_grants_ = &metrics->gauge(prefix + "registry.active_grants");
+  m_outage_active_->set(outage_ == RegistryOutage::kNone ? 0.0 : 1.0);
+  m_stalled_commits_->set(static_cast<double>(stalled_commits_.size()));
+  m_active_grants_->set(static_cast<double>(grants_.size()));
 }
 
 std::vector<SpectrumGrant> Registry::contention_domain(

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "common/units.h"
 #include "epc/hss.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/simulator.h"
 
@@ -166,6 +167,16 @@ class Registry {
   // `<prefix>registry`. Null-safe.
   void set_tracer(obs::SpanTracer* tracer, const std::string& prefix = "");
 
+  // Health source (DESIGN.md §10): counters
+  // `<prefix>registry.heartbeats_ok` / `.heartbeats_failed`,
+  // `.grants_issued` / `.grant_failures`, `.grants_lapsed`, and gauges
+  // `.outage_active` (0/1), `.stalled_commits`, `.active_grants`.
+  // heartbeats_failed is the symptom SLO rules alert on during an
+  // outage — the monitor watches what APs actually experience, not the
+  // injector's intent. Null-safe.
+  void set_metrics(obs::MetricsRegistry* metrics,
+                   const std::string& prefix = "");
+
   // --- Open-identity key publication (§4.2) ----------------------------
   void publish_subscriber(const epc::PublishedKeys& keys);
   [[nodiscard]] Result<epc::PublishedKeys> lookup_subscriber(Imsi imsi) const;
@@ -198,6 +209,15 @@ class Registry {
 
   obs::SpanTracer* tracer_{nullptr};
   std::string span_cat_{"registry"};
+
+  obs::Counter* m_hb_ok_{nullptr};
+  obs::Counter* m_hb_failed_{nullptr};
+  obs::Counter* m_grants_issued_{nullptr};
+  obs::Counter* m_grant_failures_{nullptr};
+  obs::Counter* m_grants_lapsed_{nullptr};
+  obs::Gauge* m_outage_active_{nullptr};
+  obs::Gauge* m_stalled_commits_{nullptr};
+  obs::Gauge* m_active_grants_{nullptr};
 
   RegistryOutage outage_{RegistryOutage::kNone};
   std::vector<int> offline_zones_;

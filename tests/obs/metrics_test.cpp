@@ -28,6 +28,26 @@ TEST(Gauge, SetAddAndSetMax) {
   EXPECT_DOUBLE_EQ(g.value(), 7.0);
 }
 
+TEST(Gauge, SetMaxFirstValueAlwaysSticks) {
+  // Regression: set_max used to compare the first observation against
+  // the 0.0 default, silently discarding negative firsts (e.g. a dB
+  // margin or a clock skew gauge).
+  Gauge g;
+  g.set_max(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+  g.set_max(-7.0);  // Lower than the max seen: ignored.
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+  g.set_max(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Gauge, SetMaxAfterSetKeepsMaxSemantics) {
+  Gauge g;
+  g.set(10.0);
+  g.set_max(4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
 TEST(Histogram, BasicStatsExact) {
   Histogram h;
   h.record(1.0);
@@ -108,6 +128,28 @@ TEST(Histogram, NonFiniteSamplesIgnored) {
   EXPECT_DOUBLE_EQ(h.sum(), 1.0);
 }
 
+TEST(Histogram, QuantileSinceSeesOnlyTrafficAfterBaseline) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10.0);
+  const Histogram baseline = h;  // Snapshot: the SLO window boundary.
+  for (int i = 0; i < 100; ++i) h.record(500.0);
+
+  EXPECT_EQ(h.count_since(baseline), 100u);
+  // Lifetime p50 straddles both bursts, the windowed p50 is pure 500s.
+  EXPECT_NEAR(h.quantile_since(baseline, 0.5), 500.0,
+              500.0 / Histogram::kSubBuckets);
+  EXPECT_NEAR(h.quantile_since(baseline, 0.99), 500.0,
+              500.0 / Histogram::kSubBuckets);
+}
+
+TEST(Histogram, QuantileSinceEmptyWindowReportsZero) {
+  Histogram h;
+  h.record(42.0);
+  const Histogram baseline = h;
+  EXPECT_EQ(h.count_since(baseline), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile_since(baseline, 0.95), 0.0);
+}
+
 TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
   MetricsRegistry reg;
   Counter& c = reg.counter("a");
@@ -136,12 +178,16 @@ TEST(MetricsRegistry, FindDoesNotCreate) {
 TEST(NullSafeHelpers, NoopOnNullptr) {
   inc(nullptr);
   observe(nullptr, 1.0);  // Must not crash.
+  set(nullptr, 3.0);
   MetricsRegistry reg;
   Counter* c = &reg.counter("c");
+  Gauge* g = &reg.gauge("g");
   Histogram* h = &reg.histogram("h");
   inc(c, 2);
+  set(g, 3.0);
   observe(h, 5.0);
   EXPECT_EQ(c->value(), 2u);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
   EXPECT_EQ(h->count(), 1u);
 }
 

@@ -1,0 +1,69 @@
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dlte::obs {
+namespace {
+
+TEST(OpenMetrics, SanitizeMapsDotsAndLeadingDigits) {
+  EXPECT_EQ(OpenMetricsExporter::sanitize("c8.dlte.epc.attach_latency_ms"),
+            "c8_dlte_epc_attach_latency_ms");
+  EXPECT_EQ(OpenMetricsExporter::sanitize("x2:rounds"), "x2:rounds");
+  EXPECT_EQ(OpenMetricsExporter::sanitize("8ball"), "_8ball");
+  EXPECT_EQ(OpenMetricsExporter::sanitize(""), "_");
+}
+
+TEST(OpenMetrics, RendersAllInstrumentKinds) {
+  MetricsRegistry reg;
+  reg.counter("net.pkts").inc(42);
+  reg.gauge("ap1.up").set(1.0);
+  Histogram& lat = reg.histogram("attach.ms");
+  lat.record(10.0);
+  lat.record(20.0);
+
+  const std::string text = OpenMetricsExporter::render(reg);
+  EXPECT_NE(text.find("# TYPE net_pkts counter\n"), std::string::npos);
+  EXPECT_NE(text.find("net_pkts_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ap1_up gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("ap1_up 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE attach_ms summary\n"), std::string::npos);
+  EXPECT_NE(text.find("attach_ms{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("attach_ms_sum 30\n"), std::string::npos);
+  EXPECT_NE(text.find("attach_ms_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("attach_ms_min 10\n"), std::string::npos);
+  EXPECT_NE(text.find("attach_ms_max 20\n"), std::string::npos);
+  // Spec: the exposition ends with the EOF marker.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, FamiliesSortedByName) {
+  MetricsRegistry reg;
+  // Registered out of order; snapshot maps sort them.
+  reg.counter("zz.last").inc();
+  reg.counter("aa.first").inc();
+  const std::string text = OpenMetricsExporter::render(reg);
+  EXPECT_LT(text.find("aa_first_total"), text.find("zz_last_total"));
+}
+
+TEST(OpenMetrics, RenderIsDeterministic) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("a").inc(7);
+    reg.gauge("b").set(0.125);
+    Histogram& h = reg.histogram("c");
+    for (int i = 1; i <= 1'000; ++i) h.record(static_cast<double>(i) * 0.1);
+    return OpenMetricsExporter::render(reg);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(OpenMetrics, EmptyRegistryIsJustEof) {
+  MetricsRegistry reg;
+  EXPECT_EQ(OpenMetricsExporter::render(reg), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace dlte::obs

@@ -1,0 +1,123 @@
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dlte::sim {
+namespace {
+
+TimePoint at(double t_s) { return TimePoint{} + Duration::seconds(t_s); }
+
+TEST(TelemetryDriver, TicksAtSamplerInterval) {
+  Simulator sim;
+  obs::MetricsRegistry reg;
+  reg.counter("events").inc(3);
+  obs::SamplerConfig config;
+  config.interval = Duration::seconds(1.0);
+  obs::TimeSeriesSampler sampler{reg, config};
+  TelemetryDriver driver{sim, &sampler, nullptr};
+  driver.start();  // Default cadence: the sampler's interval.
+  sim.run_until(at(5.0));
+  EXPECT_EQ(driver.ticks(), 5u);
+  EXPECT_EQ(sampler.samples(), 5u);
+  const obs::TimeSeries* s = sampler.find("events");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->points().front().t_s, 1.0);  // First tick at t=1.
+}
+
+TEST(TelemetryDriver, EvaluatesMonitorBeforeSampling) {
+  Simulator sim;
+  obs::MetricsRegistry reg;
+  obs::Gauge& up = reg.gauge("ap1.up");
+  up.set(0.0);
+  obs::SloMonitor monitor{reg};
+  monitor.set_metrics(&reg);  // health.ap1 lands in the same registry.
+  obs::SloRule rule;
+  rule.name = "ap1_down";
+  rule.scope = "ap1";
+  rule.metric = "ap1.up";
+  rule.predicate = obs::SloPredicate::kGaugeAtLeast;
+  rule.threshold = 1.0;
+  monitor.add_rule(rule);
+  obs::SamplerConfig config;
+  config.interval = Duration::seconds(1.0);
+  obs::TimeSeriesSampler sampler{reg, config};
+  TelemetryDriver driver{sim, &sampler, &monitor};
+  driver.start();
+  sim.run_until(at(1.0));
+
+  // Evaluate-then-sample: the very tick that fired the alert already
+  // samples the refreshed health gauge as unhealthy.
+  EXPECT_TRUE(monitor.alert_active("ap1_down"));
+  const obs::TimeSeries* health = sampler.find("health.ap1");
+  ASSERT_NE(health, nullptr);
+  ASSERT_EQ(health->points().size(), 1u);
+  EXPECT_DOUBLE_EQ(health->points()[0].value, 0.0);
+}
+
+TEST(TelemetryDriver, BridgesAlertTransitionsIntoTraceLog) {
+  Simulator sim;
+  obs::MetricsRegistry reg;
+  obs::Gauge& up = reg.gauge("ap1.up");
+  up.set(1.0);
+  obs::SloMonitor monitor{reg};
+  obs::SloRule rule;
+  rule.name = "ap1_down";
+  rule.scope = "ap1";
+  rule.metric = "ap1.up";
+  rule.predicate = obs::SloPredicate::kGaugeAtLeast;
+  rule.threshold = 1.0;
+  monitor.add_rule(rule);
+  TraceLog trace{sim};
+  TelemetryDriver driver{sim, nullptr, &monitor};  // Alert-only mode.
+  driver.set_trace(&trace);
+  driver.start(Duration::seconds(1.0));
+
+  sim.schedule_at(at(2.5), [&up] { up.set(0.0); });
+  sim.schedule_at(at(5.5), [&up] { up.set(1.0); });
+  sim.run_until(at(8.0));
+
+  ASSERT_EQ(trace.count(TraceCategory::kHealth), 2u);
+  const auto health = trace.by_category(TraceCategory::kHealth);
+  EXPECT_EQ(health[0]->component, "ap1");
+  EXPECT_NE(health[0]->message.find("FIRE ap1_down"), std::string::npos);
+  EXPECT_NE(health[1]->message.find("RESOLVE ap1_down"), std::string::npos);
+  // Each transition bridged exactly once, on the tick that saw it.
+  EXPECT_DOUBLE_EQ((health[0]->when - TimePoint{}).to_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ((health[1]->when - TimePoint{}).to_seconds(), 6.0);
+}
+
+TEST(TelemetryDriver, StopHaltsTicksAndStartRestarts) {
+  Simulator sim;
+  obs::MetricsRegistry reg;
+  obs::TimeSeriesSampler sampler{reg};
+  TelemetryDriver driver{sim, &sampler, nullptr};
+  driver.start(Duration::seconds(1.0));
+  sim.run_until(at(3.0));
+  EXPECT_EQ(driver.ticks(), 3u);
+  driver.stop();
+  sim.run_until(at(6.0));
+  EXPECT_EQ(driver.ticks(), 3u);
+  // Restart at a coarser cadence.
+  driver.start(Duration::seconds(2.0));
+  sim.run_until(at(10.0));
+  EXPECT_EQ(driver.ticks(), 5u);
+}
+
+TEST(TelemetryDriver, DestructionCancelsPendingTicks) {
+  Simulator sim;
+  obs::MetricsRegistry reg;
+  {
+    obs::TimeSeriesSampler sampler{reg};
+    TelemetryDriver driver{sim, &sampler, nullptr};
+    driver.start(Duration::seconds(1.0));
+    sim.run_until(at(2.0));
+    EXPECT_EQ(driver.ticks(), 2u);
+  }
+  // The driver (and sampler) are gone; their periodic must not fire.
+  sim.run_until(at(5.0));
+}
+
+}  // namespace
+}  // namespace dlte::sim

@@ -28,15 +28,36 @@ import sys
 
 REQUIRED_KEYS = ("bench", "git_rev", "sim_seconds", "wall_seconds", "metrics")
 
+RERECORD_HINT = ("to (re)record baselines, run the bench binaries and copy "
+                 "their BENCH_*.json into bench/baselines/ — see README "
+                 "\"Recording bench baselines\"")
+
+
+def die(message: str) -> None:
+    """Exit 2 (usage/input error) with a one-line diagnosis, no traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    print(f"hint: {RERECORD_HINT}", file=sys.stderr)
+    sys.exit(2)
+
 
 def load(path: pathlib.Path) -> dict:
+    if not path.exists():
+        die(f"{path} does not exist")
     try:
-        doc = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"error: cannot read {path}: {err}")
+        text = path.read_text()
+    except OSError as err:
+        die(f"cannot read {path}: {err}")
+    if not text.strip():
+        die(f"{path} is empty — the bench likely crashed before finish()")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        die(f"{path} is not valid JSON ({err}) — truncated bench output?")
+    if not isinstance(doc, dict):
+        die(f"{path} is not a JSON object")
     missing = [k for k in REQUIRED_KEYS if k not in doc]
     if missing:
-        sys.exit(f"error: {path} lacks required keys: {', '.join(missing)}")
+        die(f"{path} lacks required keys: {', '.join(missing)}")
     return doc
 
 
@@ -58,9 +79,11 @@ def compare_metrics(a_path: pathlib.Path, b_path: pathlib.Path) -> int:
 
 def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
                     threshold: float, slack: float) -> int:
+    if not baseline_dir.is_dir():
+        die(f"baseline directory {baseline_dir} does not exist")
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
-        sys.exit(f"error: no BENCH_*.json baselines in {baseline_dir}")
+        die(f"no BENCH_*.json baselines in {baseline_dir}")
     failures = 0
     for base_path in baselines:
         result_path = result_dir / base_path.name

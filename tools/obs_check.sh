@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Single entry point for observability artifact checks (DESIGN.md §10).
+#
+#   tools/obs_check.sh trace  <trace.json>  [summarize_trace.py args...]
+#   tools/obs_check.sh series <series.json> [health_report.py args...]
+#
+# `trace` validates/summarizes a Chrome trace-event export (--require /
+# --require-child gates); `series` validates/renders a dlte-series-v1
+# health file (--require-alert / --require-resolve gates). CI and
+# EXPERIMENTS.md go through this wrapper so the dispatch lives in one
+# place. Exit codes pass through from the underlying tool.
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+
+usage() {
+  sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+[ $# -ge 2 ] || usage
+mode="$1"
+shift
+
+case "$mode" in
+  trace)
+    exec python3 "$here/summarize_trace.py" "$@"
+    ;;
+  series)
+    exec python3 "$here/health_report.py" "$@"
+    ;;
+  *)
+    echo "obs_check.sh: unknown mode '$mode' (expected trace|series)" >&2
+    usage
+    ;;
+esac
