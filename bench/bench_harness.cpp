@@ -62,6 +62,9 @@ void Harness::parse_args(int argc, char** argv) {
   constexpr const char kSeries[] = "--series-out=";
   constexpr const char kInterval[] = "--series-interval-ms=";
   constexpr const char kOpenMetrics[] = "--openmetrics-out=";
+  constexpr const char kShards[] = "--shards=";
+  constexpr const char kParThreads[] = "--par-threads=";
+  constexpr const char kParArtifacts[] = "--par-artifacts=";
   // Interval first: enable_series latches it into the sampler.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kInterval, sizeof(kInterval) - 1) == 0) {
@@ -77,6 +80,16 @@ void Harness::parse_args(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kOpenMetrics,
                             sizeof(kOpenMetrics) - 1) == 0) {
       openmetrics_path_ = argv[i] + sizeof(kOpenMetrics) - 1;
+    } else if (std::strncmp(argv[i], kShards, sizeof(kShards) - 1) == 0) {
+      const long n = std::atol(argv[i] + sizeof(kShards) - 1);
+      if (n > 0) shards_ = static_cast<std::size_t>(n);
+    } else if (std::strncmp(argv[i], kParThreads,
+                            sizeof(kParThreads) - 1) == 0) {
+      const long n = std::atol(argv[i] + sizeof(kParThreads) - 1);
+      if (n >= 0) par_threads_ = static_cast<std::size_t>(n);
+    } else if (std::strncmp(argv[i], kParArtifacts,
+                            sizeof(kParArtifacts) - 1) == 0) {
+      par_artifacts_ = argv[i] + sizeof(kParArtifacts) - 1;
     }
   }
   if (tracer_ == nullptr) {

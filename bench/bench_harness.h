@@ -74,6 +74,18 @@ class Harness {
   [[nodiscard]] obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
   [[nodiscard]] obs::SloMonitor* slo() { return monitor_.get(); }
 
+  // Parallel-runtime knobs for sharded benches: `--shards=<n>` and
+  // `--par-threads=<n>` (0 = one worker per shard) select the partition,
+  // `--par-artifacts=<prefix>` asks the bench to dump its merged
+  // artifacts to <prefix>.metrics.json / .series.json / .openmetrics.txt
+  // — what the CI par-determinism gate byte-compares across shard
+  // counts. parse_args() fills these; sharded benches read them.
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  [[nodiscard]] std::size_t par_threads() const { return par_threads_; }
+  [[nodiscard]] const std::string& par_artifacts() const {
+    return par_artifacts_;
+  }
+
   // Total simulated time this bench drove (summed across scenarios).
   void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
 
@@ -110,6 +122,9 @@ class Harness {
   std::unique_ptr<obs::SloMonitor> monitor_;
   std::string series_path_;
   std::string openmetrics_path_;
+  std::size_t shards_{0};
+  std::size_t par_threads_{0};
+  std::string par_artifacts_;
   Duration series_interval_{Duration::millis(500)};
   double sim_seconds_{0.0};
   std::map<std::string, double> timings_;

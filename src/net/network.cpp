@@ -23,6 +23,14 @@ NodeId Network::add_node(std::string name) {
   return id;
 }
 
+NodeId Network::add_remote_node(std::string name, Handler egress) {
+  const NodeId id = add_node(std::move(name));
+  Node& node = nodes_[id.value()];
+  node.remote = true;
+  node.handler = std::move(egress);
+  return id;
+}
+
 void Network::add_link(NodeId a, NodeId b, LinkConfig config) {
   const auto add_directed = [&](NodeId from, NodeId to) {
     const std::size_t index = links_.size();
@@ -117,6 +125,7 @@ void Network::set_metrics(obs::MetricsRegistry* registry,
     m_queue_drops_ = nullptr;
     m_impaired_drops_ = nullptr;
     m_unroutable_drops_ = nullptr;
+    m_remote_forwards_ = nullptr;
     m_partition_seconds_ = nullptr;
     return;
   }
@@ -125,6 +134,7 @@ void Network::set_metrics(obs::MetricsRegistry* registry,
   m_queue_drops_ = &registry->counter(prefix + "net.queue_drops");
   m_impaired_drops_ = &registry->counter(prefix + "net.impaired_drops");
   m_unroutable_drops_ = &registry->counter(prefix + "net.unroutable_drops");
+  m_remote_forwards_ = &registry->counter(prefix + "net.remote_forwards");
   m_partition_seconds_ = &registry->gauge(prefix + "net.partition_seconds");
 }
 
@@ -132,6 +142,13 @@ void Network::forward(Packet&& packet, NodeId at) {
   if (at == packet.dst) {
     obs::span_end(tracer_, packet.trace_span);
     Node& node = nodes_[at.value()];
+    if (node.remote) {
+      // Egress portal: this shard's view of the packet ends here; the
+      // registered egress hands it to the parallel runtime.
+      obs::inc(m_remote_forwards_);
+      if (node.handler) node.handler(std::move(packet));
+      return;
+    }
     if (const auto it = node.protocol_handlers.find(packet.protocol);
         it != node.protocol_handlers.end()) {
       it->second(std::move(packet));
@@ -202,6 +219,29 @@ Duration Network::path_latency(NodeId from, NodeId to, int size_bytes) const {
     if (++guard > static_cast<int>(nodes_.size())) break;
   }
   return total;
+}
+
+Duration Network::min_link_delay() const {
+  std::int64_t min_ns = std::numeric_limits<std::int64_t>::max();
+  for (const DirectedLink& link : links_) {
+    if (!link.enabled) continue;
+    min_ns = std::min(min_ns, link.config.delay.ns());
+  }
+  return Duration::nanos(min_ns);
+}
+
+Duration Network::min_remote_link_delay() const {
+  std::int64_t min_ns = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const DirectedLink& link = links_[li];
+    if (!link.enabled) continue;
+    if (!nodes_[link.to.value()].remote &&
+        !nodes_[link_sources_[li].value()].remote) {
+      continue;
+    }
+    min_ns = std::min(min_ns, link.config.delay.ns());
+  }
+  return Duration::nanos(min_ns);
 }
 
 int Network::hop_count(NodeId from, NodeId to) const {

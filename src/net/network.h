@@ -81,6 +81,16 @@ class Network {
   using Handler = std::function<void(Packet&&)>;
 
   NodeId add_node(std::string name);
+  // A node whose traffic leaves this Network instance: packets addressed
+  // to it are handed to `egress` at their local delivery time instead of
+  // a local handler. This is the cross-shard routing seam — the parallel
+  // runtime registers one remote node per egress portal and forwards the
+  // packet to the owning shard through its inbox queues. Counted under
+  // `net.remote_forwards`.
+  NodeId add_remote_node(std::string name, Handler egress);
+  [[nodiscard]] bool is_remote(NodeId node) const {
+    return nodes_[node.value()].remote;
+  }
   // Bidirectional link (two independent directed queues).
   void add_link(NodeId a, NodeId b, LinkConfig config);
   // Catch-all handler for packets addressed to `node` (any protocol not
@@ -99,6 +109,15 @@ class Network {
   // size, assuming empty queues (used for experiment reporting).
   [[nodiscard]] Duration path_latency(NodeId from, NodeId to,
                                       int size_bytes) const;
+
+  // Minimum propagation delay over all enabled links — the conservative
+  // lookahead bound a windowed parallel runtime may advance without
+  // hearing from this network. Duration::nanos(INT64_MAX) when empty.
+  [[nodiscard]] Duration min_link_delay() const;
+  // Same, restricted to links that touch a remote node: the tightest
+  // latency at which traffic can leave this shard (the inter-shard
+  // component of the window size).
+  [[nodiscard]] Duration min_remote_link_delay() const;
   [[nodiscard]] int hop_count(NodeId from, NodeId to) const;
   [[nodiscard]] bool has_route(NodeId from, NodeId to) const;
 
@@ -150,6 +169,7 @@ class Network {
     std::vector<std::size_t> links;  // Indices into links_.
     Handler handler;
     std::unordered_map<std::uint16_t, Handler> protocol_handlers;
+    bool remote{false};  // Delivery goes to `handler` as cross-shard egress.
   };
 
   void forward(Packet&& packet, NodeId at);
@@ -172,6 +192,7 @@ class Network {
   obs::Counter* m_queue_drops_{nullptr};
   obs::Counter* m_impaired_drops_{nullptr};
   obs::Counter* m_unroutable_drops_{nullptr};
+  obs::Counter* m_remote_forwards_{nullptr};
   obs::Gauge* m_partition_seconds_{nullptr};
 
   static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);

@@ -1,0 +1,70 @@
+#include "obs/merge.h"
+
+#include <map>
+
+#include "obs/json.h"
+
+namespace dlte::obs {
+
+void merge_registry(MetricsRegistry& dst, const MetricsRegistry& src,
+                    const std::string& prefix) {
+  for (const auto& [name, counter] : src.counters()) {
+    dst.counter(prefix + name).inc(counter.value());
+  }
+  for (const auto& [name, gauge] : src.gauges()) {
+    dst.gauge(prefix + name).set_max(gauge.value());
+  }
+  for (const auto& [name, histogram] : src.histograms()) {
+    dst.histogram(prefix + name).merge_from(histogram);
+  }
+}
+
+std::string merged_series_json(
+    const std::vector<const TimeSeriesSampler*>& samplers,
+    const std::string& source) {
+  // Union of series, sorted by name; first sampler wins on duplicates.
+  std::map<std::string, const TimeSeries*> merged;
+  double interval_s = 0.0;
+  std::uint64_t samples = 0;
+  for (const TimeSeriesSampler* sampler : samplers) {
+    if (sampler == nullptr) continue;
+    if (interval_s == 0.0) interval_s = sampler->interval().to_seconds();
+    if (sampler->samples() > samples) samples = sampler->samples();
+    for (const auto& [name, series] : sampler->series()) {
+      merged.emplace(name, &series);
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("dlte-series-v1");
+  w.key("source").value(source);
+  w.key("interval_s").value(interval_s);
+  w.key("samples").value(samples);
+  w.key("series").begin_object();
+  for (const auto& [name, series] : merged) {
+    w.key(name).begin_object();
+    w.key("kind").value(series_kind_name(series->kind()));
+    w.key("dropped").value(series->dropped());
+    w.key("points").begin_array();
+    for (const auto& point : series->points()) {
+      w.begin_array();
+      w.value(point.t_s);
+      w.value(point.value);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("rules").begin_array();
+  w.end_array();
+  w.key("alerts").begin_array();
+  w.end_array();
+  w.key("health").begin_object();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dlte::obs

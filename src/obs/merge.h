@@ -1,0 +1,41 @@
+// Deterministic merge of per-shard observability state (DESIGN.md §11).
+//
+// The sharded runtime gives every shard its own domain MetricsRegistry
+// and TimeSeriesSampler so workers never share a metrics pointer. At the
+// end of a run the coordinator folds them into one registry / one series
+// document that must be byte-identical to what a 1-shard run produces.
+// The merge relies on a naming contract rather than cleverness:
+//
+//   - counters add exactly (uint64 addition is associative);
+//   - gauges combine with set_max (the repo's shared-gauge idiom) — a
+//     gauge whose 1-shard meaning is not "max observed" must be given a
+//     shard-unique (e.g. per-AP) name;
+//   - histograms merge bucket-wise via Histogram::merge_from. The double
+//     `sum` makes cross-shard addition order-dependent, so a histogram
+//     name must live in exactly ONE shard's registry (per-AP prefixes
+//     guarantee this) for bit-exact output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/series.h"
+
+namespace dlte::obs {
+
+// Fold every instrument of `src` into `dst` under `prefix + name`.
+void merge_registry(MetricsRegistry& dst, const MetricsRegistry& src,
+                    const std::string& prefix = "");
+
+// One dlte-series-v1 document over the union of several samplers' series
+// (sorted by name, first sampler wins on a duplicate name — scenarios
+// keep shard series disjoint via per-AP prefixes, so in practice there
+// are none). With a single sampler this is byte-identical to
+// SeriesExporter::to_json(sampler, nullptr, source), which is what makes
+// the 1-shard-vs-N-shard series comparison meaningful.
+[[nodiscard]] std::string merged_series_json(
+    const std::vector<const TimeSeriesSampler*>& samplers,
+    const std::string& source);
+
+}  // namespace dlte::obs

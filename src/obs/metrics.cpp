@@ -45,6 +45,21 @@ void Histogram::record(double v) {
   }
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   if (q < 0.0) q = 0.0;

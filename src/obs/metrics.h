@@ -87,6 +87,13 @@ class Histogram {
   }
   [[nodiscard]] double quantile_since(const Histogram& baseline,
                                       double q) const;
+
+  // Absorb every sample of `other` by bucket-wise addition. Because the
+  // bucket layout is fixed (not adaptive), merging per-shard histograms
+  // recorded from the same sample stream yields exactly the histogram a
+  // single-instance run would have produced — the property the sharded
+  // runtime's determinism gate relies on.
+  void merge_from(const Histogram& other);
   [[nodiscard]] double p50() const { return quantile(0.50); }
   [[nodiscard]] double p90() const { return quantile(0.90); }
   [[nodiscard]] double p95() const { return quantile(0.95); }

@@ -1,0 +1,276 @@
+#include "par/sharded_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+#include "obs/merge.h"
+
+namespace dlte::par {
+
+namespace {
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(ShardedConfig config)
+    : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.threads == 0) config_.threads = config_.shards;
+  config_.threads = std::min(config_.threads, config_.shards);
+  assert(config_.lookahead.ns() > 0 && "lookahead must be positive");
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (config_.sample_interval.ns() > 0) {
+      shard->sampler = std::make_unique<obs::TimeSeriesSampler>(
+          shard->domain, obs::SamplerConfig{config_.sample_interval});
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (config_.sample_interval.ns() > 0) {
+    next_sample_ = TimePoint{} + config_.sample_interval;
+  }
+  if (config_.threads > 1) {
+    workers_.reserve(config_.threads);
+    for (std::size_t i = 0; i < config_.threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+sim::Simulator& ShardedSimulator::shard_sim(std::size_t shard) {
+  return shards_[shard]->sim;
+}
+
+obs::MetricsRegistry& ShardedSimulator::shard_registry(std::size_t shard) {
+  return shards_[shard]->domain;
+}
+
+void ShardedSimulator::register_endpoint(EndpointId ep, std::size_t shard,
+                                         Handler handler) {
+  assert(shard < shards_.size());
+  endpoints_[ep] = Endpoint{shard, std::move(handler)};
+}
+
+std::size_t ShardedSimulator::owner_of(EndpointId ep) const {
+  const auto it = endpoints_.find(ep);
+  assert(it != endpoints_.end() && "unregistered endpoint");
+  return it->second.shard;
+}
+
+void ShardedSimulator::post(EndpointId src, EndpointId dst, Duration delay,
+                            std::uint16_t kind,
+                            std::vector<std::uint8_t> payload) {
+  Shard& shard = *shards_[owner_of(src)];
+  if (delay < config_.lookahead) {
+    delay = config_.lookahead;
+    ++shard.posts_clamped;
+  }
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.deliver_at = shard.sim.now() + delay;
+  msg.seq = shard.next_seq[src]++;
+  msg.kind = kind;
+  msg.payload = std::move(payload);
+  shard.outbox.push_back(std::move(msg));
+}
+
+void ShardedSimulator::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    TimePoint end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      end = window_end_;
+    }
+    for (;;) {
+      const std::size_t i = next_shard_.fetch_add(1);
+      if (i >= shards_.size()) break;
+      shards_[i]->sim.run_until(end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_count_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::run_window(TimePoint end) {
+  if (workers_.empty()) {
+    for (auto& shard : shards_) shard->sim.run_until(end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_end_ = end;
+    done_count_ = 0;
+    next_shard_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return done_count_ == workers_.size(); });
+}
+
+void ShardedSimulator::exchange() {
+  // Single-threaded (all workers parked at the barrier): gather every
+  // shard's outbox, order globally, inject. The injection order fixes
+  // the tie-break sequence numbers in the destination simulators, so it
+  // must be — and is — independent of the partition.
+  std::vector<Message> batch;
+  for (auto& shard : shards_) {
+    if (shard->outbox.empty()) continue;
+    batch.insert(batch.end(),
+                 std::make_move_iterator(shard->outbox.begin()),
+                 std::make_move_iterator(shard->outbox.end()));
+    shard->outbox.clear();
+  }
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end(), message_order);
+  messages_ += batch.size();
+  max_exchange_ = std::max(max_exchange_, batch.size());
+  for (Message& msg : batch) {
+    // Node-stable map: the Endpoint address outlives the run.
+    const Endpoint* endpoint = &endpoints_.at(msg.dst);
+    Shard& shard = *shards_[endpoint->shard];
+    auto carried = std::make_shared<Message>(std::move(msg));
+    shard.sim.schedule_at(carried->deliver_at, [endpoint, carried] {
+      endpoint->handler(*carried);
+    });
+  }
+}
+
+void ShardedSimulator::emit_samples(TimePoint up_to) {
+  if (config_.sample_interval.ns() <= 0) return;
+  while (next_sample_ <= up_to) {
+    for (auto& shard : shards_) shard->sampler->sample(next_sample_);
+    next_sample_ = next_sample_ + config_.sample_interval;
+  }
+}
+
+void ShardedSimulator::run_until(TimePoint horizon) {
+  const std::int64_t window_ns = config_.lookahead.ns();
+  // Drain setup-time posts so messages due inside the first window are
+  // already in place before it runs.
+  exchange();
+  while (now_ < horizon) {
+    std::int64_t earliest = kNever;
+    for (const auto& shard : shards_) {
+      earliest = std::min(earliest, shard->sim.next_event_time().ns());
+    }
+    TimePoint end;
+    if (earliest > horizon.ns()) {
+      // Nothing due before the horizon: one final (possibly empty)
+      // window advances every shard clock to it.
+      end = horizon;
+    } else {
+      // Idle fast-forward onto the fixed grid: jump straight to the
+      // window (start, start+L] containing the earliest pending event.
+      // `earliest` is a global property of the barrier state, so the
+      // resulting window sequence is identical at every shard count.
+      const std::int64_t start = ((earliest - 1) / window_ns) * window_ns;
+      std::int64_t end_ns = start + window_ns;
+      if (end_ns <= now_.ns()) end_ns = now_.ns() + window_ns;
+      end = TimePoint::from_ns(std::min(horizon.ns(), end_ns));
+    }
+    run_window(end);
+    exchange();
+    emit_samples(end);
+    now_ = end;
+    ++windows_;
+  }
+  flush_metrics();
+}
+
+void ShardedSimulator::merged_metrics_into(obs::MetricsRegistry& dst) const {
+  for (const auto& shard : shards_) {
+    obs::merge_registry(dst, shard->domain);
+  }
+}
+
+std::string ShardedSimulator::merged_series_json(
+    const std::string& source) const {
+  std::vector<const obs::TimeSeriesSampler*> samplers;
+  for (const auto& shard : shards_) {
+    if (shard->sampler != nullptr) samplers.push_back(shard->sampler.get());
+  }
+  return obs::merged_series_json(samplers, source);
+}
+
+const obs::TimeSeriesSampler* ShardedSimulator::shard_sampler(
+    std::size_t shard) const {
+  return shards_[shard]->sampler.get();
+}
+
+std::uint64_t ShardedSimulator::posts_clamped() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->posts_clamped;
+  return total;
+}
+
+void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  if (registry == nullptr) {
+    m_windows_ = nullptr;
+    m_messages_ = nullptr;
+    m_posts_clamped_ = nullptr;
+    m_shards_ = nullptr;
+    m_threads_ = nullptr;
+    m_max_exchange_ = nullptr;
+    return;
+  }
+  m_windows_ = &registry->counter(prefix + "par.windows");
+  m_messages_ = &registry->counter(prefix + "par.messages");
+  m_posts_clamped_ = &registry->counter(prefix + "par.posts_clamped");
+  m_shards_ = &registry->gauge(prefix + "par.shards");
+  m_threads_ = &registry->gauge(prefix + "par.threads");
+  m_max_exchange_ = &registry->gauge(prefix + "par.max_exchange");
+  windows_flushed_ = windows_;
+  messages_flushed_ = messages_;
+  clamped_flushed_ = posts_clamped();
+}
+
+void ShardedSimulator::flush_metrics() {
+  if (m_windows_ != nullptr) {
+    m_windows_->inc(windows_ - windows_flushed_);
+    windows_flushed_ = windows_;
+  }
+  if (m_messages_ != nullptr) {
+    m_messages_->inc(messages_ - messages_flushed_);
+    messages_flushed_ = messages_;
+  }
+  if (m_posts_clamped_ != nullptr) {
+    const std::uint64_t clamped = posts_clamped();
+    m_posts_clamped_->inc(clamped - clamped_flushed_);
+    clamped_flushed_ = clamped;
+  }
+  if (m_shards_ != nullptr) {
+    m_shards_->set(static_cast<double>(shards_.size()));
+  }
+  if (m_threads_ != nullptr) {
+    m_threads_->set(static_cast<double>(config_.threads));
+  }
+  if (m_max_exchange_ != nullptr) {
+    m_max_exchange_->set_max(static_cast<double>(max_exchange_));
+  }
+}
+
+}  // namespace dlte::par

@@ -1,0 +1,180 @@
+// Sharded parallel simulation runtime (DESIGN.md §11).
+//
+// A ShardedSimulator owns N independent sim::Simulator instances
+// ("shards") and advances them together in conservative bounded-lookahead
+// windows: every shard runs [t, t+L] in parallel, then all shards stop at
+// a barrier where cross-shard messages are exchanged, then the next
+// window starts. The window width L is the minimum latency of any
+// cross-shard interaction (post() refuses shorter delays), so no message
+// posted during a window can be due inside it — each shard can run its
+// window without hearing from the others, the classic conservative-PDES
+// lookahead argument.
+//
+// Determinism is stronger than "same seed, same thread count": a run is
+// byte-identical at ANY shard count and ANY worker-thread count, because
+//   1. every cross-endpoint interaction goes through post()/Message even
+//      when both endpoints share a shard, so the event structure does
+//      not depend on the partition;
+//   2. the window grid is fixed multiples of L from t=0 — never derived
+//      from the partition;
+//   3. messages collected at a barrier are injected in the global
+//      (deliver_at, src endpoint, per-source seq) order, which no shard
+//      or thread identity can perturb;
+//   4. per-shard observability (domain registries, series samplers) uses
+//      shard-unique metric names (per-AP prefixes) and merges by name.
+//
+// Threading model (ThreadSanitizer-clean by construction): one worker
+// pool; within a window each shard is claimed by exactly one worker via
+// an atomic counter and touched by no one else; the coordinator only
+// inspects shard state between windows, with the barrier mutex ordering
+// every hand-off. post() appends only to the posting shard's own outbox.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "par/message.h"
+#include "sim/simulator.h"
+
+namespace dlte::par {
+
+struct ShardedConfig {
+  std::size_t shards{1};
+  // Worker threads; 0 → one per shard. 1 runs shards serially on the
+  // caller's thread (no pool), useful under sanitizers and as the
+  // determinism reference.
+  std::size_t threads{0};
+  // Conservative lookahead L: the window width, and the minimum delay
+  // post() accepts. Must be ≤ the scenario's minimum cross-endpoint
+  // latency (net::Network::min_remote_link_delay() is the query).
+  Duration lookahead{Duration::millis(1)};
+  // Simulated-time cadence for the coordinator-driven series samplers;
+  // zero disables sampling.
+  Duration sample_interval{};
+};
+
+class ShardedSimulator {
+ public:
+  // Invoked inside the OWNING shard's simulator at msg.deliver_at.
+  using Handler = std::function<void(const Message&)>;
+
+  explicit ShardedSimulator(ShardedConfig config);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Duration lookahead() const { return config_.lookahead; }
+
+  // The shard's engine and its domain metrics registry (scenario metrics
+  // live here under shard-unique names; see merged_metrics_into).
+  [[nodiscard]] sim::Simulator& shard_sim(std::size_t shard);
+  [[nodiscard]] obs::MetricsRegistry& shard_registry(std::size_t shard);
+
+  // Declare that endpoint `ep` lives on `shard`; cross-shard messages
+  // addressed to it run `handler` there. Call before run_until().
+  void register_endpoint(EndpointId ep, std::size_t shard, Handler handler);
+  [[nodiscard]] std::size_t owner_of(EndpointId ep) const;
+
+  // Post a message from `src` (must be called from the owning shard's
+  // event context, or before the run starts). Delivery is at
+  // now + max(delay, lookahead); a shorter delay is clamped up and
+  // counted under par.posts_clamped.
+  void post(EndpointId src, EndpointId dst, Duration delay,
+            std::uint16_t kind, std::vector<std::uint8_t> payload);
+
+  // Advance every shard to `horizon` through the barrier-window loop.
+  // Callable repeatedly; the window grid stays anchored at t=0.
+  void run_until(TimePoint horizon);
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // --- Merged, shard-count-invariant observability -------------------
+  // Fold every shard's domain registry into `dst` (obs::merge_registry
+  // naming contract applies).
+  void merged_metrics_into(obs::MetricsRegistry& dst) const;
+  // One dlte-series-v1 document over all shards' samplers (empty
+  // samplers when sampling is disabled).
+  [[nodiscard]] std::string merged_series_json(
+      const std::string& source) const;
+  [[nodiscard]] const obs::TimeSeriesSampler* shard_sampler(
+      std::size_t shard) const;
+
+  // --- Parallel-runtime metrics (NOT shard-count invariant) ----------
+  // par.windows, par.messages, par.posts_clamped counters plus
+  // par.shards / par.threads / par.max_exchange gauges, flushed at the
+  // end of each run_until. These describe the runtime itself, so they
+  // belong in a bench's harness registry, never in the compared
+  // artifacts.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "");
+
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
+  [[nodiscard]] std::uint64_t messages_exchanged() const { return messages_; }
+  [[nodiscard]] std::uint64_t posts_clamped() const;
+
+ private:
+  struct Shard {
+    sim::Simulator sim;
+    obs::MetricsRegistry domain;
+    std::unique_ptr<obs::TimeSeriesSampler> sampler;
+    std::vector<Message> outbox;
+    // Per-source post counters (sources owned by this shard only).
+    std::unordered_map<EndpointId, std::uint64_t> next_seq;
+    std::uint64_t posts_clamped{0};
+  };
+  struct Endpoint {
+    std::size_t shard{0};
+    Handler handler;
+  };
+
+  void run_window(TimePoint end);
+  void worker_loop();
+  // Collect all outboxes, sort by message_order, inject at the barrier.
+  void exchange();
+  void emit_samples(TimePoint up_to);
+  void flush_metrics();
+
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<EndpointId, Endpoint> endpoints_;
+  TimePoint now_{};
+  TimePoint next_sample_{};
+  std::uint64_t windows_{0};
+  std::uint64_t messages_{0};
+  std::uint64_t max_exchange_{0};
+
+  // Worker pool (empty when config_.threads == 1).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_{0};
+  std::size_t done_count_{0};
+  TimePoint window_end_{};
+  bool shutdown_{false};
+  std::atomic<std::size_t> next_shard_{0};
+
+  obs::Counter* m_windows_{nullptr};
+  obs::Counter* m_messages_{nullptr};
+  obs::Counter* m_posts_clamped_{nullptr};
+  obs::Gauge* m_shards_{nullptr};
+  obs::Gauge* m_threads_{nullptr};
+  obs::Gauge* m_max_exchange_{nullptr};
+  std::uint64_t windows_flushed_{0};
+  std::uint64_t messages_flushed_{0};
+  std::uint64_t clamped_flushed_{0};
+};
+
+}  // namespace dlte::par

@@ -27,6 +27,19 @@ RngStream RngStream::derive(std::uint64_t master_seed,
   return RngStream{splitmix64(master_seed ^ fnv1a(component))};
 }
 
+RngStream RngStream::derive(std::uint64_t master_seed,
+                            std::string_view component, std::uint64_t index) {
+  return RngStream{child_seed(master_seed, component, index)};
+}
+
+std::uint64_t RngStream::child_seed(std::uint64_t master_seed,
+                                    std::string_view component,
+                                    std::uint64_t index) {
+  // Two splitmix rounds so (seed ^ name-hash) and the index mix through
+  // independent avalanches — adjacent indices land far apart.
+  return splitmix64(splitmix64(master_seed ^ fnv1a(component)) + index);
+}
+
 double RngStream::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);

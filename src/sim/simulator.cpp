@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -11,29 +12,46 @@ void Simulator::schedule(Duration delay, Action action) {
 }
 
 void Simulator::schedule_at(TimePoint when, Action action) {
-  if (when < now_) when = now_;
+  if (when < now_) {
+    when = now_;
+    ++schedule_past_events_;
+  }
   queue_.push(Event{when, next_seq_++, std::move(action)});
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+}
+
+TimePoint Simulator::next_event_time() const {
+  if (queue_.empty()) {
+    return TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
+  }
+  return queue_.top().when;
 }
 
 void Simulator::set_metrics(obs::MetricsRegistry* registry,
                             const std::string& prefix) {
   if (registry == nullptr) {
     events_counter_ = nullptr;
+    past_counter_ = nullptr;
     queue_depth_gauge_ = nullptr;
     sim_seconds_gauge_ = nullptr;
     return;
   }
   events_counter_ = &registry->counter(prefix + "sim.events_executed");
+  past_counter_ = &registry->counter(prefix + "sim.schedule_past_events");
   queue_depth_gauge_ = &registry->gauge(prefix + "sim.max_queue_depth");
   sim_seconds_gauge_ = &registry->gauge(prefix + "sim.seconds");
   events_flushed_ = events_executed_;
+  past_flushed_ = schedule_past_events_;
 }
 
 void Simulator::flush_metrics() {
   if (events_counter_ != nullptr) {
     events_counter_->inc(events_executed_ - events_flushed_);
     events_flushed_ = events_executed_;
+  }
+  if (past_counter_ != nullptr) {
+    past_counter_->inc(schedule_past_events_ - past_flushed_);
+    past_flushed_ = schedule_past_events_;
   }
   if (queue_depth_gauge_ != nullptr) {
     queue_depth_gauge_->set_max(static_cast<double>(max_queue_depth_));

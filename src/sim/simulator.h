@@ -31,6 +31,11 @@ class Simulator {
   // Schedule `action` to run `delay` after the current time. Negative
   // delays are clamped to "immediately after the current event".
   void schedule(Duration delay, Action action);
+  // Schedule at an absolute time. A `when` earlier than now() is clamped
+  // to "immediately after the current event" and counted (accessor below,
+  // metric `sim.schedule_past_events`) instead of silently reordering —
+  // the sharded runtime injects cross-shard events at window boundaries
+  // and relies on a past-targeted injection being loud, not lost.
   void schedule_at(TimePoint when, Action action);
 
   // Cancellation token for a periodic process. Move-only RAII: letting it
@@ -83,6 +88,14 @@ class Simulator {
   [[nodiscard]] std::size_t max_queue_depth() const {
     return max_queue_depth_;
   }
+  // Count of schedule_at() targets that were in the past and got clamped.
+  [[nodiscard]] std::uint64_t schedule_past_events() const {
+    return schedule_past_events_;
+  }
+  // Timestamp of the earliest pending event, or TimePoint::from_ns(
+  // INT64_MAX) when the queue is empty. The sharded runtime peeks this to
+  // fast-forward over windows in which every shard is idle.
+  [[nodiscard]] TimePoint next_event_time() const;
 
   // Attach a metrics registry: events dispatched flow into
   // `<prefix>sim.events_executed` at the end of each run, and the high
@@ -107,13 +120,16 @@ class Simulator {
   TimePoint now_{};
   std::uint64_t next_seq_{0};
   std::uint64_t events_executed_{0};
+  std::uint64_t schedule_past_events_{0};
   std::size_t max_queue_depth_{0};
   bool stopped_{false};
 
+  obs::Counter* past_counter_{nullptr};
   obs::Counter* events_counter_{nullptr};
   obs::Gauge* queue_depth_gauge_{nullptr};
   obs::Gauge* sim_seconds_gauge_{nullptr};
   std::uint64_t events_flushed_{0};
+  std::uint64_t past_flushed_{0};
 };
 
 }  // namespace dlte::sim

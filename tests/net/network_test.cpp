@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace dlte::net {
 namespace {
 
@@ -210,6 +212,49 @@ TEST(Network, ClearingImpairmentRestoresCleanLink) {
   for (int i = 0; i < 10; ++i) f.net.send(Packet{a, b, 100, 0, {}});
   f.sim.run_all();
   EXPECT_EQ(received, 10);
+}
+
+TEST(Network, RemoteNodeHandsDeliveredPacketsToEgress) {
+  Fixture f;
+  obs::MetricsRegistry reg;
+  f.net.set_metrics(&reg);
+  const NodeId a = f.net.add_node("a");
+  int egressed = 0;
+  TimePoint at;
+  const NodeId xg = f.net.add_remote_node("xg", [&](Packet&& p) {
+    ++egressed;
+    at = f.sim.now();
+    EXPECT_EQ(p.protocol, 7);  // Payload tag survives the hand-off.
+  });
+  EXPECT_TRUE(f.net.is_remote(xg));
+  EXPECT_FALSE(f.net.is_remote(a));
+  f.net.add_link(a, xg, LinkConfig{DataRate::mbps(100.0),
+                                   Duration::millis(3)});
+  f.net.send(Packet{a, xg, 0, 7, {}});
+  f.sim.run_all();
+  EXPECT_EQ(egressed, 1);
+  EXPECT_NEAR((at - TimePoint{}).to_millis(), 3.0, 0.01);
+  EXPECT_EQ(reg.counter("net.remote_forwards").value(), 1u);
+}
+
+TEST(Network, MinLinkDelayQueries) {
+  Fixture f;
+  // No links at all: "never".
+  EXPECT_EQ(f.net.min_link_delay().ns(),
+            std::numeric_limits<std::int64_t>::max());
+  const NodeId a = f.net.add_node("a");
+  const NodeId b = f.net.add_node("b");
+  const NodeId xg = f.net.add_remote_node("xg", [](Packet&&) {});
+  f.net.add_link(a, b, LinkConfig{DataRate::mbps(100.0),
+                                  Duration::millis(2)});
+  f.net.add_link(b, xg, LinkConfig{DataRate::mbps(100.0),
+                                   Duration::millis(5)});
+  EXPECT_DOUBLE_EQ(f.net.min_link_delay().to_millis(), 2.0);
+  // Only the b—xg link touches a remote node.
+  EXPECT_DOUBLE_EQ(f.net.min_remote_link_delay().to_millis(), 5.0);
+  // Disabling the local link leaves the remote one as the global min.
+  f.net.set_link_enabled(a, b, false);
+  EXPECT_DOUBLE_EQ(f.net.min_link_delay().to_millis(), 5.0);
 }
 
 }  // namespace

@@ -30,6 +30,34 @@ TEST(RngStream, DeriveIsStableAcrossCalls) {
   EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
 }
 
+TEST(RngStream, IndexedDeriveIsStableAndMatchesChildSeed) {
+  auto a = RngStream::derive(42, "town.attach", 7);
+  auto b = RngStream::derive(42, "town.attach", 7);
+  RngStream c{RngStream::child_seed(42, "town.attach", 7)};
+  const double v = a.uniform();
+  EXPECT_DOUBLE_EQ(v, b.uniform());
+  EXPECT_DOUBLE_EQ(v, c.uniform());
+}
+
+TEST(RngStream, IndexedDerivesAreIndependentAcrossIndices) {
+  auto a = RngStream::derive(42, "town.attach", 0);
+  auto b = RngStream::derive(42, "town.attach", 1);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngStream, ChildSeedVariesWithEveryInput) {
+  const auto base = RngStream::child_seed(1, "shard", 0);
+  EXPECT_NE(base, RngStream::child_seed(2, "shard", 0));
+  EXPECT_NE(base, RngStream::child_seed(1, "other", 0));
+  EXPECT_NE(base, RngStream::child_seed(1, "shard", 1));
+  // Same inputs always reproduce.
+  EXPECT_EQ(base, RngStream::child_seed(1, "shard", 0));
+}
+
 TEST(RngStream, UniformRespectsBounds) {
   RngStream r{99};
   for (int i = 0; i < 1000; ++i) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace dlte::sim {
@@ -105,6 +106,43 @@ TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
   Simulator s;
   s.run_until(TimePoint::from_ns(0) + Duration::seconds(3.0));
   EXPECT_DOUBLE_EQ(s.now().to_seconds(), 3.0);
+}
+
+TEST(Simulator, PastScheduleAtClampsAndCounts) {
+  Simulator s;
+  obs::MetricsRegistry reg;
+  s.set_metrics(&reg);
+  bool ran = false;
+  s.schedule(Duration::millis(5), [&] {
+    // Target 2 ms — already in the past at t=5 ms: must run "now", not
+    // silently reorder behind us.
+    s.schedule_at(TimePoint::from_ns(0) + Duration::millis(2),
+                  [&] { ran = true; });
+  });
+  s.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(s.now().to_millis(), 5.0);
+  EXPECT_EQ(s.schedule_past_events(), 1u);
+  EXPECT_EQ(reg.counter("sim.schedule_past_events").value(), 1u);
+}
+
+TEST(Simulator, FutureScheduleAtDoesNotCount) {
+  Simulator s;
+  s.schedule_at(TimePoint::from_ns(0) + Duration::millis(1), [] {});
+  s.run_all();
+  EXPECT_EQ(s.schedule_past_events(), 0u);
+}
+
+TEST(Simulator, NextEventTimePeeksEarliestPending) {
+  Simulator s;
+  EXPECT_EQ(s.next_event_time().ns(),
+            std::numeric_limits<std::int64_t>::max());
+  s.schedule(Duration::millis(30), [] {});
+  s.schedule(Duration::millis(10), [] {});
+  EXPECT_DOUBLE_EQ(s.next_event_time().to_millis(), 10.0);
+  s.run_all();
+  EXPECT_EQ(s.next_event_time().ns(),
+            std::numeric_limits<std::int64_t>::max());
 }
 
 }  // namespace

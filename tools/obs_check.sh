@@ -3,18 +3,24 @@
 #
 #   tools/obs_check.sh trace  <trace.json>  [summarize_trace.py args...]
 #   tools/obs_check.sh series <series.json> [health_report.py args...]
+#   tools/obs_check.sh par    <prefixA> <prefixB>
 #
 # `trace` validates/summarizes a Chrome trace-event export (--require /
 # --require-child gates); `series` validates/renders a dlte-series-v1
 # health file (--require-alert / --require-resolve gates). CI and
 # EXPERIMENTS.md go through this wrapper so the dispatch lives in one
 # place. Exit codes pass through from the underlying tool.
+#
+# `par` byte-compares two sharded-run artifact triples written by a
+# bench's --par-artifacts=<prefix> mode (<prefix>.metrics.json,
+# <prefix>.series.json, <prefix>.openmetrics.txt) — the determinism
+# gate that a parallel run is identical to the sequential one.
 set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
 usage() {
-  sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -29,8 +35,25 @@ case "$mode" in
   series)
     exec python3 "$here/health_report.py" "$@"
     ;;
+  par)
+    [ $# -eq 2 ] || usage
+    a="$1"
+    b="$2"
+    rc=0
+    for ext in metrics.json series.json openmetrics.txt; do
+      if cmp -s "$a.$ext" "$b.$ext"; then
+        echo "par: $ext identical"
+      else
+        echo "par: $ext DIVERGED ($a.$ext vs $b.$ext)" >&2
+        cmp "$a.$ext" "$b.$ext" >&2 || true
+        rc=1
+      fi
+    done
+    [ "$rc" -eq 0 ] && echo "par: all artifacts byte-identical"
+    exit "$rc"
+    ;;
   *)
-    echo "obs_check.sh: unknown mode '$mode' (expected trace|series)" >&2
+    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par)" >&2
     usage
     ;;
 esac
