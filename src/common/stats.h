@@ -37,6 +37,13 @@ class Quantiles {
     samples_.push_back(x);
     sorted_ = false;
   }
+  // Pool another distribution's samples (e.g. per-waveform rollups over
+  // several transmitters in the C11 coexistence summary).
+  void merge(const Quantiles& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   // q in [0,1]; linear interpolation between order statistics.
   [[nodiscard]] double quantile(double q) const;

@@ -137,7 +137,7 @@ Result<X2Message> decode_x2(std::span<const std::uint8_t> bytes) {
       if (!ap) return Err{ap.error()};
       auto mode = r.u8();
       if (!mode) return Err{mode.error()};
-      if (*mode > 2) return fail("invalid dLTE mode");
+      if (*mode > 4) return fail("invalid dLTE mode");
       auto contact = r.str();
       if (!contact) return Err{contact.error()};
       return X2Message{DlteHello{ApId{*ap}, static_cast<DlteMode>(*mode),
@@ -148,7 +148,7 @@ Result<X2Message> decode_x2(std::span<const std::uint8_t> bytes) {
       if (!ap) return Err{ap.error()};
       auto mode = r.u8();
       if (!mode) return Err{mode.error()};
-      if (*mode > 2) return fail("invalid dLTE mode");
+      if (*mode > 4) return fail("invalid dLTE mode");
       auto load = r.f64();
       if (!load) return Err{load.error()};
       auto prb = r.f64();

@@ -57,11 +57,22 @@ struct X2LoadInformation {
 
 // Coordination posture of an AP (§4.3): fair sharing achieves a WiFi-like
 // equilibrium with minimal exchange; cooperative mode fuses resources.
+// The coexistence modes (DESIGN.md §12) apply when the granted band is
+// unlicensed spectrum shared with WiFi BSSs the registry knows about:
+// arbitration then happens on the air (coex/shared_channel.h), not in X2
+// share rounds, so coordinators in these modes stop leading rounds.
 enum class DlteMode : std::uint8_t {
   kIsolated = 0,     // No peering (legacy-WiFi-like independence).
   kFairShare = 1,
   kCooperative = 2,
+  kLbt = 3,          // LAA-style listen-before-talk on a shared band.
+  kDutyCycle = 4,    // CSAT-style on/off airtime sharing.
 };
+
+// True for the modes that arbitrate a WiFi-shared channel on the air.
+[[nodiscard]] constexpr bool is_coexistence_mode(DlteMode mode) {
+  return mode == DlteMode::kLbt || mode == DlteMode::kDutyCycle;
+}
 
 struct DlteHello {
   ApId ap;

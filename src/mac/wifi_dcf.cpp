@@ -27,8 +27,9 @@ int DcfSimulator::add_station(const DcfStationConfig& config) {
   const int index = static_cast<int>(stations_.size());
   Station st;
   st.config = config;
-  st.contention_window = phy::kCwMin;
-  st.backoff_slots = draw_backoff(st.contention_window);
+  st.backoff = DcfBackoff{
+      BackoffConfig{phy::kCwMin, phy::kCwMax, config.retry_limit}};
+  st.backoff_slots = st.backoff.draw(rng_);
   if (config.saturated) {
     st.queue = 1;
   } else if (config.arrival_fps > 0.0) {
@@ -51,10 +52,6 @@ void DcfSimulator::set_sensing(int a, int b, bool senses) {
 void DcfSimulator::set_interference(int tx, int victim_tx, bool interferes) {
   interferes_[static_cast<std::size_t>(tx)][static_cast<std::size_t>(
       victim_tx)] = interferes;
-}
-
-int DcfSimulator::draw_backoff(int cw) {
-  return static_cast<int>(rng_.uniform_int(0, static_cast<std::uint64_t>(cw)));
 }
 
 bool DcfSimulator::medium_busy_for(int station) const {
@@ -89,22 +86,13 @@ void DcfSimulator::finish_transmission(int index) {
   if (!failed) {
     ++st.stats.delivered_frames;
     st.stats.delivered_bits += st.config.frame_bytes * 8.0;
-    st.retries = 0;
-    st.contention_window = phy::kCwMin;
+    st.backoff.note_success();
     if (!st.config.saturated) st.queue = std::max(0, st.queue - 1);
-  } else {
-    ++st.retries;
-    if (st.retries > st.config.retry_limit) {
-      ++st.stats.dropped_frames;
-      st.retries = 0;
-      st.contention_window = phy::kCwMin;
-      if (!st.config.saturated) st.queue = std::max(0, st.queue - 1);
-    } else {
-      st.contention_window =
-          std::min(2 * st.contention_window + 1, phy::kCwMax);
-    }
+  } else if (st.backoff.note_failure()) {
+    ++st.stats.dropped_frames;
+    if (!st.config.saturated) st.queue = std::max(0, st.queue - 1);
   }
-  st.backoff_slots = draw_backoff(st.contention_window);
+  st.backoff_slots = st.backoff.draw(rng_);
 }
 
 void DcfSimulator::step_slot() {

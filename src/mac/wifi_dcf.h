@@ -17,6 +17,7 @@
 
 #include "common/time.h"
 #include "common/units.h"
+#include "mac/dcf_backoff.h"
 #include "sim/random.h"
 
 namespace dlte::mac {
@@ -65,14 +66,21 @@ class DcfSimulator {
     return static_cast<int>(stations_.size());
   }
 
+  // CCA as this station sees it: is any station it senses transmitting
+  // right now? Public so tests can pin the carrier-sense relation the
+  // coexistence subsystem leans on.
+  [[nodiscard]] bool medium_busy_for(int station) const;
+  [[nodiscard]] bool transmitting(int station) const {
+    return stations_[static_cast<std::size_t>(station)].transmitting;
+  }
+
  private:
   struct Station {
     DcfStationConfig config;
     // MAC state.
     int queue{0};               // Pending frames (saturated: always ≥1).
     int backoff_slots{0};
-    int contention_window{0};
-    int retries{0};
+    DcfBackoff backoff;
     bool transmitting{false};
     int tx_slots_remaining{0};
     bool frame_corrupted{false};
@@ -81,10 +89,8 @@ class DcfSimulator {
   };
 
   void step_slot();
-  [[nodiscard]] bool medium_busy_for(int station) const;
   void begin_transmission(Station& st);
   void finish_transmission(int index);
-  [[nodiscard]] int draw_backoff(int cw);
 
   std::vector<Station> stations_;
   std::vector<std::vector<bool>> senses_;

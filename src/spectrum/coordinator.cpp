@@ -32,6 +32,7 @@ void PeerCoordinator::set_metrics(obs::MetricsRegistry* registry,
     m_shares_applied_ = nullptr;
     m_grant_churn_ = nullptr;
     m_peers_expired_ = nullptr;
+    m_mode_rejects_ = nullptr;
     return;
   }
   m_messages_sent_ = &registry->counter(prefix + "x2.messages_sent");
@@ -41,6 +42,7 @@ void PeerCoordinator::set_metrics(obs::MetricsRegistry* registry,
   m_shares_applied_ = &registry->counter(prefix + "x2.shares_applied");
   m_grant_churn_ = &registry->counter(prefix + "x2.grant_churn");
   m_peers_expired_ = &registry->counter(prefix + "x2.peers_expired");
+  m_mode_rejects_ = &registry->counter(prefix + "spectrum.mode_rejects");
 }
 
 void PeerCoordinator::set_tracer(obs::SpanTracer* tracer,
@@ -98,9 +100,20 @@ void PeerCoordinator::send_hello(const std::string& operator_contact) {
   broadcast(lte::X2Message{hello});
 }
 
-void PeerCoordinator::set_mode(lte::DlteMode mode) {
+bool PeerCoordinator::set_mode(lte::DlteMode mode) {
+  if (lte::is_coexistence_mode(mode) && wifi_occupants_ == 0) {
+    ++stats_.mode_rejects;
+    obs::inc(m_mode_rejects_);
+    return false;
+  }
   config_.mode = mode;
-  if (mode == lte::DlteMode::kIsolated) apply_share(1.0);
+  // Isolated APs reclaim the full band; so do coexistence-mode APs — on a
+  // WiFi-shared channel the whole cell contends for the whole channel and
+  // the on-air policy (LBT/duty-cycle), not a PRB split, bounds airtime.
+  if (mode == lte::DlteMode::kIsolated || lte::is_coexistence_mode(mode)) {
+    apply_share(1.0);
+  }
+  return true;
 }
 
 void PeerCoordinator::start() {
@@ -167,6 +180,8 @@ bool PeerCoordinator::is_leader() const {
 
 void PeerCoordinator::maybe_lead_round() {
   if (config_.mode == lte::DlteMode::kIsolated) return;
+  // Coexistence modes arbitrate airtime on the air, not in X2 rounds.
+  if (lte::is_coexistence_mode(config_.mode)) return;
   if (!is_leader()) return;
   // Need fresh status from every peer before proposing.
   if (latest_status_.size() < peers_.size() + 1) return;
@@ -248,6 +263,9 @@ void PeerCoordinator::on_packet(const net::Packet& packet) {
   }
   if (const auto* proposal =
           std::get_if<lte::DlteShareProposal>(&*message)) {
+    // A coexistence-mode AP does not take PRB splits from X2 rounds: its
+    // airtime is whatever LBT/duty-cycle wins on the shared channel.
+    if (lte::is_coexistence_mode(config_.mode)) return;
     for (std::size_t i = 0; i < proposal->ap_ids.size(); ++i) {
       if (proposal->ap_ids[i] == config_.ap.value() &&
           i < proposal->shares.size()) {

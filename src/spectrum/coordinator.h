@@ -51,6 +51,7 @@ struct CoordinatorStats {
   std::uint64_t peers_expired{0};       // Declared dead by liveness timeout.
   std::uint64_t x2_drops_injected{0};   // Lost to injected impairment.
   std::uint64_t x2_dups_injected{0};    // Duplicated by injected impairment.
+  std::uint64_t mode_rejects{0};        // Refused coexistence-mode switches.
 };
 
 // Injected X2 impairment (src/fault): each outbound message is dropped
@@ -79,7 +80,23 @@ class PeerCoordinator {
   // organic expansion); receivers add us to their peer set automatically.
   void send_hello(const std::string& operator_contact);
   void set_offered_load(double load) { offered_load_ = load; }
-  void set_mode(lte::DlteMode mode);
+
+  // Switch coordination mode. Coexistence modes (kLbt, kDutyCycle) are
+  // only legal on a band the registry reports as shared with live WiFi
+  // occupants (set_wifi_occupants); switching blind would silently stop
+  // X2 share rounds with nobody on the air to defer to. A refused switch
+  // leaves the mode unchanged, bumps stats().mode_rejects, and counts on
+  // the `<prefix>spectrum.mode_rejects` counter. Returns whether the
+  // switch was applied.
+  bool set_mode(lte::DlteMode mode);
+
+  // WiFi occupancy of this AP's granted band, as learned from the
+  // registry (Registry::wifi_occupants) or a site survey. Gates the
+  // coexistence modes above.
+  void set_wifi_occupants(std::size_t occupants) {
+    wifi_occupants_ = occupants;
+  }
+  [[nodiscard]] std::size_t wifi_occupants() const { return wifi_occupants_; }
 
   // Begin periodic status reporting + share rounds.
   void start();
@@ -158,6 +175,7 @@ class PeerCoordinator {
   // be allocated zero spectrum by its own coordinator.
   double offered_load_{1.0};
   double current_share_{1.0};
+  std::size_t wifi_occupants_{0};
   std::uint32_t round_{0};
   bool started_{false};
 
@@ -189,6 +207,7 @@ class PeerCoordinator {
   obs::Counter* m_shares_applied_{nullptr};
   obs::Counter* m_grant_churn_{nullptr};
   obs::Counter* m_peers_expired_{nullptr};
+  obs::Counter* m_mode_rejects_{nullptr};
 };
 
 }  // namespace dlte::spectrum

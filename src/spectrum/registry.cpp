@@ -193,6 +193,18 @@ void Registry::set_zone_offline(int zone, bool offline) {
   }
 }
 
+void Registry::mark_band_shared(Hertz center_frequency,
+                                std::uint32_t wifi_occupants) {
+  shared_bands_[static_cast<std::int64_t>(center_frequency.hz())] =
+      wifi_occupants;
+}
+
+std::uint32_t Registry::wifi_occupants(Hertz center_frequency) const {
+  const auto it =
+      shared_bands_.find(static_cast<std::int64_t>(center_frequency.hz()));
+  return it == shared_bands_.end() ? 0 : it->second;
+}
+
 void Registry::set_outage(RegistryOutage outage) {
   const RegistryOutage previous = outage_;
   outage_ = outage;

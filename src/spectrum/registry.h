@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,15 @@ class Registry {
 
   static constexpr double kZoneSizeM = 50'000.0;
 
+  // --- Unlicensed coexistence (DESIGN.md §12) --------------------------
+  // Mark a band as unlicensed spectrum shared with WiFi: the registry
+  // records how many WiFi BSSs are known to occupy the channel (site
+  // survey or AFC-style database import). Grants on such a band carry no
+  // exclusivity; coordinators consult wifi_occupants() before switching
+  // into a coexistence access mode (PeerCoordinator::set_mode guard).
+  void mark_band_shared(Hertz center_frequency, std::uint32_t wifi_occupants);
+  [[nodiscard]] std::uint32_t wifi_occupants(Hertz center_frequency) const;
+
   // --- Synchronous accessors (no latency; used by tests/benches) -------
   [[nodiscard]] Result<SpectrumGrant> grant_now(GrantRequest request);
   [[nodiscard]] std::vector<SpectrumGrant> grants_near(
@@ -203,6 +213,8 @@ class Registry {
   Duration lifetime_{};  // Zero: perpetual grants.
   Duration grace_{};     // Zero: no grace — lapse exactly at expiry.
   std::vector<SpectrumGrant> grants_;
+  // WiFi BSS count per shared band, keyed by center frequency in hertz.
+  std::map<std::int64_t, std::uint32_t> shared_bands_;
   std::vector<epc::PublishedKeys> published_;
   std::uint64_t next_grant_{1};
   std::uint64_t lapsed_{0};

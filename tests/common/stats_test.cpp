@@ -65,6 +65,19 @@ TEST(Quantiles, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(q.quantile(1.0), 20.0);
 }
 
+TEST(Quantiles, MergePoolsSamples) {
+  Quantiles a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.5);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 4.0);
+  EXPECT_EQ(b.count(), 2u);  // Source is untouched.
+}
+
 TEST(JainFairness, PerfectlyEqualIsOne) {
   std::array<double, 4> a{5.0, 5.0, 5.0, 5.0};
   EXPECT_DOUBLE_EQ(jain_fairness(a), 1.0);
@@ -73,6 +86,12 @@ TEST(JainFairness, PerfectlyEqualIsOne) {
 TEST(JainFairness, OneHogIsOneOverN) {
   std::array<double, 4> a{12.0, 0.0, 0.0, 0.0};
   EXPECT_DOUBLE_EQ(jain_fairness(a), 0.25);
+}
+
+TEST(JainFairness, SingleTransmitterIsPerfectlyFair) {
+  // n = 1 degenerates to (x²)/(1·x²): the C11 single-occupant channel.
+  std::array<double, 1> a{0.73};
+  EXPECT_DOUBLE_EQ(jain_fairness(a), 1.0);
 }
 
 TEST(JainFairness, EmptyAndZeroInputsAreNeutral) {

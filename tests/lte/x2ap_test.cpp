@@ -57,6 +57,26 @@ TEST(X2Codec, DltePeerStatusRoundTrip) {
   EXPECT_EQ(back.active_ues, 30u);
 }
 
+TEST(X2Codec, CoexistenceModesRoundTrip) {
+  // The unlicensed access behaviours added for src/coex ride the same
+  // mode byte as the licensed coordination modes.
+  DlteHello hello{ApId{12}, DlteMode::kLbt, "ops@coex.example"};
+  EXPECT_EQ(round_trip(hello).mode, DlteMode::kLbt);
+  DltePeerStatus status{ApId{13}, DlteMode::kDutyCycle, 0.5, 0.5, 4};
+  EXPECT_EQ(round_trip(status).mode, DlteMode::kDutyCycle);
+  EXPECT_TRUE(is_coexistence_mode(DlteMode::kLbt));
+  EXPECT_TRUE(is_coexistence_mode(DlteMode::kDutyCycle));
+  EXPECT_FALSE(is_coexistence_mode(DlteMode::kFairShare));
+  EXPECT_FALSE(is_coexistence_mode(DlteMode::kIsolated));
+}
+
+TEST(X2Codec, ModeByteAboveDutyCycleRejected) {
+  auto bytes = encode_x2(X2Message{DlteHello{ApId{1}, DlteMode::kFairShare,
+                                             "x"}});
+  bytes[5] = 0x05;  // One past kDutyCycle.
+  EXPECT_FALSE(decode_x2(bytes).ok());
+}
+
 TEST(X2Codec, ShareProposalRoundTrip) {
   DlteShareProposal m{7, {1, 2, 3}, {0.5, 0.3, 0.2}};
   const auto back = round_trip(m);

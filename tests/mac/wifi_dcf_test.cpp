@@ -134,6 +134,106 @@ TEST(WifiDcf, DeterministicForSameSeed) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(WifiDcf, CcaReportsBusyWhileSensedStationTransmits) {
+  DcfSimulator sim{10};
+  const int a = sim.add_station(DcfStationConfig{});
+  const int b = sim.add_station(DcfStationConfig{});
+  // Step slot by slot until one station is on the air, then check CCA on
+  // both sides of the sensing relation.
+  bool observed = false;
+  for (int i = 0; i < 2000 && !observed; ++i) {
+    sim.run(phy::kSlot);
+    if (sim.transmitting(a)) {
+      EXPECT_TRUE(sim.medium_busy_for(b));
+      EXPECT_FALSE(sim.medium_busy_for(a));  // Own frame is not CCA busy.
+      observed = true;
+    }
+  }
+  EXPECT_TRUE(observed);
+}
+
+TEST(WifiDcf, CcaIgnoresStationsOutsideSensingRange) {
+  DcfSimulator sim{11};
+  const int a = sim.add_station(DcfStationConfig{});
+  const int b = sim.add_station(DcfStationConfig{});
+  sim.set_sensing(a, b, false);
+  bool observed = false;
+  for (int i = 0; i < 2000 && !observed; ++i) {
+    sim.run(phy::kSlot);
+    if (sim.transmitting(a) && !sim.transmitting(b)) {
+      EXPECT_FALSE(sim.medium_busy_for(b));  // Hidden: b cannot hear a.
+      observed = true;
+    }
+  }
+  EXPECT_TRUE(observed);
+}
+
+TEST(WifiDcf, HiddenTerminalAccountingIsConsistent) {
+  // Every attempt ends exactly one way: delivered, collided, or lost to
+  // channel error; drops are a subset of failed attempts.
+  DcfSimulator sim{12};
+  const int a = sim.add_station(DcfStationConfig{.retry_limit = 3});
+  const int b = sim.add_station(DcfStationConfig{.retry_limit = 3});
+  sim.set_sensing(a, b, false);
+  sim.run(Duration::seconds(1.0));
+  for (int s : {a, b}) {
+    const auto& st = sim.stats(s);
+    // A frame still in flight at the horizon is attempted but unresolved.
+    const std::int64_t in_flight = sim.transmitting(s) ? 1 : 0;
+    EXPECT_EQ(st.attempts,
+              st.delivered_frames + st.collisions + st.channel_losses +
+                  in_flight);
+    EXPECT_LE(st.dropped_frames, st.collisions + st.channel_losses);
+    EXPECT_GT(st.collisions, 0);
+  }
+}
+
+TEST(DcfBackoff, DrawsAreDeterministicPerDerivedStream) {
+  // The backoff discipline the coexistence subsystem reuses: draws from
+  // streams derived with the same (seed, component, index) must agree,
+  // and distinct indices must give distinct sequences.
+  auto draws = [](std::uint64_t index) {
+    auto rng = sim::RngStream::derive(7, "coex-lte", index);
+    DcfBackoff backoff{BackoffConfig{15, 1023, 7}};
+    std::vector<int> out;
+    for (int i = 0; i < 32; ++i) {
+      out.push_back(backoff.draw(rng));
+      (void)backoff.note_failure();  // Widen CW as a losing station would.
+    }
+    return out;
+  };
+  EXPECT_EQ(draws(0), draws(0));
+  EXPECT_EQ(draws(3), draws(3));
+  EXPECT_NE(draws(0), draws(1));
+}
+
+TEST(DcfBackoff, WindowDoublesOnFailureAndResetsOnSuccess) {
+  DcfBackoff backoff{BackoffConfig{15, 1023, 7}};
+  EXPECT_EQ(backoff.contention_window(), 15);
+  EXPECT_FALSE(backoff.note_failure());
+  EXPECT_EQ(backoff.contention_window(), 31);
+  EXPECT_FALSE(backoff.note_failure());
+  EXPECT_EQ(backoff.contention_window(), 63);
+  backoff.note_success();
+  EXPECT_EQ(backoff.contention_window(), 15);
+  EXPECT_EQ(backoff.retries(), 0);
+}
+
+TEST(DcfBackoff, RetryLimitSignalsDropAndResets) {
+  DcfBackoff backoff{BackoffConfig{15, 1023, 2}};
+  EXPECT_FALSE(backoff.note_failure());
+  EXPECT_FALSE(backoff.note_failure());
+  EXPECT_TRUE(backoff.note_failure());  // Third failure exceeds limit 2.
+  EXPECT_EQ(backoff.contention_window(), 15);
+  EXPECT_EQ(backoff.retries(), 0);
+}
+
+TEST(DcfBackoff, WindowIsCappedAtCwMax) {
+  DcfBackoff backoff{BackoffConfig{15, 255, 100}};
+  for (int i = 0; i < 10; ++i) (void)backoff.note_failure();
+  EXPECT_EQ(backoff.contention_window(), 255);
+}
+
 // Parameterized: aggregate goodput decreases (or at best saturates) as
 // contenders are added — DCF's collision overhead grows with n.
 class ContenderSweep : public ::testing::TestWithParam<int> {};

@@ -231,6 +231,55 @@ TEST(Coordinator, X2DuplicatesAreCountedAndHarmless) {
   EXPECT_NEAR(f.coords[1]->current_share(), 0.5, 1e-9);
 }
 
+TEST(Coordinator, CoexistenceModeRefusedWithoutWifiOccupants) {
+  // Guard rail: switching into LBT or duty-cycle on a band with no
+  // registered WiFi occupants is a misconfiguration — X2 share rounds
+  // would silently stop with nobody on the air to defer to.
+  Fixture f;
+  f.build(2, lte::DlteMode::kFairShare);
+  obs::MetricsRegistry reg;
+  f.coords[0]->set_metrics(&reg, "ap0.");
+
+  EXPECT_FALSE(f.coords[0]->set_mode(lte::DlteMode::kLbt));
+  EXPECT_FALSE(f.coords[0]->set_mode(lte::DlteMode::kDutyCycle));
+  EXPECT_EQ(f.coords[0]->mode(), lte::DlteMode::kFairShare);
+  EXPECT_EQ(f.coords[0]->stats().mode_rejects, 2u);
+  EXPECT_EQ(reg.counter("ap0.spectrum.mode_rejects").value(), 2u);
+
+  // Non-coexistence switches stay unguarded.
+  EXPECT_TRUE(f.coords[0]->set_mode(lte::DlteMode::kCooperative));
+  EXPECT_EQ(f.coords[0]->mode(), lte::DlteMode::kCooperative);
+}
+
+TEST(Coordinator, CoexistenceModeAcceptedOnSharedBand) {
+  Fixture f;
+  f.build(2, lte::DlteMode::kFairShare);
+  f.coords[0]->set_wifi_occupants(3);
+  EXPECT_TRUE(f.coords[0]->set_mode(lte::DlteMode::kLbt));
+  EXPECT_EQ(f.coords[0]->mode(), lte::DlteMode::kLbt);
+  EXPECT_EQ(f.coords[0]->stats().mode_rejects, 0u);
+  // On a shared band the coordinator stops claiming a licensed split: the
+  // on-air arbitration (src/coex) decides airtime, so the local quota
+  // opens to the full carrier.
+  EXPECT_DOUBLE_EQ(f.coords[0]->current_share(), 1.0);
+}
+
+TEST(Coordinator, CoexistenceModeSuppressesShareRounds) {
+  // A coordinator in LBT mode neither leads rounds nor applies proposals;
+  // its fair-share peer still reports but cannot move the LBT member.
+  Fixture f;
+  f.build(2, lte::DlteMode::kFairShare);
+  f.coords[0]->set_wifi_occupants(1);
+  ASSERT_TRUE(f.coords[0]->set_mode(lte::DlteMode::kLbt));
+  const auto applied_at_switch = f.coords[0]->stats().shares_applied;
+  for (auto& c : f.coords) c->set_offered_load(1.0);
+  f.start_all();
+  f.run_for(5.0);
+  EXPECT_EQ(f.coords[0]->stats().rounds_led, 0u);
+  EXPECT_EQ(f.coords[0]->stats().shares_applied, applied_at_switch);
+  EXPECT_DOUBLE_EQ(f.coords[0]->current_share(), 1.0);
+}
+
 TEST(Coordinator, X2LoadIsKbitPerSecondScale) {
   // §4.3 [28]: X2 is low-bandwidth. At 1 Hz reporting with 7 peers the
   // per-AP load must be well under 100 kbit/s.

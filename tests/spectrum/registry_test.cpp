@@ -218,6 +218,20 @@ TEST(Registry, DeadApVanishesFromContentionDomain) {
   EXPECT_EQ(reg.grant_count(), 1u);
 }
 
+TEST(Registry, SharedBandRecordsWifiOccupancy) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  const Hertz unlicensed = Hertz::ghz(2.4);
+  // Unknown bands report zero occupants (exclusive licensed spectrum).
+  EXPECT_EQ(reg.wifi_occupants(unlicensed), 0u);
+  reg.mark_band_shared(unlicensed, 3);
+  EXPECT_EQ(reg.wifi_occupants(unlicensed), 3u);
+  EXPECT_EQ(reg.wifi_occupants(Hertz::ghz(5.8)), 0u);
+  // A fresh survey overwrites the previous count.
+  reg.mark_band_shared(unlicensed, 1);
+  EXPECT_EQ(reg.wifi_occupants(unlicensed), 1u);
+}
+
 TEST(Registry, PerpetualGrantsNeverLapse) {
   sim::Simulator sim;
   Registry reg{sim, RegistryKind::kCentralizedSas};  // No lifetime set.

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Single entry point for observability artifact checks (DESIGN.md §10).
 #
-#   tools/obs_check.sh trace  <trace.json>  [summarize_trace.py args...]
-#   tools/obs_check.sh series <series.json> [health_report.py args...]
-#   tools/obs_check.sh par    <prefixA> <prefixB>
+#   tools/obs_check.sh trace   <trace.json>  [summarize_trace.py args...]
+#   tools/obs_check.sh series  <series.json> [health_report.py args...]
+#   tools/obs_check.sh par     <prefixA> <prefixB>
+#   tools/obs_check.sh metrics <benchA.json> <benchB.json>
 #
 # `trace` validates/summarizes a Chrome trace-event export (--require /
 # --require-child gates); `series` validates/renders a dlte-series-v1
@@ -15,12 +16,16 @@
 # bench's --par-artifacts=<prefix> mode (<prefix>.metrics.json,
 # <prefix>.series.json, <prefix>.openmetrics.txt) — the determinism
 # gate that a parallel run is identical to the sequential one.
+#
+# `metrics` byte-compares the deterministic "metrics" objects of two
+# BENCH_<name>.json files (same bench run twice, e.g. the C11
+# coexistence determinism gate).
 set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
 usage() {
-  sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -52,8 +57,12 @@ case "$mode" in
     [ "$rc" -eq 0 ] && echo "par: all artifacts byte-identical"
     exit "$rc"
     ;;
+  metrics)
+    [ $# -eq 2 ] || usage
+    exec python3 "$here/check_bench_regression.py" --compare-metrics "$1" "$2"
+    ;;
   *)
-    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par)" >&2
+    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par|metrics)" >&2
     usage
     ;;
 esac
