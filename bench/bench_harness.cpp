@@ -124,6 +124,9 @@ std::string Harness::to_json() const {
   w.key("git_rev").value(git_rev());
   w.key("sim_seconds").value(sim_seconds_);
   w.key("wall_seconds").value(wall_seconds);
+  // Only when the bench recorded throughput: keeps the schema of benches
+  // that never call throughput() unchanged.
+  if (events_total_ > 0) w.key("events_total").value(events_total_);
   // Raw string splice: the snapshot serializes itself (already an
   // object, already sorted and byte-stable).
   w.key("metrics");

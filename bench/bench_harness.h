@@ -89,6 +89,22 @@ class Harness {
   // Total simulated time this bench drove (summed across scenarios).
   void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
 
+  // Record engine throughput: `events` dispatched over `wall_seconds` of
+  // measured run time (summable across scenarios). The event count is
+  // deterministic (partition-invariant for sharded runs) and lands as the
+  // top-level "events_total"; the derived rate is wall-clock and lands in
+  // timings as "events_per_sec" — the number the CI throughput gate
+  // compares against bench/baselines/.
+  void throughput(std::uint64_t events, double wall_seconds) {
+    events_total_ += events;
+    events_wall_s_ += wall_seconds;
+    if (events_wall_s_ > 0.0) {
+      timings_["events_per_sec"] =
+          static_cast<double>(events_total_) / events_wall_s_;
+    }
+  }
+  [[nodiscard]] std::uint64_t events_total() const { return events_total_; }
+
   // Record a named wall-clock timing (a non-deterministic section, e.g.
   // one microbenchmark's per-iteration time). Kept outside "metrics" so
   // the determinism check stays byte-exact.
@@ -127,6 +143,8 @@ class Harness {
   std::string par_artifacts_;
   Duration series_interval_{Duration::millis(500)};
   double sim_seconds_{0.0};
+  std::uint64_t events_total_{0};
+  double events_wall_s_{0.0};
   std::map<std::string, double> timings_;
   std::chrono::steady_clock::time_point wall_start_;
 };

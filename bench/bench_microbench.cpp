@@ -5,6 +5,9 @@
 // cheap).
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
 #include "bench_harness.h"
 #include "crypto/milenage.h"
 #include "crypto/sha256.h"
@@ -13,6 +16,7 @@
 #include "mac/lte_scheduler.h"
 #include "mac/wifi_dcf.h"
 #include "phy/propagation.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -117,6 +121,48 @@ void BM_PfScheduler32Ues(benchmark::State& state) {
 }
 BENCHMARK(BM_PfScheduler32Ues);
 
+// Hold model (Brown): steady queue population, each step pops the
+// minimum and pushes a successor a random increment later — the steady
+// state of a large simulation. The pending-set size matches what a
+// metro-scale run (bench_c10_metro: ~10k APs) keeps in flight; the
+// heap's O(log n) hurts most right there. Run over both queue
+// implementations; the recorded "event_queue_speedup" timing is
+// calendar-vs-heap on exactly this loop (the DESIGN.md §13 claim).
+template <typename Queue>
+void queue_hold(benchmark::State& state) {
+  constexpr std::size_t kPending = 1 << 17;
+  Queue queue;
+  std::uint64_t seq = 0;
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  const auto next_gap = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::int64_t>((lcg >> 40) % 1'000'000);  // <1 ms
+  };
+  std::int64_t now = 0;
+  for (std::size_t i = 0; i < kPending; ++i) {
+    queue.push(
+        sim::QueuedEvent{TimePoint::from_ns(now + next_gap()), seq++, {}});
+  }
+  for (auto _ : state) {
+    sim::QueuedEvent event = queue.pop();
+    now = event.when.ns();
+    event.when = TimePoint::from_ns(now + next_gap());
+    event.seq = seq++;
+    queue.push(std::move(event));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventQueueHeapHold(benchmark::State& state) {
+  queue_hold<sim::BinaryHeapQueue>(state);
+}
+BENCHMARK(BM_EventQueueHeapHold);
+
+void BM_EventQueueCalendarHold(benchmark::State& state) {
+  queue_hold<sim::CalendarQueue>(state);
+}
+BENCHMARK(BM_EventQueueCalendarHold);
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -147,8 +193,9 @@ BENCHMARK(BM_DcfSimulatedSecond);
 // clock, non-deterministic); only the run count goes into "metrics".
 class CapturingReporter : public benchmark::ConsoleReporter {
  public:
-  explicit CapturingReporter(dlte::bench::Harness& harness)
-      : harness_(harness) {}
+  CapturingReporter(dlte::bench::Harness& harness,
+                    std::map<std::string, double>& per_iter_s)
+      : harness_(harness), per_iter_s_(per_iter_s) {}
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const auto& run : runs) {
@@ -158,6 +205,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
                     static_cast<double>(run.iterations)
               : 0.0;
       harness_.timing(run.benchmark_name(), per_iter);
+      per_iter_s_[run.benchmark_name()] = per_iter;
       harness_.metrics().counter("micro.benchmarks_run").inc();
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
@@ -165,6 +213,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
  private:
   dlte::bench::Harness& harness_;
+  std::map<std::string, double>& per_iter_s_;
 };
 
 }  // namespace
@@ -173,8 +222,15 @@ int main(int argc, char** argv) {
   dlte::bench::Harness harness{"microbench"};
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  CapturingReporter reporter{harness};
+  std::map<std::string, double> per_iter_s;
+  CapturingReporter reporter{harness, per_iter_s};
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  // Calendar-vs-heap win on the hold loop (>1 = calendar faster).
+  const double heap = per_iter_s["BM_EventQueueHeapHold"];
+  const double calendar = per_iter_s["BM_EventQueueCalendarHold"];
+  if (heap > 0.0 && calendar > 0.0) {
+    harness.timing("event_queue_speedup", heap / calendar);
+  }
   return harness.finish(0);
 }

@@ -1,0 +1,88 @@
+// Chunked object pool: arena allocation for per-event records.
+//
+// A metro-scale run schedules millions of short-lived records — one per
+// packet hop, one per cross-shard message delivery. Allocating each on
+// the general heap costs a malloc/free round trip per event and, worse,
+// pushes the capturing lambda past std::function's small-buffer limit so
+// the event queue pays a second allocation. The pool fixes both: records
+// live in stable chunked arenas and recycle through a free list, and an
+// event only needs to capture the record pointer (8 bytes — comfortably
+// inside the small-buffer optimization).
+//
+// Not thread-safe. The single-owner pattern the runtime uses — a pool
+// touched by one shard's worker during a window and by the coordinator
+// only at barriers — is safe because those phases never overlap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dlte {
+
+template <typename T>
+class ObjectPool {
+ public:
+  // `chunk` objects are default-constructed per arena growth step.
+  explicit ObjectPool(std::size_t chunk = 64)
+      : chunk_(chunk == 0 ? 1 : chunk) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  // A pointer with stable address, valid until release() or pool
+  // destruction. Recycled objects keep whatever state they were released
+  // with — the caller overwrites the fields it uses.
+  [[nodiscard]] T* acquire() {
+    if (free_.empty()) grow();
+    T* object = free_.back();
+    free_.pop_back();
+    return object;
+  }
+
+  // Return an object obtained from acquire(). No destructor runs; the
+  // object waits, as-is, for the next acquire().
+  void release(T* object) { free_.push_back(object); }
+
+  // Recycle every object at once, keeping the arenas: after reset() the
+  // whole allocation is available again without a single free/malloc.
+  // Only legal when the caller abandons all outstanding pointers (they
+  // become free slots, not dangling memory — the arenas live on).
+  void reset() {
+    free_.clear();
+    free_.reserve(allocated());
+    // Same order grow() produces: first acquire() after a reset gets the
+    // first chunk's first slot.
+    for (std::size_t c = chunks_.size(); c > 0; --c) {
+      T* base = chunks_[c - 1].get();
+      for (std::size_t i = chunk_; i > 0; --i) {
+        free_.push_back(base + (i - 1));
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t allocated() const {
+    return chunks_.size() * chunk_;
+  }
+  [[nodiscard]] std::size_t available() const { return free_.size(); }
+  [[nodiscard]] std::size_t in_use() const {
+    return allocated() - available();
+  }
+
+ private:
+  void grow() {
+    chunks_.push_back(std::make_unique<T[]>(chunk_));
+    T* base = chunks_.back().get();
+    free_.reserve(free_.size() + chunk_);
+    // Reverse order so the first acquire() gets the chunk's first slot.
+    for (std::size_t i = chunk_; i > 0; --i) {
+      free_.push_back(base + (i - 1));
+    }
+  }
+
+  std::size_t chunk_;
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<T*> free_;
+};
+
+}  // namespace dlte

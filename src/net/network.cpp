@@ -199,11 +199,18 @@ void Network::forward(Packet&& packet, NodeId at) {
 
   const TimePoint arrival =
       start + tx + link.config.delay + link.impairment.extra_delay;
-  const NodeId next = link.to;
-  sim_.schedule_at(arrival,
-                   [this, next, p = std::move(packet)]() mutable {
-                     forward(std::move(p), next);
-                   });
+  HopEvent* hop = hop_pool_.acquire();
+  hop->net = this;
+  hop->next = link.to;
+  hop->packet = std::move(packet);
+  sim_.schedule_at(arrival, [hop] {
+    Network* net = hop->net;
+    const NodeId next = hop->next;
+    Packet p = std::move(hop->packet);
+    // Release before recursing: the next hop reuses this very record.
+    net->hop_pool_.release(hop);
+    net->forward(std::move(p), next);
+  });
 }
 
 Duration Network::path_latency(NodeId from, NodeId to, int size_bytes) const {

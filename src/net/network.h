@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/pool.h"
 #include "common/time.h"
 #include "common/units.h"
 #include "obs/metrics.h"
@@ -174,6 +175,15 @@ class Network {
 
   void forward(Packet&& packet, NodeId at);
   [[nodiscard]] const DirectedLink* next_hop(NodeId from, NodeId to) const;
+
+  // One in-flight hop: pooled so a hop event costs no heap traffic and
+  // its lambda (one pointer) stays inside std::function's small buffer.
+  struct HopEvent {
+    Network* net{nullptr};
+    NodeId next;
+    Packet packet;
+  };
+  ObjectPool<HopEvent> hop_pool_{256};
 
   sim::Simulator& sim_;
   std::vector<Node> nodes_;

@@ -151,9 +151,13 @@ void ShardedSimulator::exchange() {
     // Node-stable map: the Endpoint address outlives the run.
     const Endpoint* endpoint = &endpoints_.at(msg.dst);
     Shard& shard = *shards_[endpoint->shard];
-    auto carried = std::make_shared<Message>(std::move(msg));
-    shard.sim.schedule_at(carried->deliver_at, [endpoint, carried] {
-      endpoint->handler(*carried);
+    Delivery* delivery = shard.deliveries.acquire();
+    delivery->msg = std::move(msg);
+    delivery->endpoint = endpoint;
+    delivery->home = &shard;
+    shard.sim.schedule_at(delivery->msg.deliver_at, [delivery] {
+      delivery->endpoint->handler(delivery->msg);
+      delivery->home->deliveries.release(delivery);
     });
   }
 }
@@ -226,12 +230,19 @@ std::uint64_t ShardedSimulator::posts_clamped() const {
   return total;
 }
 
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.events_executed();
+  return total;
+}
+
 void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
                                    const std::string& prefix) {
   if (registry == nullptr) {
     m_windows_ = nullptr;
     m_messages_ = nullptr;
     m_posts_clamped_ = nullptr;
+    m_events_executed_ = nullptr;
     m_shards_ = nullptr;
     m_threads_ = nullptr;
     m_max_exchange_ = nullptr;
@@ -240,12 +251,14 @@ void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
   m_windows_ = &registry->counter(prefix + "par.windows");
   m_messages_ = &registry->counter(prefix + "par.messages");
   m_posts_clamped_ = &registry->counter(prefix + "par.posts_clamped");
+  m_events_executed_ = &registry->counter(prefix + "par.events_executed");
   m_shards_ = &registry->gauge(prefix + "par.shards");
   m_threads_ = &registry->gauge(prefix + "par.threads");
   m_max_exchange_ = &registry->gauge(prefix + "par.max_exchange");
   windows_flushed_ = windows_;
   messages_flushed_ = messages_;
   clamped_flushed_ = posts_clamped();
+  events_flushed_ = events_executed();
 }
 
 void ShardedSimulator::flush_metrics() {
@@ -261,6 +274,11 @@ void ShardedSimulator::flush_metrics() {
     const std::uint64_t clamped = posts_clamped();
     m_posts_clamped_->inc(clamped - clamped_flushed_);
     clamped_flushed_ = clamped;
+  }
+  if (m_events_executed_ != nullptr) {
+    const std::uint64_t events = events_executed();
+    m_events_executed_->inc(events - events_flushed_);
+    events_flushed_ = events;
   }
   if (m_shards_ != nullptr) {
     m_shards_->set(static_cast<double>(shards_.size()));

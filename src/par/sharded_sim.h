@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/time.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
@@ -123,8 +124,30 @@ class ShardedSimulator {
   [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
   [[nodiscard]] std::uint64_t messages_exchanged() const { return messages_; }
   [[nodiscard]] std::uint64_t posts_clamped() const;
+  // Total events dispatched across every shard engine. The event
+  // structure is partition-invariant (every cross-endpoint interaction is
+  // a posted Message), so this total is too — benches divide it by wall
+  // time for the events/sec the perf CI gates. Flushed to
+  // `par.events_executed` when metrics are attached.
+  [[nodiscard]] std::uint64_t events_executed() const;
 
  private:
+  struct Endpoint {
+    std::size_t shard{0};
+    Handler handler;
+  };
+  struct Shard;
+  // One injected cross-shard delivery, pooled per destination shard: the
+  // metro scenario injects hundreds of thousands of these per run, and a
+  // pooled record (lambda captures one pointer) costs no heap traffic
+  // where the previous shared_ptr cost two allocations per message. The
+  // pool is touched by the coordinator at barriers and by the owning
+  // shard's worker inside windows — phases that never overlap.
+  struct Delivery {
+    Message msg;
+    const Endpoint* endpoint{nullptr};
+    Shard* home{nullptr};
+  };
   struct Shard {
     sim::Simulator sim;
     obs::MetricsRegistry domain;
@@ -133,10 +156,7 @@ class ShardedSimulator {
     // Per-source post counters (sources owned by this shard only).
     std::unordered_map<EndpointId, std::uint64_t> next_seq;
     std::uint64_t posts_clamped{0};
-  };
-  struct Endpoint {
-    std::size_t shard{0};
-    Handler handler;
+    ObjectPool<Delivery> deliveries{256};
   };
 
   void run_window(TimePoint end);
@@ -169,12 +189,14 @@ class ShardedSimulator {
   obs::Counter* m_windows_{nullptr};
   obs::Counter* m_messages_{nullptr};
   obs::Counter* m_posts_clamped_{nullptr};
+  obs::Counter* m_events_executed_{nullptr};
   obs::Gauge* m_shards_{nullptr};
   obs::Gauge* m_threads_{nullptr};
   obs::Gauge* m_max_exchange_{nullptr};
   std::uint64_t windows_flushed_{0};
   std::uint64_t messages_flushed_{0};
   std::uint64_t clamped_flushed_{0};
+  std::uint64_t events_flushed_{0};
 };
 
 }  // namespace dlte::par

@@ -16,15 +16,16 @@ void Simulator::schedule_at(TimePoint when, Action action) {
     when = now_;
     ++schedule_past_events_;
   }
-  queue_.push(Event{when, next_seq_++, std::move(action)});
+  queue_.push(QueuedEvent{when, next_seq_++, std::move(action)});
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
 }
 
 TimePoint Simulator::next_event_time() const {
-  if (queue_.empty()) {
+  const QueuedEvent* next = queue_.peek();
+  if (next == nullptr) {
     return TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
   }
-  return queue_.top().when;
+  return next->when;
 }
 
 void Simulator::set_metrics(obs::MetricsRegistry* registry,
@@ -88,9 +89,8 @@ Simulator::PeriodicHandle Simulator::every_cancellable(Duration period,
 void Simulator::run_until(TimePoint deadline) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    if (queue_.top().when > deadline) break;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    if (queue_.peek()->when > deadline) break;
+    QueuedEvent ev = queue_.pop();
     now_ = ev.when;
     ++events_executed_;
     ev.action();
@@ -102,8 +102,7 @@ void Simulator::run_until(TimePoint deadline) {
 void Simulator::run_all() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    QueuedEvent ev = queue_.pop();
     now_ = ev.when;
     ++events_executed_;
     ev.action();

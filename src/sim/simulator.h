@@ -4,17 +4,21 @@
 // movement — is driven from one Simulator instance. Events at equal
 // timestamps execute in scheduling order (a monotone sequence number breaks
 // ties), which keeps runs bit-for-bit reproducible for a given seed.
+//
+// The pending set is a calendar queue (sim/event_queue.h): O(1) amortized
+// schedule/pop where the old binary heap paid O(log n), with an event
+// order guaranteed byte-identical to the heap's — the parity suite in
+// tests/sim/event_queue_test.cpp holds that line.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
-#include <vector>
 
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "sim/event_queue.h"
 
 namespace dlte::sim {
 
@@ -105,18 +109,9 @@ class Simulator {
 
  private:
   void flush_metrics();
-  struct Event {
-    TimePoint when;
-    std::uint64_t seq;
-    Action action;
-    // Min-heap on (when, seq).
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // mutable: peek caches a scan cursor; logically const.
+  mutable CalendarQueue queue_;
   TimePoint now_{};
   std::uint64_t next_seq_{0};
   std::uint64_t events_executed_{0};

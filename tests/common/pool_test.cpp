@@ -1,0 +1,90 @@
+#include "common/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dlte {
+namespace {
+
+struct Payload {
+  int value{0};
+  std::string tag;
+};
+
+TEST(ObjectPoolTest, AcquireGrowsInChunks) {
+  ObjectPool<Payload> pool{4};
+  EXPECT_EQ(pool.allocated(), 0u);
+  Payload* first = pool.acquire();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(pool.allocated(), 4u);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.available(), 3u);
+  for (int i = 0; i < 3; ++i) pool.acquire();
+  EXPECT_EQ(pool.allocated(), 4u);
+  pool.acquire();  // Fifth: new chunk.
+  EXPECT_EQ(pool.allocated(), 8u);
+  EXPECT_EQ(pool.in_use(), 5u);
+}
+
+TEST(ObjectPoolTest, ReleaseReusesTheSameSlot) {
+  ObjectPool<Payload> pool{8};
+  Payload* a = pool.acquire();
+  a->value = 42;
+  pool.release(a);
+  Payload* b = pool.acquire();
+  // LIFO free list: the released slot comes straight back (and keeps
+  // whatever state the releaser left — pools do not reconstruct).
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b->value, 42);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(ObjectPoolTest, AddressesAreStableAcrossGrowth) {
+  ObjectPool<Payload> pool{2};
+  std::vector<Payload*> held;
+  for (int i = 0; i < 100; ++i) {
+    Payload* p = pool.acquire();
+    p->value = i;
+    held.push_back(p);
+  }
+  // Growth must never move live objects (events capture these pointers).
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(held[static_cast<std::size_t>(i)]->value, i);
+  }
+  std::set<Payload*> unique(held.begin(), held.end());
+  EXPECT_EQ(unique.size(), held.size());
+}
+
+TEST(ObjectPoolTest, ResetReturnsEverythingWithoutFreeing) {
+  ObjectPool<Payload> pool{4};
+  for (int i = 0; i < 10; ++i) pool.acquire();
+  const std::size_t allocated = pool.allocated();
+  pool.reset();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.allocated(), allocated);
+  EXPECT_EQ(pool.available(), allocated);
+  // And the arena is reusable.
+  EXPECT_NE(pool.acquire(), nullptr);
+  EXPECT_EQ(pool.allocated(), allocated);
+}
+
+TEST(ObjectPoolTest, InterleavedAcquireReleaseStaysBalanced) {
+  ObjectPool<int> pool{16};
+  std::vector<int*> live;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) live.push_back(pool.acquire());
+    for (int i = 0; i < 5 && !live.empty(); ++i) {
+      pool.release(live.back());
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(pool.in_use(), live.size());
+  for (int* p : live) pool.release(p);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace dlte

@@ -1,0 +1,188 @@
+// Parity suite for the calendar queue (DESIGN.md §13): for any push/pop
+// schedule, CalendarQueue must pop the byte-identical (when, seq)
+// sequence a binary heap would — including the equal-timestamp FIFO
+// tie-break the whole engine's determinism contract rests on.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dlte::sim {
+namespace {
+
+QueuedEvent make_event(std::int64_t when_ns, std::uint64_t seq) {
+  return QueuedEvent{TimePoint::from_ns(when_ns), seq, [] {}};
+}
+
+// Drain both queues and require identical (when, seq) at every step.
+void expect_identical_drain(CalendarQueue& calendar, BinaryHeapQueue& heap) {
+  ASSERT_EQ(calendar.size(), heap.size());
+  while (!heap.empty()) {
+    const QueuedEvent expected = heap.pop();
+    ASSERT_FALSE(calendar.empty());
+    const QueuedEvent* peeked = calendar.peek();
+    ASSERT_NE(peeked, nullptr);
+    EXPECT_EQ(peeked->when.ns(), expected.when.ns());
+    EXPECT_EQ(peeked->seq, expected.seq);
+    const QueuedEvent got = calendar.pop();
+    ASSERT_EQ(got.when.ns(), expected.when.ns());
+    ASSERT_EQ(got.seq, expected.seq);
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(CalendarQueueTest, EmptyQueueBehaviour) {
+  CalendarQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.peek(), nullptr);
+}
+
+TEST(CalendarQueueTest, SingleEventRoundTrip) {
+  CalendarQueue q;
+  q.push(make_event(1'000'000, 7));
+  ASSERT_EQ(q.size(), 1u);
+  const QueuedEvent* p = q.peek();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->when.ns(), 1'000'000);
+  const QueuedEvent e = q.pop();
+  EXPECT_EQ(e.seq, 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueueTest, EqualTimestampsPopInSchedulingOrder) {
+  CalendarQueue calendar;
+  BinaryHeapQueue heap;
+  // Many events on one timestamp plus neighbours, pushed out of seq
+  // order: the FIFO tie-break must still hold.
+  const std::vector<std::uint64_t> seqs{5, 1, 9, 3, 7, 0, 8, 2, 6, 4};
+  for (const std::uint64_t seq : seqs) {
+    calendar.push(make_event(500'000, seq));
+    heap.push(make_event(500'000, seq));
+  }
+  calendar.push(make_event(499'999, 100));
+  heap.push(make_event(499'999, 100));
+  calendar.push(make_event(500'001, 101));
+  heap.push(make_event(500'001, 101));
+  expect_identical_drain(calendar, heap);
+}
+
+TEST(CalendarQueueTest, RandomizedParityWithBinaryHeap) {
+  std::mt19937_64 rng{0xc0ffee};
+  for (int round = 0; round < 20; ++round) {
+    CalendarQueue calendar;
+    BinaryHeapQueue heap;
+    std::uint64_t seq = 0;
+    // Mixed regimes per round: dense sub-microsecond bursts, sparse
+    // multi-second gaps, and heavy equal-timestamp pileups.
+    const std::int64_t spread =
+        (round % 3 == 0) ? 1'000 : (round % 3 == 1) ? 1'000'000'000
+                                                    : 50'000;
+    std::int64_t now = 0;
+    const int pushes = 500 + static_cast<int>(rng() % 1500);
+    for (int i = 0; i < pushes; ++i) {
+      const std::int64_t when =
+          now + static_cast<std::int64_t>(rng() % spread);
+      calendar.push(make_event(when, seq));
+      heap.push(make_event(when, seq));
+      ++seq;
+      // Interleave pops so the scan cursor moves like a real run.
+      if (rng() % 4 == 0 && !heap.empty()) {
+        const QueuedEvent expected = heap.pop();
+        const QueuedEvent got = calendar.pop();
+        ASSERT_EQ(got.when.ns(), expected.when.ns());
+        ASSERT_EQ(got.seq, expected.seq);
+        now = expected.when.ns();  // Hold model: time only advances.
+      }
+      if (rng() % 16 == 0) {
+        // Equal-timestamp pileup on the current head.
+        const std::int64_t when_tie = now + 10;
+        for (int t = 0; t < 8; ++t) {
+          calendar.push(make_event(when_tie, seq));
+          heap.push(make_event(when_tie, seq));
+          ++seq;
+        }
+      }
+    }
+    expect_identical_drain(calendar, heap);
+  }
+}
+
+TEST(CalendarQueueTest, GrowAndShrinkKeepOrder) {
+  CalendarQueue calendar;
+  BinaryHeapQueue heap;
+  // Push enough to force growth resizes, then drain to force shrink.
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const std::int64_t when = static_cast<std::int64_t>((i * 7919) % 4096);
+    calendar.push(make_event(when, i));
+    heap.push(make_event(when, i));
+  }
+  EXPECT_GT(calendar.resizes(), 0u);
+  expect_identical_drain(calendar, heap);
+}
+
+TEST(CalendarQueueTest, SparseTimestampsUseDirectSearchCorrectly) {
+  CalendarQueue calendar;
+  BinaryHeapQueue heap;
+  // Timestamps many laps apart: the lap scan gives up and the direct
+  // min search must still find the true minimum.
+  std::uint64_t seq = 0;
+  for (const std::int64_t when :
+       {9'000'000'000'000LL, 3'000'000'000LL, 7'000'000'000'000LL, 0LL,
+        5'000'000'000'000'000LL, 1'000'000LL}) {
+    calendar.push(make_event(when, seq));
+    heap.push(make_event(when, seq));
+    ++seq;
+  }
+  expect_identical_drain(calendar, heap);
+}
+
+TEST(CalendarQueueTest, PushEarlierThanCursorRewinds) {
+  CalendarQueue q;
+  q.push(make_event(1'000'000'000, 0));
+  EXPECT_EQ(q.pop().seq, 0u);
+  // The cursor now sits at ~1s; a later push far before it must still
+  // surface first.
+  q.push(make_event(2'000'000'000, 1));
+  q.push(make_event(1'500, 2));
+  EXPECT_EQ(q.pop().seq, 2u);
+  EXPECT_EQ(q.pop().seq, 1u);
+}
+
+// The engine-level guarantee built on the queue: schedule_at into the
+// past is clamped to "immediately after the current event" and counted,
+// not silently reordered.
+TEST(SimulatorQueueTest, SchedulePastIsClampedAndCounted) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_ns(1'000'000), [&] {
+    order.push_back(1);
+    // Target in the past: must run after this event, in schedule order.
+    sim.schedule_at(TimePoint::from_ns(500), [&] { order.push_back(2); });
+    sim.schedule_at(TimePoint::from_ns(400), [&] { order.push_back(3); });
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.schedule_past_events(), 2u);
+  EXPECT_EQ(sim.now().ns(), 1'000'000);
+}
+
+TEST(SimulatorQueueTest, EventCountAndDepthSurvivedSwap) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(Duration::micros(i), [] {});
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 100u);
+  EXPECT_EQ(sim.max_queue_depth(), 100u);
+}
+
+}  // namespace
+}  // namespace dlte::sim

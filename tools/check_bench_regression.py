@@ -6,7 +6,10 @@ Two modes:
   Regression gate (default): for every baseline bench/baselines/
   BENCH_<name>.json, find the matching BENCH_<name>.json under
   --result-dir and fail if its wall_seconds exceeds the baseline by more
-  than --threshold (fractional, default 0.25 = +25%).
+  than --threshold (fractional, default 0.25 = +25%). When both files
+  record an engine throughput (timings.events_per_sec, written by
+  Harness::throughput), additionally fail if the result's throughput
+  drops more than --threshold below the baseline's.
 
       tools/check_bench_regression.py \
           --baseline-dir bench/baselines --result-dir out
@@ -105,8 +108,22 @@ def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
               f"(limit {allowed:.3f}s = +{threshold:.0%} + {slack:.1f}s)")
         if verdict == "FAIL":
             failures += 1
+        # Throughput gate: only when BOTH sides recorded it, so adding
+        # throughput() to a bench does not fail until its baseline is
+        # re-recorded with the new field.
+        base_tp = base.get("timings", {}).get("events_per_sec", 0.0)
+        result_tp = result.get("timings", {}).get("events_per_sec", 0.0)
+        if base_tp > 0.0 and result_tp > 0.0:
+            floor = base_tp * (1.0 - threshold)
+            verdict = "OK" if result_tp >= floor else "FAIL"
+            print(f"{verdict}: {base_path.name} throughput "
+                  f"{result_tp / 1e6:.2f} Mev/s vs baseline "
+                  f"{base_tp / 1e6:.2f} Mev/s "
+                  f"(floor {floor / 1e6:.2f} = -{threshold:.0%})")
+            if verdict == "FAIL":
+                failures += 1
     if failures:
-        print(f"{failures} bench(es) regressed beyond +{threshold:.0%}; "
+        print(f"{failures} gate(s) regressed beyond {threshold:.0%}; "
               "if intentional, refresh bench/baselines/ (see README).")
     return 1 if failures else 0
 
