@@ -22,6 +22,8 @@
 
 #include "bench_harness.h"
 #include "common/table.h"
+#include "obs/prof.h"
+#include "obs/prof_export.h"
 #include "par/metro.h"
 
 namespace {
@@ -62,6 +64,11 @@ par::MetroConfig metro_config(const C10Options& opt, std::size_t shards,
   cfg.threads = threads;
   cfg.seed = 42;
   cfg.horizon = Duration::seconds(opt.horizon_s);
+  // Always profile: the attribution counters are deterministic (the
+  // in-process sweep byte-compares them across shard counts) and keeping
+  // the hooks hot means the perf gate's throughput floor prices their
+  // overhead on every CI run.
+  cfg.profile = true;
   return cfg;
 }
 
@@ -69,6 +76,10 @@ struct RunOutput {
   par::MetroResult result;
   std::string metrics;
   std::string series;
+  // Deterministic event-attribution section (dlte-prof-v1), merged
+  // across shards — byte-compared like the metrics snapshot.
+  std::string prof;
+  obs::ProfileDoc doc;
   double wall_s{0.0};
 };
 
@@ -87,6 +98,9 @@ RunOutput run_once(const C10Options& opt, std::size_t shards,
                    .count();
   out.metrics = metro.metrics_json();
   out.series = metro.series_json("c10_metro");
+  metro.runtime().merged_profiler_into(out.doc.attribution);
+  out.doc.shard_profile = metro.runtime().profile();
+  out.prof = obs::ProfExporter::event_attribution_json(out.doc.attribution);
   return out;
 }
 
@@ -105,14 +119,18 @@ int main(int argc, char** argv) {
   // Gate mode: one configuration, artifacts to files, no sweep.
   if (!harness.par_artifacts().empty()) {
     const std::size_t shards = harness.shards() == 0 ? 1 : harness.shards();
-    const RunOutput out =
-        run_once(opt, shards, harness.par_threads(), &harness);
+    RunOutput out = run_once(opt, shards, harness.par_threads(), &harness);
     harness.add_sim_seconds(out.result.sim_seconds);
     harness.timing("run_s" + std::to_string(shards), out.wall_s);
     harness.throughput(out.result.events_executed, out.wall_s);
     const std::string& prefix = harness.par_artifacts();
     bool ok = write_text(prefix + ".metrics.json", out.metrics);
     ok = write_text(prefix + ".series.json", out.series) && ok;
+    // The deterministic attribution section is a compared artifact; the
+    // full doc (wall-clock shard profile included) goes through
+    // --prof-out, which is excluded from byte comparison.
+    ok = write_text(prefix + ".prof.json", out.prof + "\n") && ok;
+    harness.set_profile(std::move(out.doc));
     std::cout << "C10 gate mode: shards=" << shards
               << " ues=" << out.result.ues_attached
               << " events=" << out.result.events_executed
@@ -131,20 +149,27 @@ int main(int argc, char** argv) {
   RunOutput base;
   bool ok = true;
   for (const std::size_t shards : {1u, 2u, 4u}) {
-    const RunOutput out = run_once(opt, shards, shards, &harness);
+    RunOutput out = run_once(opt, shards, shards, &harness);
     harness.add_sim_seconds(out.result.sim_seconds);
     harness.timing("run_s" + std::to_string(shards), out.wall_s);
     harness.throughput(out.result.events_executed, out.wall_s);
     bool identical = true;
     if (shards == 1) {
+      // Export the merged attribution once (1-shard run): prof.* counters
+      // are deterministic, so they belong in the compared "metrics".
+      out.doc.attribution.export_metrics(harness.metrics());
       base = out;
     } else {
       identical = out.metrics == base.metrics &&
-                  out.result.events_executed == base.result.events_executed;
+                  out.result.events_executed == base.result.events_executed &&
+                  out.prof == base.prof;
       ok = ok && identical;
       harness.timing("speedup_s" + std::to_string(shards),
                      base.wall_s / out.wall_s);
     }
+    // Last doc wins: --prof-out carries the widest partition's shard
+    // profile (the interesting load matrix) with identical attribution.
+    harness.set_profile(std::move(out.doc));
     const std::string prefix = "c10.s" + std::to_string(shards) + ".";
     harness.counter(prefix + "ues_attached", out.result.ues_attached);
     harness.counter(prefix + "flows_completed", out.result.flows_completed);
@@ -173,8 +198,9 @@ int main(int argc, char** argv) {
   harness.gauge("c10.bytes_per_ue", bytes_per_ue);
   harness.gauge("c10.aps", static_cast<double>(opt.aps));
 
-  std::cout << "\nEvery sharded run's merged metrics are byte-compared "
-               "against the 1-shard run in-process; event totals are "
+  std::cout << "\nEvery sharded run's merged metrics AND merged "
+               "event-attribution profiles are byte-compared against the "
+               "1-shard run in-process; event totals are "
                "partition-invariant by construction.\n"
             << "bytes_per_ue=" << bytes_per_ue
             << " (config: " << opt.aps << " APs x " << opt.ues_per_ap

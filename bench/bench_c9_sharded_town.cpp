@@ -19,6 +19,8 @@
 
 #include "bench_harness.h"
 #include "common/table.h"
+#include "obs/prof.h"
+#include "obs/prof_export.h"
 #include "par/town.h"
 
 namespace {
@@ -38,6 +40,9 @@ par::TownConfig town_config(std::size_t shards, std::size_t threads) {
   cfg.report_interval = Duration::millis(50);
   cfg.backbone_delay = Duration::millis(5);
   cfg.sample_interval = Duration::millis(500);
+  // Always profile: attribution is deterministic and byte-compared in
+  // the sweep; the wall-clock shard profile rides out via --prof-out.
+  cfg.profile = true;
   return cfg;
 }
 
@@ -46,6 +51,9 @@ struct RunOutput {
   std::string metrics;
   std::string series;
   std::string openmetrics;
+  // Deterministic event-attribution section, merged across shards.
+  std::string prof;
+  obs::ProfileDoc doc;
   double wall_s{0.0};
 };
 
@@ -65,6 +73,9 @@ RunOutput run_once(std::size_t shards, std::size_t threads,
   out.metrics = town.metrics_json();
   out.series = town.series_json("c9_sharded_town");
   out.openmetrics = town.openmetrics_text();
+  town.runtime().merged_profiler_into(out.doc.attribution);
+  out.doc.shard_profile = town.runtime().profile();
+  out.prof = obs::ProfExporter::event_attribution_json(out.doc.attribution);
   return out;
 }
 
@@ -82,13 +93,15 @@ int main(int argc, char** argv) {
   // Gate mode: one configuration, artifacts to files, no sweep.
   if (!harness.par_artifacts().empty()) {
     const std::size_t shards = harness.shards() == 0 ? 1 : harness.shards();
-    const RunOutput out = run_once(shards, harness.par_threads(), &harness);
+    RunOutput out = run_once(shards, harness.par_threads(), &harness);
     harness.add_sim_seconds(out.result.sim_seconds);
     harness.timing("run_s" + std::to_string(shards), out.wall_s);
     const std::string& prefix = harness.par_artifacts();
     bool ok = write_text(prefix + ".metrics.json", out.metrics);
     ok = write_text(prefix + ".series.json", out.series) && ok;
     ok = write_text(prefix + ".openmetrics.txt", out.openmetrics) && ok;
+    ok = write_text(prefix + ".prof.json", out.prof + "\n") && ok;
+    harness.set_profile(std::move(out.doc));
     std::cout << "C9 gate mode: shards=" << shards
               << " attaches=" << out.result.attaches_completed
               << " x2_rx=" << out.result.x2_reports_rx
@@ -107,20 +120,23 @@ int main(int argc, char** argv) {
   RunOutput base;
   bool all_identical = true;
   for (const std::size_t shards : {1u, 2u, 4u}) {
-    const RunOutput out = run_once(shards, shards, &harness);
+    RunOutput out = run_once(shards, shards, &harness);
     harness.add_sim_seconds(out.result.sim_seconds);
     harness.timing("run_s" + std::to_string(shards), out.wall_s);
     bool identical = true;
     if (shards == 1) {
+      out.doc.attribution.export_metrics(harness.metrics());
       base = out;
     } else {
       identical = out.metrics == base.metrics &&
                   out.series == base.series &&
-                  out.openmetrics == base.openmetrics;
+                  out.openmetrics == base.openmetrics &&
+                  out.prof == base.prof;
       all_identical = all_identical && identical;
       harness.timing("speedup_s" + std::to_string(shards),
                      base.wall_s / out.wall_s);
     }
+    harness.set_profile(std::move(out.doc));
     const std::string prefix = "c9.s" + std::to_string(shards) + ".";
     harness.counter(prefix + "attaches",
                     out.result.attaches_completed);
@@ -138,8 +154,10 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  std::cout << "\nDeterminism: every sharded run's merged artifacts are "
-               "byte-compared against the 1-shard run in-process.\n"
+  std::cout << "\nDeterminism: every sharded run's merged artifacts — "
+               "metrics, series, OpenMetrics, AND the event-attribution "
+               "profile — are byte-compared against the 1-shard run "
+               "in-process.\n"
                "Speedup is wall-clock and machine-dependent (single-core "
                "hosts show ~1.0x; the scaling claim is checked on "
                "multi-core CI).\n";

@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/openmetrics.h"
+#include "obs/prof_export.h"
 #include "obs/series_export.h"
 #include "obs/snapshot.h"
 #include "obs/trace_export.h"
@@ -65,6 +66,9 @@ void Harness::parse_args(int argc, char** argv) {
   constexpr const char kShards[] = "--shards=";
   constexpr const char kParThreads[] = "--par-threads=";
   constexpr const char kParArtifacts[] = "--par-artifacts=";
+  constexpr const char kProfOut[] = "--prof-out=";
+  constexpr const char kProfTrace[] = "--prof-trace-out=";
+  constexpr const char kProfFolded[] = "--prof-folded=";
   // Interval first: enable_series latches it into the sampler.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kInterval, sizeof(kInterval) - 1) == 0) {
@@ -90,6 +94,14 @@ void Harness::parse_args(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kParArtifacts,
                             sizeof(kParArtifacts) - 1) == 0) {
       par_artifacts_ = argv[i] + sizeof(kParArtifacts) - 1;
+    } else if (std::strncmp(argv[i], kProfOut, sizeof(kProfOut) - 1) == 0) {
+      prof_path_ = argv[i] + sizeof(kProfOut) - 1;
+    } else if (std::strncmp(argv[i], kProfTrace,
+                            sizeof(kProfTrace) - 1) == 0) {
+      prof_trace_path_ = argv[i] + sizeof(kProfTrace) - 1;
+    } else if (std::strncmp(argv[i], kProfFolded,
+                            sizeof(kProfFolded) - 1) == 0) {
+      prof_folded_path_ = argv[i] + sizeof(kProfFolded) - 1;
     }
   }
   if (tracer_ == nullptr) {
@@ -107,6 +119,23 @@ void Harness::parse_args(int argc, char** argv) {
       openmetrics_path_ = env;
     }
   }
+  if (prof_path_.empty()) {
+    if (const char* env = std::getenv("DLTE_PROF_OUT")) prof_path_ = env;
+  }
+  if (prof_trace_path_.empty()) {
+    if (const char* env = std::getenv("DLTE_PROF_TRACE_OUT")) {
+      prof_trace_path_ = env;
+    }
+  }
+  if (prof_folded_path_.empty()) {
+    if (const char* env = std::getenv("DLTE_PROF_FOLDED")) {
+      prof_folded_path_ = env;
+    }
+  }
+}
+
+void Harness::set_profile(obs::ProfileDoc doc) {
+  profile_ = std::make_unique<obs::ProfileDoc>(std::move(doc));
 }
 
 void Harness::set_trace_clock(obs::SpanTracer::NowFn now) {
@@ -165,6 +194,47 @@ int Harness::finish(int exit_code) {
       std::cout << "[openmetrics] " << openmetrics_path_ << "\n";
     } else {
       std::cerr << "bench_harness: failed to write " << openmetrics_path_
+                << "\n";
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  if (!prof_path_.empty() || !prof_trace_path_.empty()) {
+    if (profile_ == nullptr) {
+      std::cerr << "bench_harness: profiling output requested but the bench "
+                   "never called set_profile()\n";
+      if (exit_code == 0) exit_code = 1;
+    } else {
+      if (!prof_path_.empty()) {
+        if (obs::ProfExporter::write_file(*profile_, name_, prof_path_)) {
+          std::cout << "[prof json] " << prof_path_ << "\n";
+        } else {
+          std::cerr << "bench_harness: failed to write " << prof_path_
+                    << "\n";
+          if (exit_code == 0) exit_code = 1;
+        }
+      }
+      if (!prof_trace_path_.empty()) {
+        if (obs::ProfExporter::write_counter_trace(*profile_, name_,
+                                                   prof_trace_path_)) {
+          std::cout << "[prof trace] " << prof_trace_path_ << "\n";
+        } else {
+          std::cerr << "bench_harness: failed to write " << prof_trace_path_
+                    << "\n";
+          if (exit_code == 0) exit_code = 1;
+        }
+      }
+    }
+  }
+  if (!prof_folded_path_.empty()) {
+    if (tracer_ == nullptr) {
+      std::cerr << "bench_harness: --prof-folded needs --trace-out (no span "
+                   "tracer active)\n";
+      if (exit_code == 0) exit_code = 1;
+    } else if (obs::ProfExporter::write_collapsed(*tracer_,
+                                                  prof_folded_path_)) {
+      std::cout << "[prof folded] " << prof_folded_path_ << "\n";
+    } else {
+      std::cerr << "bench_harness: failed to write " << prof_folded_path_
                 << "\n";
       if (exit_code == 0) exit_code = 1;
     }

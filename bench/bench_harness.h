@@ -27,6 +27,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/series.h"
 #include "obs/slo.h"
 #include "obs/span.h"
@@ -86,6 +87,23 @@ class Harness {
     return par_artifacts_;
   }
 
+  // Self-profiling plane: `--prof-out=<file>` (or $DLTE_PROF_OUT) asks
+  // the bench to produce a dlte-prof-v1 document; the bench builds a
+  // ProfileDoc (merged event attribution + wall-clock shard profile) and
+  // hands it over via set_profile(); finish() writes it. Optional
+  // companions: `--prof-trace-out=` ($DLTE_PROF_TRACE_OUT) for Perfetto
+  // counter tracks and `--prof-folded=` ($DLTE_PROF_FOLDED) for
+  // flamegraph-folded text from the span tracer (requires --trace-out).
+  [[nodiscard]] bool profiling_requested() const {
+    return !prof_path_.empty() || !prof_trace_path_.empty();
+  }
+  [[nodiscard]] const std::string& prof_path() const { return prof_path_; }
+  void set_profile(obs::ProfileDoc doc);
+  [[nodiscard]] bool has_profile() const { return profile_ != nullptr; }
+  [[nodiscard]] const obs::ProfileDoc* profile() const {
+    return profile_.get();
+  }
+
   // Total simulated time this bench drove (summed across scenarios).
   void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
 
@@ -141,6 +159,10 @@ class Harness {
   std::size_t shards_{0};
   std::size_t par_threads_{0};
   std::string par_artifacts_;
+  std::string prof_path_;
+  std::string prof_trace_path_;
+  std::string prof_folded_path_;
+  std::unique_ptr<obs::ProfileDoc> profile_;
   Duration series_interval_{Duration::millis(500)};
   double sim_seconds_{0.0};
   std::uint64_t events_total_{0};

@@ -3,7 +3,9 @@
 namespace dlte::core {
 
 EnodeB::EnodeB(sim::Simulator& sim, S1Fabric& fabric, EnbConfig config)
-    : sim_(sim), fabric_(fabric), config_(config) {}
+    : sim_(sim), fabric_(fabric), config_(config) {
+  ev_label_ = sim_.label("ran.enodeb");
+}
 
 void EnodeB::set_tracer(obs::SpanTracer* tracer, const std::string& prefix) {
   tracer_ = tracer;
@@ -40,28 +42,34 @@ void EnodeB::attach_ue(ue::NasClient& client,
   ++started_;
 
   // RRC connection establishment, then the initial NAS message.
-  sim_.schedule(config_.rrc_setup + config_.radio_one_way, [this, id] {
-    auto it = pending_.find(id.value());
-    if (it == pending_.end()) return;
-    lte::InitialUeMessage init;
-    init.enb_ue_id = id;
-    init.cell = config_.cell;
-    init.nas_pdu = lte::encode_nas(it->second.client->start_attach());
-    fabric_.enb_send(config_.cell, lte::S1apMessage{init});
-  });
+  sim_.schedule(
+      config_.rrc_setup + config_.radio_one_way,
+      [this, id] {
+        auto it = pending_.find(id.value());
+        if (it == pending_.end()) return;
+        lte::InitialUeMessage init;
+        init.enb_ue_id = id;
+        init.cell = config_.cell;
+        init.nas_pdu = lte::encode_nas(it->second.client->start_attach());
+        fabric_.enb_send(config_.cell, lte::S1apMessage{init});
+      },
+      ev_label_);
   // Guard timer: bounded state when the core never answers.
-  sim_.schedule(config_.attach_guard, [this, id] {
-    auto it = pending_.find(id.value());
-    if (it == pending_.end() || it->second.done) return;
-    ++failed_;
-    close_attach_span(id, it->second, "guard_expired");
-    AttachOutcome out;
-    out.success = false;
-    out.elapsed = sim_.now() - it->second.started_at;
-    auto cb = std::move(it->second.on_done);
-    pending_.erase(it);
-    if (cb) cb(out);
-  });
+  sim_.schedule(
+      config_.attach_guard,
+      [this, id] {
+        auto it = pending_.find(id.value());
+        if (it == pending_.end() || it->second.done) return;
+        ++failed_;
+        close_attach_span(id, it->second, "guard_expired");
+        AttachOutcome out;
+        out.success = false;
+        out.elapsed = sim_.now() - it->second.started_at;
+        auto cb = std::move(it->second.on_done);
+        pending_.erase(it);
+        if (cb) cb(out);
+      },
+      ev_label_);
 }
 
 void EnodeB::detach_ue(ue::NasClient& client) {
@@ -72,9 +80,12 @@ void EnodeB::detach_ue(ue::NasClient& client) {
   up.mme_ue_id = it->second.mme_ue_id;
   up.nas_pdu = lte::encode_nas(lte::NasMessage{lte::DetachRequest{}});
   camped_.erase(it);
-  sim_.schedule(config_.radio_one_way, [this, up = std::move(up)] {
-    fabric_.enb_send(config_.cell, lte::S1apMessage{up});
-  });
+  sim_.schedule(
+      config_.radio_one_way,
+      [this, up = std::move(up)] {
+        fabric_.enb_send(config_.cell, lte::S1apMessage{up});
+      },
+      ev_label_);
 }
 
 void EnodeB::on_s1ap(const lte::S1apMessage& message) {
@@ -94,13 +105,16 @@ void EnodeB::on_s1ap(const lte::S1apMessage& message) {
       if (!nas) return;
       auto reply = ue.client->handle(*nas);
       if (reply) {
-        sim_.schedule(config_.radio_one_way,
-                      [this, enb_id, mme_id, r = *reply] {
-                        send_nas_to_mme(enb_id, mme_id, r);
-                      });
+        sim_.schedule(
+            config_.radio_one_way,
+            [this, enb_id, mme_id, r = *reply] {
+              send_nas_to_mme(enb_id, mme_id, r);
+            },
+            ev_label_);
       }
       check_completion(enb_id, ue);
-    });
+    },
+        ev_label_);
     return;
   }
   if (const auto* paging = std::get_if<lte::Paging>(&message)) {
@@ -110,7 +124,9 @@ void EnodeB::on_s1ap(const lte::S1apMessage& message) {
     // Paging occasion + RRC re-establishment, then the service request
     // rides an InitialUeMessage (as in ECM-idle → connected).
     const Tmsi tmsi = paging->tmsi;
-    sim_.schedule(config_.rrc_setup + config_.radio_one_way, [this, tmsi] {
+    sim_.schedule(
+        config_.rrc_setup + config_.radio_one_way,
+        [this, tmsi] {
       ++pages_answered_;
       lte::InitialUeMessage init;
       init.enb_ue_id = EnbUeId{next_enb_ue_id_++};
@@ -118,7 +134,8 @@ void EnodeB::on_s1ap(const lte::S1apMessage& message) {
       init.nas_pdu =
           lte::encode_nas(lte::NasMessage{lte::ServiceRequest{tmsi}});
       fabric_.enb_send(config_.cell, lte::S1apMessage{init});
-    });
+        },
+        ev_label_);
     return;
   }
   if (const auto* ctx =

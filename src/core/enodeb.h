@@ -89,6 +89,7 @@ class EnodeB {
   void close_attach_span(EnbUeId id, PendingUe& ue, const char* result);
 
   sim::Simulator& sim_;
+  std::uint32_t ev_label_{0};
   S1Fabric& fabric_;
   EnbConfig config_;
   std::unordered_map<std::uint32_t, PendingUe> pending_;

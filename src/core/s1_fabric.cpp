@@ -36,6 +36,7 @@ std::optional<Deframed> deframe(std::span<const std::uint8_t> bytes) {
 
 S1Fabric::S1Fabric(sim::Simulator& sim, epc::Mme& mme)
     : sim_(sim), mme_(mme) {
+  ev_label_ = sim_.label("core.s1");
   mme_.set_sender([this](CellId cell, lte::S1apMessage m) {
     mme_send(cell, std::move(m));
   });
@@ -92,9 +93,10 @@ void S1Fabric::enb_send(CellId cell, lte::S1apMessage message) {
   const Endpoint& ep = it->second;
   if (!ep.networked) {
     ++up_count_;
-    sim_.schedule(ep.latency, [this, cell, m = std::move(message)] {
-      mme_.handle_s1ap(cell, m);
-    });
+    sim_.schedule(
+        ep.latency,
+        [this, cell, m = std::move(message)] { mme_.handle_s1ap(cell, m); },
+        ev_label_);
     return;
   }
   auto payload = frame(cell, message);
@@ -109,8 +111,10 @@ void S1Fabric::mme_send(CellId cell, lte::S1apMessage message) {
   const Endpoint& ep = it->second;
   if (!ep.networked) {
     ++down_count_;
-    sim_.schedule(ep.latency, [handler = ep.handler,
-                               m = std::move(message)] { handler(m); });
+    sim_.schedule(
+        ep.latency,
+        [handler = ep.handler, m = std::move(message)] { handler(m); },
+        ev_label_);
     return;
   }
   auto payload = frame(cell, message);

@@ -60,6 +60,7 @@ class S1Fabric {
   void install_core_handler(net::Network& net, NodeId core_node);
 
   sim::Simulator& sim_;
+  std::uint32_t ev_label_{0};
   epc::Mme& mme_;
   std::unordered_map<CellId, Endpoint> endpoints_;
   bool core_handler_installed_{false};

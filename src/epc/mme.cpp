@@ -7,7 +7,9 @@
 namespace dlte::epc {
 
 Mme::Mme(sim::Simulator& sim, Hss& hss, Gateway& gateway, MmeConfig config)
-    : sim_(sim), hss_(hss), gateway_(gateway), config_(config) {}
+    : sim_(sim), hss_(hss), gateway_(gateway), config_(config) {
+  ev_label_ = sim_.label("epc.mme");
+}
 
 void Mme::set_metrics(obs::MetricsRegistry* registry,
                       const std::string& prefix) {
@@ -74,11 +76,14 @@ void Mme::handle_s1ap(CellId from_cell, lte::S1apMessage message) {
   busy_until_ = start + config_.nas_processing;
   stats_.queueing_delay_ms.add((start - now).to_millis());
   obs::observe(m_queueing_delay_ms_, (start - now).to_millis());
-  sim_.schedule_at(busy_until_, [this, from_cell, m = std::move(message)] {
-    ++stats_.messages_processed;
-    obs::inc(m_messages_);
-    process(from_cell, m);
-  });
+  sim_.schedule_at(
+      busy_until_,
+      [this, from_cell, m = std::move(message)] {
+        ++stats_.messages_processed;
+        obs::inc(m_messages_);
+        process(from_cell, m);
+      },
+      ev_label_);
 }
 
 void Mme::process(CellId from_cell, const lte::S1apMessage& message) {
@@ -311,7 +316,9 @@ void Mme::arm_nas_retx(UeContext& ue) {
   if (config_.nas_max_retx <= 0) return;
   const std::uint64_t epoch = ++ue.retx_epoch;
   const Imsi imsi = ue.imsi;
-  sim_.schedule(config_.nas_retx_timeout, [this, imsi, epoch] {
+  sim_.schedule(
+      config_.nas_retx_timeout,
+      [this, imsi, epoch] {
     const auto it = ues_.find(imsi);
     if (it == ues_.end()) return;  // Detached/released meanwhile.
     UeContext& u = it->second;
@@ -344,7 +351,8 @@ void Mme::arm_nas_retx(UeContext& ue) {
     transport.nas_pdu = u.retx_pdu;
     arm_nas_retx(u);
     sender_(u.cell, lte::S1apMessage{transport});
-  });
+      },
+      ev_label_);
 }
 
 void Mme::path_switch(Imsi imsi, CellId new_cell, Teid new_enb_teid) {
@@ -353,16 +361,19 @@ void Mme::path_switch(Imsi imsi, CellId new_cell, Teid new_enb_teid) {
   busy_until_ = start + config_.nas_processing;
   stats_.queueing_delay_ms.add((start - now).to_millis());
   obs::observe(m_queueing_delay_ms_, (start - now).to_millis());
-  sim_.schedule_at(busy_until_, [this, imsi, new_cell, new_enb_teid] {
-    ++stats_.messages_processed;
-    obs::inc(m_messages_);
-    auto it = ues_.find(imsi);
-    if (it == ues_.end()) return;
-    it->second.cell = new_cell;
-    gateway_.complete_session(imsi, new_enb_teid);
-    ++stats_.path_switches;
-    obs::inc(m_path_switches_);
-  });
+  sim_.schedule_at(
+      busy_until_,
+      [this, imsi, new_cell, new_enb_teid] {
+        ++stats_.messages_processed;
+        obs::inc(m_messages_);
+        auto it = ues_.find(imsi);
+        if (it == ues_.end()) return;
+        it->second.cell = new_cell;
+        gateway_.complete_session(imsi, new_enb_teid);
+        ++stats_.path_switches;
+        obs::inc(m_path_switches_);
+      },
+      ev_label_);
 }
 
 void Mme::release_to_idle(Imsi imsi) {

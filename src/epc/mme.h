@@ -177,6 +177,7 @@ class Mme {
   void end_phase(UeContext& ue);
 
   sim::Simulator& sim_;
+  std::uint32_t ev_label_{0};
   Hss& hss_;
   Gateway& gateway_;
   MmeConfig config_;

@@ -203,14 +203,17 @@ void Network::forward(Packet&& packet, NodeId at) {
   hop->net = this;
   hop->next = link.to;
   hop->packet = std::move(packet);
-  sim_.schedule_at(arrival, [hop] {
-    Network* net = hop->net;
-    const NodeId next = hop->next;
-    Packet p = std::move(hop->packet);
-    // Release before recursing: the next hop reuses this very record.
-    net->hop_pool_.release(hop);
-    net->forward(std::move(p), next);
-  });
+  sim_.schedule_at(
+      arrival,
+      [hop] {
+        Network* net = hop->net;
+        const NodeId next = hop->next;
+        Packet p = std::move(hop->packet);
+        // Release before recursing: the next hop reuses this very record.
+        net->hop_pool_.release(hop);
+        net->forward(std::move(p), next);
+      },
+      hop_label_);
 }
 
 Duration Network::path_latency(NodeId from, NodeId to, int size_bytes) const {

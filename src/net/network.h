@@ -75,7 +75,8 @@ struct LinkImpairment {
 
 class Network {
  public:
-  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  explicit Network(sim::Simulator& sim)
+      : sim_(sim), hop_label_(sim_.label("net.hop")) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -186,6 +187,8 @@ class Network {
   ObjectPool<HopEvent> hop_pool_{256};
 
   sim::Simulator& sim_;
+  // Event-attribution label for hop arrivals (obs::EventProfiler).
+  const std::uint32_t hop_label_;
   std::vector<Node> nodes_;
   std::vector<DirectedLink> links_;
   std::vector<NodeId> link_sources_;

@@ -52,8 +52,8 @@ MetroScenario::MetroScenario(MetroConfig config) : config_([&config] {
       return config;
     }()),
       runtime_(ShardedConfig{config_.shards, config_.threads,
-                             config_.backbone_delay,
-                             config_.sample_interval}) {}
+                             config_.backbone_delay, config_.sample_interval,
+                             config_.profile}) {}
 
 MetroScenario::~MetroScenario() = default;
 
@@ -123,12 +123,15 @@ void MetroScenario::build() {
     // traffic that keeps the exchange path honest at metro scale.
     if (n > 1) {
       const EndpointId peer = static_cast<EndpointId>((i + 1) % n);
-      c->sim->every(config_.report_interval, [this, c, peer] {
-        runtime_.post(static_cast<EndpointId>(c->index), peer,
-                      config_.backbone_delay, kLoadReportKind,
-                      encode_load(static_cast<std::uint32_t>(
-                          c->cohort->ues_attached())));
-      });
+      c->sim->every(
+          config_.report_interval,
+          [this, c, peer] {
+            runtime_.post(static_cast<EndpointId>(c->index), peer,
+                          config_.backbone_delay, kLoadReportKind,
+                          encode_load(static_cast<std::uint32_t>(
+                              c->cohort->ues_attached())));
+          },
+          c->sim->label("metro.report"));
     }
 
     cells_.push_back(std::move(cell));

@@ -55,6 +55,8 @@ struct MetroConfig {
   // Telemetry cadence for the merged series; zero (default) disables —
   // at 10k APs the snapshot, not the series, is the compared artifact.
   Duration sample_interval{};
+  // Enable the runtime self-profiling plane (DESIGN.md §14).
+  bool profile{false};
 };
 
 struct MetroResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <utility>
 
@@ -11,6 +12,12 @@ namespace dlte::par {
 
 namespace {
 constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 }  // namespace
 
 ShardedSimulator::ShardedSimulator(ShardedConfig config)
@@ -26,7 +33,16 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config)
       shard->sampler = std::make_unique<obs::TimeSeriesSampler>(
           shard->domain, obs::SamplerConfig{config_.sample_interval});
     }
+    if (config_.profile) {
+      shard->profiler = std::make_unique<obs::EventProfiler>();
+      shard->sim.set_profiler(shard->profiler.get());
+      shard->delivery_label = shard->sim.label("par.delivery");
+    }
     shards_.push_back(std::move(shard));
+  }
+  if (config_.profile) {
+    matrix_messages_.assign(config_.shards * config_.shards, 0);
+    matrix_bytes_.assign(config_.shards * config_.shards, 0);
   }
   if (config_.sample_interval.ns() > 0) {
     next_sample_ = TimePoint{} + config_.sample_interval;
@@ -104,7 +120,15 @@ void ShardedSimulator::worker_loop() {
     for (;;) {
       const std::size_t i = next_shard_.fetch_add(1);
       if (i >= shards_.size()) break;
-      shards_[i]->sim.run_until(end);
+      if (config_.profile) {
+        const auto start = std::chrono::steady_clock::now();
+        shards_[i]->sim.run_until(end);
+        // Only this worker touches shard i inside the window; the
+        // coordinator reads window_run_s after the barrier.
+        shards_[i]->window_run_s = wall_seconds_since(start);
+      } else {
+        shards_[i]->sim.run_until(end);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -115,7 +139,15 @@ void ShardedSimulator::worker_loop() {
 
 void ShardedSimulator::run_window(TimePoint end) {
   if (workers_.empty()) {
-    for (auto& shard : shards_) shard->sim.run_until(end);
+    for (auto& shard : shards_) {
+      if (config_.profile) {
+        const auto start = std::chrono::steady_clock::now();
+        shard->sim.run_until(end);
+        shard->window_run_s = wall_seconds_since(start);
+      } else {
+        shard->sim.run_until(end);
+      }
+    }
     return;
   }
   {
@@ -151,14 +183,23 @@ void ShardedSimulator::exchange() {
     // Node-stable map: the Endpoint address outlives the run.
     const Endpoint* endpoint = &endpoints_.at(msg.dst);
     Shard& shard = *shards_[endpoint->shard];
+    if (config_.profile) {
+      const std::size_t cell =
+          owner_of(msg.src) * shards_.size() + endpoint->shard;
+      ++matrix_messages_[cell];
+      matrix_bytes_[cell] += msg.payload.size();
+    }
     Delivery* delivery = shard.deliveries.acquire();
     delivery->msg = std::move(msg);
     delivery->endpoint = endpoint;
     delivery->home = &shard;
-    shard.sim.schedule_at(delivery->msg.deliver_at, [delivery] {
-      delivery->endpoint->handler(delivery->msg);
-      delivery->home->deliveries.release(delivery);
-    });
+    shard.sim.schedule_at(
+        delivery->msg.deliver_at,
+        [delivery] {
+          delivery->endpoint->handler(delivery->msg);
+          delivery->home->deliveries.release(delivery);
+        },
+        shard.delivery_label);
   }
 }
 
@@ -195,13 +236,86 @@ void ShardedSimulator::run_until(TimePoint horizon) {
       if (end_ns <= now_.ns()) end_ns = now_.ns() + window_ns;
       end = TimePoint::from_ns(std::min(horizon.ns(), end_ns));
     }
-    run_window(end);
+    if (config_.profile) {
+      const auto start = std::chrono::steady_clock::now();
+      run_window(end);
+      record_profile_window(end, wall_seconds_since(start));
+    } else {
+      run_window(end);
+    }
     exchange();
     emit_samples(end);
     now_ = end;
     ++windows_;
   }
   flush_metrics();
+}
+
+void ShardedSimulator::record_profile_window(TimePoint end,
+                                             double window_wall_s) {
+  // Coordinator-only, between barriers. A shard's barrier wait is the
+  // slack between its own run time and the whole window's wall time
+  // (the slowest lane sets the pace; everyone else waited).
+  for (auto& shard : shards_) {
+    shard->run_s += shard->window_run_s;
+    const double wait = window_wall_s - shard->window_run_s;
+    if (wait > 0) shard->barrier_wait_s += wait;
+    shard->window_run_s = 0.0;
+  }
+  if (windows_ % sample_stride_ != 0) return;
+  obs::ShardWindowSample sample;
+  sample.t_s = end.to_seconds();
+  sample.shard_events.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    sample.shard_events.push_back(shard->sim.events_executed());
+  }
+  sample.messages = messages_;
+  prof_samples_.push_back(std::move(sample));
+  if (prof_samples_.size() >= kMaxProfileSamples) {
+    // Keep every other sample and double the stride: the buffer stays
+    // bounded while coverage stays end-to-end.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < prof_samples_.size(); i += 2) {
+      prof_samples_[kept++] = std::move(prof_samples_[i]);
+    }
+    prof_samples_.resize(kept);
+    sample_stride_ *= 2;
+  }
+}
+
+void ShardedSimulator::merged_profiler_into(obs::EventProfiler& dst) const {
+  for (const auto& shard : shards_) {
+    if (shard->profiler != nullptr) dst.merge_from(*shard->profiler);
+  }
+}
+
+obs::ShardProfile ShardedSimulator::profile() const {
+  obs::ShardProfile out;
+  if (!config_.profile) return out;
+  out.shards = shards_.size();
+  out.threads = config_.threads;
+  out.windows = windows_;
+  out.messages = messages_;
+  out.lookahead_s = config_.lookahead.to_seconds();
+  out.lanes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    obs::ShardLane lane;
+    lane.events = shard->sim.events_executed();
+    lane.run_s = shard->run_s;
+    lane.barrier_wait_s = shard->barrier_wait_s;
+    out.lanes.push_back(lane);
+  }
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      const std::size_t cell = src * shards_.size() + dst;
+      if (matrix_messages_[cell] == 0 && matrix_bytes_[cell] == 0) continue;
+      out.matrix.push_back(obs::ShardMatrixCell{
+          static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(dst),
+          matrix_messages_[cell], matrix_bytes_[cell]});
+    }
+  }
+  out.samples = prof_samples_;
+  return out;
 }
 
 void ShardedSimulator::merged_metrics_into(obs::MetricsRegistry& dst) const {

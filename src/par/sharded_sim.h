@@ -44,6 +44,7 @@
 #include "common/pool.h"
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/series.h"
 #include "par/message.h"
 #include "sim/simulator.h"
@@ -63,6 +64,10 @@ struct ShardedConfig {
   // Simulated-time cadence for the coordinator-driven series samplers;
   // zero disables sampling.
   Duration sample_interval{};
+  // Enable the self-profiling plane (DESIGN.md §14): per-shard event
+  // attribution (deterministic) plus wall-clock lane timing, per-window
+  // samples, and the shard-pair message matrix (not deterministic).
+  bool profile{false};
 };
 
 class ShardedSimulator {
@@ -121,6 +126,19 @@ class ShardedSimulator {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // --- Self-profiling plane (config_.profile) ------------------------
+  [[nodiscard]] bool profiling() const { return config_.profile; }
+  // Fold every shard's event-attribution profiler into `dst` by label
+  // name. The merged result is shard-count invariant (the determinism
+  // contract above makes the event structure partition-invariant), so
+  // CI byte-compares its JSON across shard counts. No-op when profiling
+  // is off.
+  void merged_profiler_into(obs::EventProfiler& dst) const;
+  // The wall-clock side: lanes, load matrix, window samples. Values vary
+  // run to run — never byte-compare this. Zeroed struct when profiling
+  // is off.
+  [[nodiscard]] obs::ShardProfile profile() const;
+
   [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
   [[nodiscard]] std::uint64_t messages_exchanged() const { return messages_; }
   [[nodiscard]] std::uint64_t posts_clamped() const;
@@ -157,10 +175,20 @@ class ShardedSimulator {
     std::unordered_map<EndpointId, std::uint64_t> next_seq;
     std::uint64_t posts_clamped{0};
     ObjectPool<Delivery> deliveries{256};
+    // Profiling state (null/zero unless config_.profile). window_run_s
+    // is written by the worker that owns the shard inside the window and
+    // read by the coordinator after the barrier — never concurrently.
+    std::unique_ptr<obs::EventProfiler> profiler;
+    std::uint32_t delivery_label{0};
+    double window_run_s{0.0};
+    double run_s{0.0};
+    double barrier_wait_s{0.0};
   };
 
   void run_window(TimePoint end);
   void worker_loop();
+  // Roll the finished window's wall time into lanes and samples.
+  void record_profile_window(TimePoint end, double window_wall_s);
   // Collect all outboxes, sort by message_order, inject at the barrier.
   void exchange();
   void emit_samples(TimePoint up_to);
@@ -174,6 +202,16 @@ class ShardedSimulator {
   std::uint64_t windows_{0};
   std::uint64_t messages_{0};
   std::uint64_t max_exchange_{0};
+
+  // Shard-pair load matrix (messages/bytes), dense S×S, profiling only.
+  std::vector<std::uint64_t> matrix_messages_;
+  std::vector<std::uint64_t> matrix_bytes_;
+  // Per-window samples, kept bounded: when the buffer hits the cap every
+  // other sample is dropped and the stride doubles — deterministic in
+  // which windows are sampled, wall-clock only in what they contain.
+  static constexpr std::size_t kMaxProfileSamples = 512;
+  std::vector<obs::ShardWindowSample> prof_samples_;
+  std::uint64_t sample_stride_{1};
 
   // Worker pool (empty when config_.threads == 1).
   std::vector<std::thread> workers_;

@@ -70,7 +70,8 @@ struct ShardedTown::Island {
 ShardedTown::ShardedTown(TownConfig config)
     : config_(config),
       runtime_(ShardedConfig{config.shards, config.threads,
-                             config.backbone_delay, config.sample_interval}) {}
+                             config.backbone_delay, config.sample_interval,
+                             config.profile}) {}
 
 ShardedTown::~ShardedTown() = default;
 
@@ -168,6 +169,9 @@ void ShardedTown::build() {
           isl->network->send(std::move(p));
         });
 
+    const std::uint32_t attach_label = isl->sim->label("town.attach");
+    const std::uint32_t report_label = isl->sim->label("town.x2_report");
+
     // Staggered attaches from the per-AP stream, drawn in UE order.
     sim::RngStream attach_rng = sim::RngStream::derive(
         config_.seed, "town.attach", static_cast<std::uint64_t>(i));
@@ -193,13 +197,16 @@ void ShardedTown::build() {
                 isl->attach_failed->inc();
               }
             });
-          });
+          },
+          attach_label);
     }
 
     // Periodic X2 load reports to the ring neighbours.
     if (!isl->neighbors.empty()) {
       const double capacity = std::max(1, config_.ues_per_ap);
-      isl->sim->every(config_.report_interval, [isl, capacity] {
+      isl->sim->every(
+          config_.report_interval,
+          [isl, capacity] {
         const lte::X2Message report = lte::X2LoadInformation{
             isl->enb->cell(),
             std::min(1.0, static_cast<double>(isl->attached) / capacity),
@@ -216,7 +223,8 @@ void ShardedTown::build() {
           isl->network->send(std::move(p));
           isl->x2_tx->inc();
         }
-      });
+          },
+          report_label);
     }
 
     islands_.push_back(std::move(island));

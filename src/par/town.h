@@ -36,6 +36,8 @@ struct TownConfig {
   Duration backbone_delay{Duration::millis(5)};
   // Telemetry cadence for the merged series document; zero disables.
   Duration sample_interval{Duration::millis(500)};
+  // Enable the runtime self-profiling plane (DESIGN.md §14).
+  bool profile{false};
 };
 
 struct TownResult {

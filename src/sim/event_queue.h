@@ -33,6 +33,9 @@ struct QueuedEvent {
   TimePoint when;
   std::uint64_t seq{0};
   std::function<void()> action;
+  // Interned attribution label (obs::EventProfiler id); 0 = unlabeled.
+  // Never participates in ordering — it rides along for the profiler.
+  std::uint32_t label{0};
 };
 
 // Strict weak order: earliest first, then scheduling order.
@@ -99,7 +102,8 @@ class CalendarQueue {
       seek_to(when_ns);
     }
     insert_key(buckets_[bucket_of(when_ns)],
-               Key{when_ns, event.seq, store_action(std::move(event.action))});
+               Key{when_ns, event.seq,
+                   store_action(std::move(event.action), event.label)});
     ++size_;
     // mask_ + 1 == buckets_.size(); comparing against the cached mask
     // keeps the common no-resize path free of vector-size loads.
@@ -118,8 +122,9 @@ class CalendarQueue {
     if (size_ * 4 <= mask_ && mask_ + 1 > kMinBuckets) {
       maybe_resize();
     }
+    const std::uint32_t label = labels_[key.slot];
     return QueuedEvent{TimePoint::from_ns(key.when_ns), key.seq,
-                       take_action(key.slot)};
+                       take_action(key.slot), label};
   }
 
   // Minimum element, or nullptr when empty. Advances the internal scan
@@ -192,16 +197,21 @@ class CalendarQueue {
     cur_window_start_ = window_start_of(when_ns);
   }
 
-  // Park the action in a recycled (or fresh) slab slot; the key carries
-  // the slot index through the sorted bucket.
-  [[nodiscard]] std::size_t store_action(std::function<void()>&& action) {
+  // Park the action (and its attribution label) in a recycled or fresh
+  // slab slot; the key carries the slot index through the sorted bucket.
+  // The label lives in a parallel vector, not in Key — the sort keys
+  // stay 24-byte PODs and the memmove-heavy paths never widen.
+  [[nodiscard]] std::size_t store_action(std::function<void()>&& action,
+                                         std::uint32_t label) {
     if (free_slots_.empty()) {
       actions_.push_back(std::move(action));
+      labels_.push_back(label);
       return actions_.size() - 1;
     }
     const std::size_t slot = free_slots_.back();
     free_slots_.pop_back();
     actions_[slot] = std::move(action);
+    labels_[slot] = label;
     return slot;
   }
   [[nodiscard]] std::function<void()> take_action(std::size_t slot) {
@@ -261,8 +271,10 @@ class CalendarQueue {
   // Scan cursor: no live event exists before cur_window_start_.
   std::size_t cur_bucket_{0};
   std::int64_t cur_window_start_{0};
-  // Action slab + free list; keys index it via Key::slot.
+  // Action slab + free list; keys index it via Key::slot. labels_ is
+  // the slot-parallel attribution-label slab.
   std::vector<std::function<void()>> actions_;
+  std::vector<std::uint32_t> labels_;
   std::vector<std::size_t> free_slots_;
   QueuedEvent peek_event_;
   std::uint64_t resizes_{0};

@@ -7,16 +7,31 @@
 namespace dlte::sim {
 
 void Simulator::schedule(Duration delay, Action action) {
+  schedule(delay, std::move(action), obs::kUnlabeledEvent);
+}
+
+void Simulator::schedule(Duration delay, Action action, std::uint32_t label) {
   if (delay.is_negative()) delay = Duration::nanos(0);
-  schedule_at(now_ + delay, std::move(action));
+  schedule_at(now_ + delay, std::move(action), label);
 }
 
 void Simulator::schedule_at(TimePoint when, Action action) {
+  schedule_at(when, std::move(action), obs::kUnlabeledEvent);
+}
+
+void Simulator::schedule_at(TimePoint when, Action action,
+                            std::uint32_t label) {
   if (when < now_) {
     when = now_;
     ++schedule_past_events_;
+    if (profiler_ != nullptr) profiler_->on_past_clamp(label);
   }
-  queue_.push(QueuedEvent{when, next_seq_++, std::move(action)});
+  if (profiler_ != nullptr) {
+    // Residency is simulated time queued: (when - now). Deterministic,
+    // unlike a pop-side wall measurement would be.
+    profiler_->on_schedule(label, (when - now_).ns());
+  }
+  queue_.push(QueuedEvent{when, next_seq_++, std::move(action), label});
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
 }
 
@@ -33,16 +48,21 @@ void Simulator::set_metrics(obs::MetricsRegistry* registry,
   if (registry == nullptr) {
     events_counter_ = nullptr;
     past_counter_ = nullptr;
+    queue_resizes_counter_ = nullptr;
     queue_depth_gauge_ = nullptr;
+    queue_pending_gauge_ = nullptr;
     sim_seconds_gauge_ = nullptr;
     return;
   }
   events_counter_ = &registry->counter(prefix + "sim.events_executed");
   past_counter_ = &registry->counter(prefix + "sim.schedule_past_events");
+  queue_resizes_counter_ = &registry->counter(prefix + "sim.queue_resizes");
   queue_depth_gauge_ = &registry->gauge(prefix + "sim.max_queue_depth");
+  queue_pending_gauge_ = &registry->gauge(prefix + "sim.queue_depth");
   sim_seconds_gauge_ = &registry->gauge(prefix + "sim.seconds");
   events_flushed_ = events_executed_;
   past_flushed_ = schedule_past_events_;
+  resizes_flushed_ = queue_.resizes();
 }
 
 void Simulator::flush_metrics() {
@@ -54,8 +74,17 @@ void Simulator::flush_metrics() {
     past_counter_->inc(schedule_past_events_ - past_flushed_);
     past_flushed_ = schedule_past_events_;
   }
+  if (queue_resizes_counter_ != nullptr) {
+    queue_resizes_counter_->inc(queue_.resizes() - resizes_flushed_);
+    resizes_flushed_ = queue_.resizes();
+  }
   if (queue_depth_gauge_ != nullptr) {
     queue_depth_gauge_->set_max(static_cast<double>(max_queue_depth_));
+  }
+  if (queue_pending_gauge_ != nullptr) {
+    // Current pending count at flush time (run end/window barrier) —
+    // the live companion to the max_queue_depth high watermark.
+    queue_pending_gauge_->set(static_cast<double>(queue_.size()));
   }
   if (sim_seconds_gauge_ != nullptr) {
     sim_seconds_gauge_->set_max(now_.to_seconds());
@@ -63,26 +92,37 @@ void Simulator::flush_metrics() {
 }
 
 void Simulator::every(Duration period, Action action) {
+  every(period, std::move(action), obs::kUnlabeledEvent);
+}
+
+void Simulator::every(Duration period, Action action, std::uint32_t label) {
   // The lambda reschedules itself; capturing `this` is safe because events
   // cannot outlive the simulator that owns the queue.
   auto wrapper = std::make_shared<Action>();
-  *wrapper = [this, period, action = std::move(action), wrapper]() {
+  *wrapper = [this, period, label, action = std::move(action), wrapper]() {
     action();
-    schedule(period, *wrapper);
+    schedule(period, *wrapper, label);
   };
-  schedule(period, *wrapper);
+  schedule(period, *wrapper, label);
 }
 
 Simulator::PeriodicHandle Simulator::every_cancellable(Duration period,
                                                        Action action) {
+  return every_cancellable(period, std::move(action), obs::kUnlabeledEvent);
+}
+
+Simulator::PeriodicHandle Simulator::every_cancellable(Duration period,
+                                                       Action action,
+                                                       std::uint32_t label) {
   auto alive = std::make_shared<bool>(true);
   auto wrapper = std::make_shared<Action>();
-  *wrapper = [this, period, alive, action = std::move(action), wrapper]() {
+  *wrapper = [this, period, label, alive, action = std::move(action),
+              wrapper]() {
     if (!*alive) return;  // Cancelled: stop rescheduling, never call back.
     action();
-    if (*alive) schedule(period, *wrapper);
+    if (*alive) schedule(period, *wrapper, label);
   };
-  schedule(period, *wrapper);
+  schedule(period, *wrapper, label);
   return PeriodicHandle{std::move(alive)};
 }
 
@@ -93,6 +133,7 @@ void Simulator::run_until(TimePoint deadline) {
     QueuedEvent ev = queue_.pop();
     now_ = ev.when;
     ++events_executed_;
+    if (profiler_ != nullptr) profiler_->on_execute(ev.label);
     ev.action();
   }
   if (now_ < deadline) now_ = deadline;
@@ -105,6 +146,7 @@ void Simulator::run_all() {
     QueuedEvent ev = queue_.pop();
     now_ = ev.when;
     ++events_executed_;
+    if (profiler_ != nullptr) profiler_->on_execute(ev.label);
     ev.action();
   }
   flush_metrics();

@@ -18,6 +18,7 @@
 
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "sim/event_queue.h"
 
 namespace dlte::sim {
@@ -33,14 +34,19 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   // Schedule `action` to run `delay` after the current time. Negative
-  // delays are clamped to "immediately after the current event".
+  // delays are clamped to "immediately after the current event". The
+  // `label` overloads carry an attribution id from label() — when a
+  // profiler is attached, the event's schedule/clamp/residency/execute
+  // counts land under that label instead of "sim.unlabeled".
   void schedule(Duration delay, Action action);
+  void schedule(Duration delay, Action action, std::uint32_t label);
   // Schedule at an absolute time. A `when` earlier than now() is clamped
   // to "immediately after the current event" and counted (accessor below,
   // metric `sim.schedule_past_events`) instead of silently reordering —
   // the sharded runtime injects cross-shard events at window boundaries
   // and relies on a past-targeted injection being loud, not lost.
   void schedule_at(TimePoint when, Action action);
+  void schedule_at(TimePoint when, Action action, std::uint32_t label);
 
   // Cancellation token for a periodic process. Move-only RAII: letting it
   // die (or calling cancel()) stops the process at its next tick —
@@ -72,9 +78,12 @@ class Simulator {
   // Schedule `action` every `period`, starting one period from now, for
   // the lifetime of the simulation (for actors that outlive it).
   void every(Duration period, Action action);
+  void every(Duration period, Action action, std::uint32_t label);
   // As above, but stops when the returned handle is cancelled/destroyed.
   [[nodiscard]] PeriodicHandle every_cancellable(Duration period,
                                                  Action action);
+  [[nodiscard]] PeriodicHandle every_cancellable(Duration period, Action action,
+                                                 std::uint32_t label);
 
   // Run until the event queue drains or `deadline` passes (whichever is
   // first). Events scheduled exactly at the deadline still run.
@@ -96,6 +105,10 @@ class Simulator {
   [[nodiscard]] std::uint64_t schedule_past_events() const {
     return schedule_past_events_;
   }
+  // Calendar-queue recalibration count (also metric `sim.queue_resizes`).
+  [[nodiscard]] std::uint64_t queue_resizes() const {
+    return queue_.resizes();
+  }
   // Timestamp of the earliest pending event, or TimePoint::from_ns(
   // INT64_MAX) when the queue is empty. The sharded runtime peeks this to
   // fast-forward over windows in which every shard is idle.
@@ -106,6 +119,18 @@ class Simulator {
   // watermark of the event queue into `<prefix>sim.max_queue_depth`.
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
+
+  // Attach an event-attribution profiler (null-safe, the set_metrics
+  // idiom). Labels interned before attachment resolve to "sim.unlabeled".
+  void set_profiler(obs::EventProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] obs::EventProfiler* profiler() const { return profiler_; }
+  // Intern an attribution label for the schedule_* label overloads.
+  // Without a profiler every name maps to the unlabeled id, so callsites
+  // can intern once at construction regardless of profiling state.
+  [[nodiscard]] std::uint32_t label(const std::string& name) {
+    return profiler_ != nullptr ? profiler_->intern(name)
+                                : obs::kUnlabeledEvent;
+  }
 
  private:
   void flush_metrics();
@@ -119,12 +144,17 @@ class Simulator {
   std::size_t max_queue_depth_{0};
   bool stopped_{false};
 
+  obs::EventProfiler* profiler_{nullptr};
+
   obs::Counter* past_counter_{nullptr};
   obs::Counter* events_counter_{nullptr};
+  obs::Counter* queue_resizes_counter_{nullptr};
   obs::Gauge* queue_depth_gauge_{nullptr};
+  obs::Gauge* queue_pending_gauge_{nullptr};
   obs::Gauge* sim_seconds_gauge_{nullptr};
   std::uint64_t events_flushed_{0};
   std::uint64_t past_flushed_{0};
+  std::uint64_t resizes_flushed_{0};
 };
 
 }  // namespace dlte::sim

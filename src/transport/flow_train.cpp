@@ -12,6 +12,7 @@ FlowTrain::FlowTrain(sim::Simulator& sim, FlowTrainConfig config,
       on_delivered_(std::move(on_delivered)),
       on_complete_(std::move(on_complete)),
       remaining_bytes_(config.total_bytes) {
+  ev_label_ = sim_.label("transport.flow_train");
   if (config_.mss_bytes < 1) config_.mss_bytes = 1;
   if (config_.rtt.ns() < 1) config_.rtt = Duration::nanos(1);
   const double bytes_per_rtt =
@@ -63,7 +64,8 @@ void FlowTrain::run_epoch() {
           stats_.completed = true;
           stats_.completed_at = sim_.now();
           if (on_complete_) on_complete_(stats_.completed_at);
-        });
+        },
+        ev_label_);
     return;
   }
 
@@ -85,11 +87,13 @@ void FlowTrain::run_epoch() {
   if (!config_.per_packet) {
     // One train: the whole window lands at the end of the epoch.
     ++stats_.events_scheduled;
-    sim_.schedule(Duration::nanos(rtt_ns),
-                  [this, window_bytes, continue_flow] {
-                    deliver(window_bytes);
-                    continue_flow();
-                  });
+    sim_.schedule(
+        Duration::nanos(rtt_ns),
+        [this, window_bytes, continue_flow] {
+          deliver(window_bytes);
+          continue_flow();
+        },
+        ev_label_);
     return;
   }
 
@@ -103,11 +107,13 @@ void FlowTrain::run_epoch() {
         static_cast<std::int64_t>(packets);
     const bool last = j + 1 == packets;
     ++stats_.events_scheduled;
-    sim_.schedule(Duration::nanos(at_ns), [this, bytes, last,
-                                           continue_flow] {
-      deliver(bytes);
-      if (last) continue_flow();
-    });
+    sim_.schedule(
+        Duration::nanos(at_ns),
+        [this, bytes, last, continue_flow] {
+          deliver(bytes);
+          if (last) continue_flow();
+        },
+        ev_label_);
   }
 }
 

@@ -71,6 +71,7 @@ class FlowTrain {
   void deliver(std::uint64_t bytes);
 
   sim::Simulator& sim_;
+  std::uint32_t ev_label_{0};
   FlowTrainConfig config_;
   DeliveredCallback on_delivered_;
   CompleteCallback on_complete_;

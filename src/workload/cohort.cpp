@@ -8,6 +8,7 @@ namespace dlte::workload {
 UeCohort::UeCohort(sim::Simulator& sim, CohortConfig config,
                    sim::RngStream rng, Hooks hooks)
     : sim_(sim), config_(config), rng_(rng), hooks_(hooks) {
+  attach_label_ = sim_.label("workload.attach");
   if (config_.ues < 0) config_.ues = 0;
   config_.attach_batches =
       std::clamp(config_.attach_batches, 1, std::max(1, config_.ues));
@@ -26,8 +27,10 @@ void UeCohort::start() {
         static_cast<double>(batches);
     const int batch_ues = base + (k < extra ? 1 : 0);
     if (batch_ues == 0) continue;
-    sim_.schedule(Duration::seconds(frac * window_s),
-                  [this, k, batch_ues] { attach_batch(k, batch_ues); });
+    sim_.schedule(
+        Duration::seconds(frac * window_s),
+        [this, k, batch_ues] { attach_batch(k, batch_ues); },
+        attach_label_);
   }
 }
 

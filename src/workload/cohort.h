@@ -75,6 +75,7 @@ class UeCohort {
   void attach_batch(int batch, int batch_ues);
 
   sim::Simulator& sim_;
+  std::uint32_t attach_label_{0};
   CohortConfig config_;
   sim::RngStream rng_;
   Hooks hooks_;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
 #include "obs/series_export.h"
 #include "obs/snapshot.h"
 
@@ -34,6 +38,68 @@ TEST(HistogramMerge, EmptySidesAreNeutral) {
   EXPECT_EQ(b.count(), 1u);
   EXPECT_DOUBLE_EQ(b.min(), 3.0);
   EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+TEST(HistogramMerge, MismatchedBucketLayoutsUnion) {
+  // Shards observing disjoint value ranges occupy disjoint sparse-bucket
+  // sets; merging must union them, not assume aligned layouts. Include
+  // the underflow bucket (zero/negative samples) on one side only.
+  Histogram whole, tiny, huge;
+  const double small_vals[] = {0.001, 0.002, -1.0};
+  const double big_vals[] = {1e6, 2e6, 4e6};
+  for (const double v : small_vals) {
+    whole.record(v);
+    tiny.record(v);
+  }
+  for (const double v : big_vals) {
+    whole.record(v);
+    huge.record(v);
+  }
+  tiny.merge_from(huge);
+  EXPECT_EQ(tiny.count(), whole.count());
+  EXPECT_DOUBLE_EQ(tiny.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(tiny.min(), whole.min());
+  EXPECT_DOUBLE_EQ(tiny.max(), whole.max());
+  for (const double q : {0.25, 0.5, 0.95}) {
+    EXPECT_DOUBLE_EQ(tiny.quantile(q), whole.quantile(q));
+  }
+}
+
+TEST(MergeRegistry, EmptyRegistryFoldsAreNeutral) {
+  MetricsRegistry populated, empty;
+  populated.counter("c").inc(5);
+  populated.gauge("g").set(2.5);
+  populated.histogram("h").record(1.0);
+  // Folding an empty source changes nothing.
+  merge_registry(populated, empty);
+  EXPECT_EQ(populated.counter("c").value(), 5u);
+  EXPECT_DOUBLE_EQ(populated.gauge("g").value(), 2.5);
+  EXPECT_EQ(populated.histogram("h").count(), 1u);
+  // Folding into an empty destination copies everything.
+  MetricsRegistry dst;
+  merge_registry(dst, populated);
+  EXPECT_EQ(dst.counter("c").value(), 5u);
+  EXPECT_DOUBLE_EQ(dst.gauge("g").value(), 2.5);
+  EXPECT_EQ(dst.histogram("h").count(), 1u);
+}
+
+TEST(MergeRegistry, GaugeMaxInvariantAcrossShardCounts) {
+  // The same observation stream split over 1, 2, or 4 shard registries
+  // must fold to the same "worst observed" gauge — the property that
+  // lets per-shard sim.max_queue_depth merge into one compared value.
+  const double observations[] = {3.0, 11.0, 7.0, 2.0, 9.0, 5.0, 8.0, 1.0};
+  for (const std::size_t shard_count : {1u, 2u, 4u}) {
+    std::vector<MetricsRegistry> shards(shard_count);
+    for (std::size_t i = 0; i < std::size(observations); ++i) {
+      shards[i % shard_count].gauge("worst").set_max(observations[i]);
+    }
+    MetricsRegistry merged;
+    for (const MetricsRegistry& shard : shards) {
+      merge_registry(merged, shard);
+    }
+    EXPECT_DOUBLE_EQ(merged.gauge("worst").value(), 11.0)
+        << "shard_count=" << shard_count;
+  }
 }
 
 TEST(MergeRegistry, CountersAddGaugesMaxHistogramsMerge) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+
+#include "obs/prof.h"
 
 namespace dlte::obs {
 namespace {
@@ -63,6 +67,58 @@ TEST(OpenMetrics, RenderIsDeterministic) {
 TEST(OpenMetrics, EmptyRegistryIsJustEof) {
   MetricsRegistry reg;
   EXPECT_EQ(OpenMetricsExporter::render(reg), "# EOF\n");
+}
+
+TEST(OpenMetrics, SanitizeEscapesEveryDisallowedByte) {
+  // Anything outside [a-zA-Z0-9_:] must collapse to '_' — profiler
+  // labels carry dots, benches have used '-' and '/' in prefixes.
+  EXPECT_EQ(OpenMetricsExporter::sanitize("prof.net.hop.residency_ns"),
+            "prof_net_hop_residency_ns");
+  EXPECT_EQ(OpenMetricsExporter::sanitize("ap-1/ran"), "ap_1_ran");
+  EXPECT_EQ(OpenMetricsExporter::sanitize("a b\tc"), "a_b_c");
+  EXPECT_EQ(OpenMetricsExporter::sanitize("λ.load"), "___load");
+}
+
+TEST(OpenMetrics, QuantileLabelsRenderInAscendingOrder) {
+  // The summary's quantile labels are part of the exposition contract:
+  // fixed set, ascending, each on its own line before _sum/_count.
+  MetricsRegistry reg;
+  reg.histogram("lat.ms").record(5.0);
+  const std::string text = OpenMetricsExporter::render(reg);
+  const std::size_t q50 = text.find("lat_ms{quantile=\"0.5\"}");
+  const std::size_t q90 = text.find("lat_ms{quantile=\"0.9\"}");
+  const std::size_t q95 = text.find("lat_ms{quantile=\"0.95\"}");
+  const std::size_t q99 = text.find("lat_ms{quantile=\"0.99\"}");
+  ASSERT_NE(q50, std::string::npos);
+  EXPECT_LT(q50, q90);
+  EXPECT_LT(q90, q95);
+  EXPECT_LT(q95, q99);
+  EXPECT_LT(q99, text.find("lat_ms_sum"));
+  EXPECT_LT(text.find("lat_ms_sum"), text.find("lat_ms_count"));
+}
+
+TEST(OpenMetrics, ProfilerCountersExposeOnTheMetricsPath) {
+  // EventProfiler::export_metrics lands prof.* counters in a registry;
+  // the OpenMetrics render must carry them with dots sanitized — that is
+  // the "profiles reachable from the scrape endpoint" satellite.
+  EventProfiler prof;
+  const std::uint32_t id = prof.intern("net.hop");
+  prof.on_schedule(id, 1'000);
+  prof.on_execute(id);
+  MetricsRegistry reg;
+  prof.export_metrics(reg);
+  const std::string text = OpenMetricsExporter::render(reg);
+  EXPECT_NE(text.find("# TYPE prof_net_hop_schedules counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prof_net_hop_schedules_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("prof_net_hop_executed_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("prof_net_hop_residency_ns_total 1000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prof_sim_unlabeled_schedules_total 0\n"),
+            std::string::npos);
+  // Families stay name-sorted with prof.* interleaved alphabetically.
+  EXPECT_LT(text.find("prof_net_hop_executed_total"),
+            text.find("prof_net_hop_schedules_total"));
 }
 
 }  // namespace

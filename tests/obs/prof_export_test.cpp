@@ -1,0 +1,168 @@
+#include "obs/prof_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/time.h"
+#include "obs/prof.h"
+#include "obs/span.h"
+
+namespace dlte::obs {
+namespace {
+
+struct FakeClock {
+  TimePoint now{};
+  [[nodiscard]] SpanTracer::NowFn fn() {
+    return [this] { return now; };
+  }
+  void advance(Duration d) { now = now + d; }
+};
+
+EventProfiler sample_profiler() {
+  EventProfiler p;
+  const std::uint32_t hop = p.intern("net.hop");
+  const std::uint32_t mme = p.intern("epc.mme");
+  p.on_schedule(hop, 200'000);
+  p.on_schedule(hop, 200'000);
+  p.on_execute(hop);
+  p.on_schedule(mme, 1'000'000);
+  p.on_execute(mme);
+  p.on_past_clamp(mme);
+  return p;
+}
+
+TEST(ProfExport, FullDocumentCarriesBothSections) {
+  ProfileDoc doc;
+  doc.attribution = sample_profiler();
+  doc.shard_profile.shards = 2;
+  doc.shard_profile.threads = 2;
+  doc.shard_profile.windows = 4;
+  doc.shard_profile.messages = 6;
+  doc.shard_profile.lookahead_s = 0.005;
+  doc.shard_profile.lanes = {{100, 0.01, 0.002}, {80, 0.008, 0.004}};
+  doc.shard_profile.matrix = {{0, 1, 4, 512}, {1, 0, 2, 128}};
+  doc.shard_profile.samples = {{0.005, {50, 40}, 3}, {0.010, {100, 80}, 6}};
+
+  const std::string json = ProfExporter::to_json(doc, "unit");
+  EXPECT_NE(json.find("\"schema\":\"dlte-prof-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"event_attribution\""), std::string::npos);
+  EXPECT_NE(json.find(
+                "\"epc.mme\":{\"schedules\":1,\"executed\":1,"
+                "\"past_clamps\":1,\"residency_ns\":1000000}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"totals\":{\"labels\":3,\"schedules\":3,"
+                      "\"executed\":2,\"past_clamps\":1,"
+                      "\"residency_ns\":1400000}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"shard_profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"src\":0,\"dst\":1,\"messages\":4,\"bytes\":512"),
+            std::string::npos);
+  // per_shard lanes derive events_per_window from the window count.
+  EXPECT_NE(json.find("\"events_per_window\":25"), std::string::npos);
+  // Labels appear in sorted-name order (the byte-compare contract).
+  EXPECT_LT(json.find("\"epc.mme\""), json.find("\"net.hop\""));
+  EXPECT_LT(json.find("\"net.hop\""), json.find("\"sim.unlabeled\""));
+}
+
+TEST(ProfExport, AttributionJsonIsDeterministicAndShardFree) {
+  const std::string a =
+      ProfExporter::event_attribution_json(sample_profiler());
+  const std::string b =
+      ProfExporter::event_attribution_json(sample_profiler());
+  EXPECT_EQ(a, b);
+  // The deterministic section must not leak wall-clock material.
+  EXPECT_EQ(a.find("shard_profile"), std::string::npos);
+  EXPECT_EQ(a.find("source"), std::string::npos);
+  EXPECT_NE(a.find("\"schema\":\"dlte-prof-v1\""), std::string::npos);
+}
+
+TEST(ProfExport, AttributionJsonInvariantToInternOrder) {
+  // Two profilers observing the same stream through different intern
+  // orders (= different shard partitions) export identical bytes.
+  EventProfiler forward, reverse;
+  const std::uint32_t fa = forward.intern("a");
+  const std::uint32_t fb = forward.intern("b");
+  const std::uint32_t rb = reverse.intern("b");
+  const std::uint32_t ra = reverse.intern("a");
+  for (EventProfiler* p : {&forward, &reverse}) {
+    const std::uint32_t a = (p == &forward) ? fa : ra;
+    const std::uint32_t b = (p == &forward) ? fb : rb;
+    p->on_schedule(a, 100);
+    p->on_execute(a);
+    p->on_schedule(b, 300);
+  }
+  EXPECT_EQ(ProfExporter::event_attribution_json(forward),
+            ProfExporter::event_attribution_json(reverse));
+}
+
+TEST(ProfExport, CounterTraceEmitsSampleAndLabelTracks) {
+  ProfileDoc doc;
+  doc.attribution = sample_profiler();
+  doc.shard_profile.shards = 2;
+  doc.shard_profile.samples = {{0.005, {50, 40}, 3}};
+  const std::string trace = ProfExporter::to_counter_trace(doc, "unit");
+  // One counter event per shard per sample, in microseconds.
+  EXPECT_NE(trace.find("\"name\":\"shard0.events\",\"ph\":\"C\",\"ts\":5000"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"shard1.events\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"par.messages\""), std::string::npos);
+  // Per-label executed totals land as prof.* counter tracks.
+  EXPECT_NE(trace.find("\"name\":\"prof.net.hop\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"prof.epc.mme\""), std::string::npos);
+  // Valid trace-event envelope.
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"generator\":\"dlte-prof\""), std::string::npos);
+}
+
+TEST(ProfExport, CollapsedStacksChargeSelfTimeOnly) {
+  FakeClock clock;
+  SpanTracer t{clock.fn()};
+  const SpanId root = t.begin("attach", "ran", kNoSpan);
+  const SpanId child = t.begin("aka", "epc", root);
+  clock.advance(Duration::millis(10));
+  t.end(child);  // child: 10 ms self.
+  clock.advance(Duration::millis(20));
+  t.end(root);  // root: 30 ms total - 10 ms child = 20 ms self.
+  EXPECT_EQ(ProfExporter::to_collapsed(t),
+            "attach 20000\n"
+            "attach;aka 10000\n");
+}
+
+TEST(ProfExport, CollapsedStacksCloseOpenSpansAtLatest) {
+  FakeClock clock;
+  SpanTracer t{clock.fn()};
+  t.begin("run", "bench", kNoSpan);
+  clock.advance(Duration::millis(5));
+  // Still open — but tick() has seen t=5ms via a later begin.
+  const SpanId probe = t.begin("probe", "bench", kNoSpan);
+  t.end(probe);
+  EXPECT_NE(ProfExporter::to_collapsed(t).find("run 5000"),
+            std::string::npos);
+}
+
+TEST(ProfExport, CollapsedStacksSanitizeFrameNames) {
+  FakeClock clock;
+  SpanTracer t{clock.fn()};
+  const SpanId s = t.begin("x2 round;1", "coord", kNoSpan);
+  clock.advance(Duration::millis(1));
+  t.end(s);
+  // ';' would corrupt the stack separator, ' ' the count separator.
+  EXPECT_EQ(ProfExporter::to_collapsed(t), "x2_round_1 1000\n");
+}
+
+TEST(ProfExport, CollapsedStacksSkipFullyCoveredParents) {
+  FakeClock clock;
+  SpanTracer t{clock.fn()};
+  const SpanId root = t.begin("outer", "x", kNoSpan);
+  const SpanId child = t.begin("inner", "x", root);
+  clock.advance(Duration::millis(4));
+  t.end(child);
+  t.end(root);  // Zero self time: omitted from the folded output.
+  EXPECT_EQ(ProfExporter::to_collapsed(t), "outer;inner 4000\n");
+}
+
+}  // namespace
+}  // namespace dlte::obs

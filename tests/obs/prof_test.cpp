@@ -1,0 +1,139 @@
+#include "obs/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlte::obs {
+namespace {
+
+TEST(EventProfiler, UnlabeledBucketAlwaysPresent) {
+  EventProfiler p;
+  EXPECT_EQ(p.label_count(), 1u);
+  EXPECT_EQ(p.label_name(kUnlabeledEvent), kUnlabeledEventName);
+  // Re-interning the reserved name returns id 0, not a new bucket.
+  EXPECT_EQ(p.intern(kUnlabeledEventName), kUnlabeledEvent);
+  EXPECT_EQ(p.label_count(), 1u);
+}
+
+TEST(EventProfiler, InternIsIdempotentAndDense) {
+  EventProfiler p;
+  const std::uint32_t a = p.intern("ran.enodeb");
+  const std::uint32_t b = p.intern("epc.mme");
+  EXPECT_NE(a, kUnlabeledEvent);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.intern("ran.enodeb"), a);
+  EXPECT_EQ(p.label_count(), 3u);
+  EXPECT_EQ(p.label_name(a), "ran.enodeb");
+  EXPECT_EQ(p.label_name(b), "epc.mme");
+}
+
+TEST(EventProfiler, HooksAccumulatePerLabel) {
+  EventProfiler p;
+  const std::uint32_t id = p.intern("net.hop");
+  p.on_schedule(id, 1'000);
+  p.on_schedule(id, 2'000);
+  p.on_execute(id);
+  p.on_past_clamp(id);
+  const EventProfiler::LabelStats& s = p.stats(id);
+  EXPECT_EQ(s.schedules, 2u);
+  EXPECT_EQ(s.executed, 1u);
+  EXPECT_EQ(s.past_clamps, 1u);
+  EXPECT_EQ(s.residency_ns, 3'000u);
+  // The unlabeled bucket is untouched.
+  EXPECT_EQ(p.stats(kUnlabeledEvent).schedules, 0u);
+}
+
+TEST(EventProfiler, MergeIsByNameNotById) {
+  // Shards intern in whatever order their components construct, so the
+  // same label can hold different ids on different shards. Merging must
+  // line stats up by NAME — that is the shard-count-invariance the
+  // prof-determinism gate relies on.
+  EventProfiler a, b;
+  const std::uint32_t a_hop = a.intern("net.hop");    // id 1 in a
+  const std::uint32_t b_mme = b.intern("epc.mme");    // id 1 in b
+  const std::uint32_t b_hop = b.intern("net.hop");    // id 2 in b
+  ASSERT_EQ(a_hop, b_mme);  // Same id, different names across profilers.
+  a.on_schedule(a_hop, 10);
+  a.on_execute(a_hop);
+  b.on_schedule(b_hop, 5);
+  b.on_schedule(b_mme, 7);
+  a.merge_from(b);
+  EXPECT_EQ(a.stats(a.intern("net.hop")).schedules, 2u);
+  EXPECT_EQ(a.stats(a.intern("net.hop")).residency_ns, 15u);
+  EXPECT_EQ(a.stats(a.intern("net.hop")).executed, 1u);
+  EXPECT_EQ(a.stats(a.intern("epc.mme")).schedules, 1u);
+  EXPECT_EQ(a.stats(a.intern("epc.mme")).residency_ns, 7u);
+}
+
+TEST(EventProfiler, MergeOrderIsImmaterial) {
+  // Counter merges are associative+commutative, so merging shard
+  // profilers in any order gives identical stats.
+  auto feed = [](EventProfiler& p, const char* name, std::uint64_t n) {
+    const std::uint32_t id = p.intern(name);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      p.on_schedule(id, 100);
+      p.on_execute(id);
+    }
+  };
+  EventProfiler s0, s1, ab, ba;
+  feed(s0, "core.s1", 3);
+  feed(s0, "net.hop", 2);
+  feed(s1, "net.hop", 5);
+  ab.merge_from(s0);
+  ab.merge_from(s1);
+  ba.merge_from(s1);
+  ba.merge_from(s0);
+  for (EventProfiler* m : {&ab, &ba}) {
+    EXPECT_EQ(m->stats(m->intern("core.s1")).schedules, 3u);
+    EXPECT_EQ(m->stats(m->intern("net.hop")).schedules, 7u);
+    EXPECT_EQ(m->stats(m->intern("net.hop")).residency_ns, 700u);
+  }
+}
+
+TEST(EventProfiler, SortedIdsOrderByName) {
+  EventProfiler p;
+  (void)p.intern("zz.late");
+  (void)p.intern("aa.early");
+  std::vector<std::string> names;
+  for (const std::uint32_t id : p.sorted_ids()) {
+    names.push_back(p.label_name(id));
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"aa.early", "sim.unlabeled", "zz.late"}));
+}
+
+TEST(EventProfiler, TotalsSumEveryLabel) {
+  EventProfiler p;
+  const std::uint32_t a = p.intern("a");
+  const std::uint32_t b = p.intern("b");
+  p.on_schedule(a, 10);
+  p.on_schedule(b, 20);
+  p.on_execute(a);
+  p.on_past_clamp(b);
+  p.on_schedule(kUnlabeledEvent, 5);
+  const EventProfiler::LabelStats t = p.totals();
+  EXPECT_EQ(t.schedules, 3u);
+  EXPECT_EQ(t.executed, 1u);
+  EXPECT_EQ(t.past_clamps, 1u);
+  EXPECT_EQ(t.residency_ns, 35u);
+}
+
+TEST(EventProfiler, ExportMetricsWritesFourCountersPerLabel) {
+  EventProfiler p;
+  const std::uint32_t id = p.intern("core.s1");
+  p.on_schedule(id, 250);
+  p.on_schedule(id, 750);
+  p.on_execute(id);
+  MetricsRegistry reg;
+  p.export_metrics(reg);
+  EXPECT_EQ(reg.counter("prof.core.s1.schedules").value(), 2u);
+  EXPECT_EQ(reg.counter("prof.core.s1.executed").value(), 1u);
+  EXPECT_EQ(reg.counter("prof.core.s1.past_clamps").value(), 0u);
+  EXPECT_EQ(reg.counter("prof.core.s1.residency_ns").value(), 1'000u);
+  // The unlabeled bucket exports too — it is part of the contract.
+  EXPECT_NE(reg.find_counter("prof.sim.unlabeled.schedules"), nullptr);
+}
+
+}  // namespace
+}  // namespace dlte::obs

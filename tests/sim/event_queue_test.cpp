@@ -173,6 +173,33 @@ TEST(SimulatorQueueTest, SchedulePastIsClampedAndCounted) {
   EXPECT_EQ(sim.now().ns(), 1'000'000);
 }
 
+TEST(CalendarQueueTest, LabelsRideThePayloadSlab) {
+  // The attribution label travels in the action slab beside the payload,
+  // never in the 24-byte sort key — pops must return each event's own
+  // label regardless of insertion order.
+  CalendarQueue q;
+  q.push(QueuedEvent{TimePoint::from_ns(2'000), 0, [] {}, 7});
+  q.push(QueuedEvent{TimePoint::from_ns(1'000), 1, [] {}, 9});
+  q.push(QueuedEvent{TimePoint::from_ns(3'000), 2, [] {}});  // Defaults to 0.
+  EXPECT_EQ(q.pop().label, 9u);
+  EXPECT_EQ(q.pop().label, 7u);
+  EXPECT_EQ(q.pop().label, 0u);
+}
+
+TEST(CalendarQueueTest, LabelsSurviveResize) {
+  // Push enough spread to force calendar recalibration; every event must
+  // keep its label through slab growth and re-bucketing.
+  CalendarQueue q;
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    q.push(QueuedEvent{TimePoint::from_ns(static_cast<std::int64_t>(i) * 1'000),
+                       i, [] {}, static_cast<std::uint32_t>(i % 5)});
+  }
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const QueuedEvent e = q.pop();
+    EXPECT_EQ(e.label, static_cast<std::uint32_t>(e.seq % 5));
+  }
+}
+
 TEST(SimulatorQueueTest, EventCountAndDepthSurvivedSwap) {
   Simulator sim;
   for (int i = 0; i < 100; ++i) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -131,6 +132,80 @@ TEST(Simulator, FutureScheduleAtDoesNotCount) {
   s.schedule_at(TimePoint::from_ns(0) + Duration::millis(1), [] {});
   s.run_all();
   EXPECT_EQ(s.schedule_past_events(), 0u);
+}
+
+TEST(Simulator, LabelWithoutProfilerIsUnlabeled) {
+  Simulator s;
+  // Components intern at construction regardless of profiling state; with
+  // no profiler attached every name maps to the unlabeled id and the
+  // labeled overloads behave exactly like the plain ones.
+  EXPECT_EQ(s.label("ran.enodeb"), obs::kUnlabeledEvent);
+  int ran = 0;
+  s.schedule(Duration::millis(1), [&] { ++ran; }, s.label("ran.enodeb"));
+  s.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, ProfilerAttributesScheduleExecuteResidency) {
+  Simulator s;
+  obs::EventProfiler prof;
+  s.set_profiler(&prof);
+  const std::uint32_t enb = s.label("ran.enodeb");
+  ASSERT_NE(enb, obs::kUnlabeledEvent);
+  s.schedule(Duration::millis(2), [] {}, enb);
+  s.schedule(Duration::millis(4), [] {}, enb);
+  s.schedule(Duration::millis(1), [] {});  // Unlabeled overload.
+  s.run_all();
+  const obs::EventProfiler::LabelStats& st = prof.stats(enb);
+  EXPECT_EQ(st.schedules, 2u);
+  EXPECT_EQ(st.executed, 2u);
+  // Residency is simulated ns queued: 2 ms + 4 ms.
+  EXPECT_EQ(st.residency_ns, 6'000'000u);
+  EXPECT_EQ(prof.stats(obs::kUnlabeledEvent).schedules, 1u);
+  EXPECT_EQ(prof.stats(obs::kUnlabeledEvent).executed, 1u);
+}
+
+TEST(Simulator, ProfilerCountsPastClampsPerLabel) {
+  Simulator s;
+  obs::EventProfiler prof;
+  s.set_profiler(&prof);
+  const std::uint32_t inj = s.label("par.delivery");
+  s.schedule(Duration::millis(5), [&] {
+    s.schedule_at(TimePoint::from_ns(0) + Duration::millis(2), [] {}, inj);
+  });
+  s.run_all();
+  EXPECT_EQ(prof.stats(inj).past_clamps, 1u);
+  // A clamped event still executes and is attributed.
+  EXPECT_EQ(prof.stats(inj).executed, 1u);
+  EXPECT_EQ(prof.stats(inj).residency_ns, 0u);
+}
+
+TEST(Simulator, PeriodicEventsKeepTheirLabel) {
+  Simulator s;
+  obs::EventProfiler prof;
+  s.set_profiler(&prof);
+  const std::uint32_t tick = s.label("town.x2_report");
+  s.every(Duration::millis(10), [] {}, tick);
+  s.run_until(TimePoint::from_ns(0) + Duration::millis(45));
+  // Every reschedule carries the label, not just the first firing.
+  EXPECT_EQ(prof.stats(tick).executed, 4u);
+  EXPECT_EQ(prof.stats(tick).schedules, 5u);  // 4 fired + 1 pending.
+}
+
+TEST(Simulator, QueueDepthAndResizeMetrics) {
+  Simulator s;
+  obs::MetricsRegistry reg;
+  s.set_metrics(&reg);
+  s.schedule(Duration::millis(5), [] {});
+  s.schedule(Duration::millis(15), [] {});
+  s.run_until(TimePoint::from_ns(0) + Duration::millis(10));
+  // sim.queue_depth is the live pending count at flush; one event is
+  // still queued past the deadline.
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.max_queue_depth").value(), 2.0);
+  EXPECT_EQ(reg.counter("sim.queue_resizes").value(), s.queue_resizes());
+  s.run_all();
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth").value(), 0.0);
 }
 
 TEST(Simulator, NextEventTimePeeksEarliestPending) {

@@ -103,9 +103,12 @@ def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
         # ratio gate on scheduler noise.
         allowed = base_wall * (1.0 + threshold) + slack
         verdict = "OK" if result_wall <= allowed else "FAIL"
+        # Always print the measured delta, pass or fail: a +20% "OK" is
+        # the early warning the threshold alone would swallow.
+        wall_delta = (result_wall - base_wall) / base_wall
         print(f"{verdict}: {base_path.name} wall {result_wall:.3f}s vs "
-              f"baseline {base_wall:.3f}s "
-              f"(limit {allowed:.3f}s = +{threshold:.0%} + {slack:.1f}s)")
+              f"baseline {base_wall:.3f}s ({wall_delta:+.1%}, "
+              f"limit {allowed:.3f}s = +{threshold:.0%} + {slack:.1f}s)")
         if verdict == "FAIL":
             failures += 1
         # Throughput gate: only when BOTH sides recorded it, so adding
@@ -116,10 +119,11 @@ def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
         if base_tp > 0.0 and result_tp > 0.0:
             floor = base_tp * (1.0 - threshold)
             verdict = "OK" if result_tp >= floor else "FAIL"
+            tp_delta = (result_tp - base_tp) / base_tp
             print(f"{verdict}: {base_path.name} throughput "
                   f"{result_tp / 1e6:.2f} Mev/s vs baseline "
-                  f"{base_tp / 1e6:.2f} Mev/s "
-                  f"(floor {floor / 1e6:.2f} = -{threshold:.0%})")
+                  f"{base_tp / 1e6:.2f} Mev/s ({tp_delta:+.1%}, "
+                  f"floor {floor / 1e6:.2f} = -{threshold:.0%})")
             if verdict == "FAIL":
                 failures += 1
     if failures:

@@ -5,6 +5,7 @@
 #   tools/obs_check.sh series  <series.json> [health_report.py args...]
 #   tools/obs_check.sh par     <prefixA> <prefixB>
 #   tools/obs_check.sh metrics <benchA.json> <benchB.json>
+#   tools/obs_check.sh prof    <prof.json>   [prof_report.py args...]
 #
 # `trace` validates/summarizes a Chrome trace-event export (--require /
 # --require-child gates); `series` validates/renders a dlte-series-v1
@@ -12,20 +13,26 @@
 # EXPERIMENTS.md go through this wrapper so the dispatch lives in one
 # place. Exit codes pass through from the underlying tool.
 #
-# `par` byte-compares two sharded-run artifact triples written by a
+# `par` byte-compares two sharded-run artifact sets written by a
 # bench's --par-artifacts=<prefix> mode (<prefix>.metrics.json,
-# <prefix>.series.json, <prefix>.openmetrics.txt) — the determinism
-# gate that a parallel run is identical to the sequential one.
+# <prefix>.series.json, <prefix>.openmetrics.txt, and — when the bench
+# profiles — <prefix>.prof.json, the deterministic event-attribution
+# section) — the determinism gate that a parallel run is identical to
+# the sequential one.
 #
 # `metrics` byte-compares the deterministic "metrics" objects of two
 # BENCH_<name>.json files (same bench run twice, e.g. the C11
 # coexistence determinism gate).
+#
+# `prof` validates/renders a dlte-prof-v1 self-profiling document
+# (--require-label gates; `prof --compare A B` byte-compares the
+# deterministic event-attribution sections — the prof-determinism gate).
 set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
 usage() {
-  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,29p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -45,7 +52,10 @@ case "$mode" in
     a="$1"
     b="$2"
     rc=0
-    for ext in metrics.json series.json openmetrics.txt; do
+    for ext in metrics.json series.json openmetrics.txt prof.json; do
+      if [ ! -e "$a.$ext" ] && [ ! -e "$b.$ext" ]; then
+        continue  # prof.json only exists for profiled benches.
+      fi
       if cmp -s "$a.$ext" "$b.$ext"; then
         echo "par: $ext identical"
       else
@@ -61,8 +71,11 @@ case "$mode" in
     [ $# -eq 2 ] || usage
     exec python3 "$here/check_bench_regression.py" --compare-metrics "$1" "$2"
     ;;
+  prof)
+    exec python3 "$here/prof_report.py" "$@"
+    ;;
   *)
-    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par|metrics)" >&2
+    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par|metrics|prof)" >&2
     usage
     ;;
 esac
