@@ -22,6 +22,7 @@
 
 #include "bench_harness.h"
 #include "common/table.h"
+#include "obs/audit_export.h"
 #include "obs/prof.h"
 #include "obs/prof_export.h"
 #include "par/metro.h"
@@ -69,6 +70,11 @@ par::MetroConfig metro_config(const C10Options& opt, std::size_t shards,
   // the hooks hot means the perf gate's throughput floor prices their
   // overhead on every CI run.
   cfg.profile = true;
+  // Always audit for the same reason: the digest fold is on the execute
+  // hot path, so the throughput floor prices it too. Engine sampling
+  // rides alone (domain sampling stays off at 10k APs).
+  cfg.audit = true;
+  cfg.engine_sample_interval = Duration::millis(500);
   return cfg;
 }
 
@@ -79,7 +85,10 @@ struct RunOutput {
   // Deterministic event-attribution section (dlte-prof-v1), merged
   // across shards — byte-compared like the metrics snapshot.
   std::string prof;
+  // Partition-invariant merged audit section (dlte-audit-v1).
+  std::string audit;
   obs::ProfileDoc doc;
+  obs::AuditDoc audit_doc;
   double wall_s{0.0};
 };
 
@@ -101,6 +110,8 @@ RunOutput run_once(const C10Options& opt, std::size_t shards,
   metro.runtime().merged_profiler_into(out.doc.attribution);
   out.doc.shard_profile = metro.runtime().profile();
   out.prof = obs::ProfExporter::event_attribution_json(out.doc.attribution);
+  out.audit_doc = metro.runtime().audit_doc();
+  out.audit = obs::AuditExporter::merged_json(out.audit_doc);
   return out;
 }
 
@@ -130,7 +141,12 @@ int main(int argc, char** argv) {
     // full doc (wall-clock shard profile included) goes through
     // --prof-out, which is excluded from byte comparison.
     ok = write_text(prefix + ".prof.json", out.prof + "\n") && ok;
+    ok = write_text(prefix + ".audit.json",
+                    obs::AuditExporter::to_json(out.audit_doc, "c10_metro") +
+                        "\n") &&
+         ok;
     harness.set_profile(std::move(out.doc));
+    harness.set_audit(std::move(out.audit_doc));
     std::cout << "C10 gate mode: shards=" << shards
               << " ues=" << out.result.ues_attached
               << " events=" << out.result.events_executed
@@ -162,7 +178,8 @@ int main(int argc, char** argv) {
     } else {
       identical = out.metrics == base.metrics &&
                   out.result.events_executed == base.result.events_executed &&
-                  out.prof == base.prof;
+                  out.prof == base.prof &&
+                  out.audit == base.audit;
       ok = ok && identical;
       harness.timing("speedup_s" + std::to_string(shards),
                      base.wall_s / out.wall_s);
@@ -170,6 +187,7 @@ int main(int argc, char** argv) {
     // Last doc wins: --prof-out carries the widest partition's shard
     // profile (the interesting load matrix) with identical attribution.
     harness.set_profile(std::move(out.doc));
+    harness.set_audit(std::move(out.audit_doc));
     const std::string prefix = "c10.s" + std::to_string(shards) + ".";
     harness.counter(prefix + "ues_attached", out.result.ues_attached);
     harness.counter(prefix + "flows_completed", out.result.flows_completed);
@@ -198,10 +216,10 @@ int main(int argc, char** argv) {
   harness.gauge("c10.bytes_per_ue", bytes_per_ue);
   harness.gauge("c10.aps", static_cast<double>(opt.aps));
 
-  std::cout << "\nEvery sharded run's merged metrics AND merged "
-               "event-attribution profiles are byte-compared against the "
-               "1-shard run in-process; event totals are "
-               "partition-invariant by construction.\n"
+  std::cout << "\nEvery sharded run's merged metrics, merged "
+               "event-attribution profiles, AND merged audit digests are "
+               "byte-compared against the 1-shard run in-process; event "
+               "totals are partition-invariant by construction.\n"
             << "bytes_per_ue=" << bytes_per_ue
             << " (config: " << opt.aps << " APs x " << opt.ues_per_ap
             << " UEs)\n";

@@ -10,8 +10,15 @@
 // --shards=N [--par-threads=T] [--par-artifacts=PREFIX] it instead runs
 // one configuration and dumps its artifacts to PREFIX.metrics.json /
 // .series.json / .openmetrics.txt — the mode the CI par-determinism gate
-// drives twice and byte-compares.
+// drives twice and byte-compares. The determinism audit plane is always
+// on: the sweep additionally byte-compares the merged dlte-audit-v1
+// section across shard counts, gate mode writes the full document to
+// PREFIX.audit.json, and --audit-inject=<ms>:<shard> arms the deliberate
+// exchange-reorder the CI localization self-test drives through
+// tools/audit_diff.py.
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,6 +26,7 @@
 
 #include "bench_harness.h"
 #include "common/table.h"
+#include "obs/audit_export.h"
 #include "obs/prof.h"
 #include "obs/prof_export.h"
 #include "par/town.h"
@@ -43,6 +51,9 @@ par::TownConfig town_config(std::size_t shards, std::size_t threads) {
   // Always profile: attribution is deterministic and byte-compared in
   // the sweep; the wall-clock shard profile rides out via --prof-out.
   cfg.profile = true;
+  // Always audit: the merged digest section is deterministic and
+  // byte-compared in the sweep, like the attribution profile.
+  cfg.audit = true;
   return cfg;
 }
 
@@ -53,16 +64,25 @@ struct RunOutput {
   std::string openmetrics;
   // Deterministic event-attribution section, merged across shards.
   std::string prof;
+  // Partition-invariant merged audit section (dlte-audit-v1).
+  std::string audit;
   obs::ProfileDoc doc;
+  obs::AuditDoc audit_doc;
   double wall_s{0.0};
 };
 
 RunOutput run_once(std::size_t shards, std::size_t threads,
-                   dlte::bench::Harness* harness) {
+                   dlte::bench::Harness* harness,
+                   std::int64_t inject_ms = -1,
+                   std::size_t inject_shard = 0) {
   par::ShardedTown town{town_config(shards, threads)};
   if (harness != nullptr) {
     town.runtime().set_metrics(
         &harness->metrics(), "c9.s" + std::to_string(shards) + ".");
+  }
+  if (inject_ms >= 0) {
+    town.runtime().inject_exchange_reorder(
+        TimePoint{} + Duration::millis(inject_ms), inject_shard);
   }
   const auto start = std::chrono::steady_clock::now();
   RunOutput out;
@@ -76,7 +96,26 @@ RunOutput run_once(std::size_t shards, std::size_t threads,
   town.runtime().merged_profiler_into(out.doc.attribution);
   out.doc.shard_profile = town.runtime().profile();
   out.prof = obs::ProfExporter::event_attribution_json(out.doc.attribution);
+  out.audit_doc = town.runtime().audit_doc();
+  out.audit = obs::AuditExporter::merged_json(out.audit_doc);
   return out;
+}
+
+// --audit-inject=<ms>:<shard> — arm the exchange-reorder test hook.
+bool parse_audit_inject(int argc, char** argv, std::int64_t* ms,
+                        std::size_t* shard) {
+  constexpr const char kInject[] = "--audit-inject=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kInject, sizeof(kInject) - 1) != 0) continue;
+    const char* spec = argv[i] + sizeof(kInject) - 1;
+    char* colon = nullptr;
+    *ms = std::strtoll(spec, &colon, 10);
+    *shard = (colon != nullptr && *colon == ':')
+                 ? static_cast<std::size_t>(std::atol(colon + 1))
+                 : 0;
+    return true;
+  }
+  return false;
 }
 
 bool write_text(const std::string& path, const std::string& text) {
@@ -93,7 +132,12 @@ int main(int argc, char** argv) {
   // Gate mode: one configuration, artifacts to files, no sweep.
   if (!harness.par_artifacts().empty()) {
     const std::size_t shards = harness.shards() == 0 ? 1 : harness.shards();
-    RunOutput out = run_once(shards, harness.par_threads(), &harness);
+    std::int64_t inject_ms = -1;
+    std::size_t inject_shard = 0;
+    const bool injecting =
+        parse_audit_inject(argc, argv, &inject_ms, &inject_shard);
+    RunOutput out = run_once(shards, harness.par_threads(), &harness,
+                             injecting ? inject_ms : -1, inject_shard);
     harness.add_sim_seconds(out.result.sim_seconds);
     harness.timing("run_s" + std::to_string(shards), out.wall_s);
     const std::string& prefix = harness.par_artifacts();
@@ -101,10 +145,20 @@ int main(int argc, char** argv) {
     ok = write_text(prefix + ".series.json", out.series) && ok;
     ok = write_text(prefix + ".openmetrics.txt", out.openmetrics) && ok;
     ok = write_text(prefix + ".prof.json", out.prof + "\n") && ok;
+    // Full document (merged + shards + ledger): same-config double runs
+    // byte-compare it whole; cross-shard-count compares use
+    // audit_diff.py --merged-only on it.
+    ok = write_text(prefix + ".audit.json",
+                    obs::AuditExporter::to_json(out.audit_doc,
+                                                "c9_sharded_town") +
+                        "\n") &&
+         ok;
     harness.set_profile(std::move(out.doc));
+    harness.set_audit(std::move(out.audit_doc));
     std::cout << "C9 gate mode: shards=" << shards
               << " attaches=" << out.result.attaches_completed
               << " x2_rx=" << out.result.x2_reports_rx
+              << (injecting ? " AUDIT-INJECT armed" : "")
               << " artifacts=" << prefix << ".*\n";
     if (!ok) std::cerr << "c9: failed to write artifacts\n";
     return harness.finish(ok ? 0 : 1);
@@ -131,12 +185,14 @@ int main(int argc, char** argv) {
       identical = out.metrics == base.metrics &&
                   out.series == base.series &&
                   out.openmetrics == base.openmetrics &&
-                  out.prof == base.prof;
+                  out.prof == base.prof &&
+                  out.audit == base.audit;
       all_identical = all_identical && identical;
       harness.timing("speedup_s" + std::to_string(shards),
                      base.wall_s / out.wall_s);
     }
     harness.set_profile(std::move(out.doc));
+    harness.set_audit(std::move(out.audit_doc));
     const std::string prefix = "c9.s" + std::to_string(shards) + ".";
     harness.counter(prefix + "attaches",
                     out.result.attaches_completed);
@@ -155,9 +211,9 @@ int main(int argc, char** argv) {
   t.print(std::cout);
 
   std::cout << "\nDeterminism: every sharded run's merged artifacts — "
-               "metrics, series, OpenMetrics, AND the event-attribution "
-               "profile — are byte-compared against the 1-shard run "
-               "in-process.\n"
+               "metrics, series, OpenMetrics, the event-attribution "
+               "profile, AND the merged audit digests — are byte-compared "
+               "against the 1-shard run in-process.\n"
                "Speedup is wall-clock and machine-dependent (single-core "
                "hosts show ~1.0x; the scaling claim is checked on "
                "multi-core CI).\n";

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/audit_export.h"
 #include "obs/json.h"
 #include "obs/openmetrics.h"
 #include "obs/prof_export.h"
@@ -69,6 +70,7 @@ void Harness::parse_args(int argc, char** argv) {
   constexpr const char kProfOut[] = "--prof-out=";
   constexpr const char kProfTrace[] = "--prof-trace-out=";
   constexpr const char kProfFolded[] = "--prof-folded=";
+  constexpr const char kAuditOut[] = "--audit-out=";
   // Interval first: enable_series latches it into the sampler.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kInterval, sizeof(kInterval) - 1) == 0) {
@@ -102,6 +104,8 @@ void Harness::parse_args(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kProfFolded,
                             sizeof(kProfFolded) - 1) == 0) {
       prof_folded_path_ = argv[i] + sizeof(kProfFolded) - 1;
+    } else if (std::strncmp(argv[i], kAuditOut, sizeof(kAuditOut) - 1) == 0) {
+      audit_path_ = argv[i] + sizeof(kAuditOut) - 1;
     }
   }
   if (tracer_ == nullptr) {
@@ -132,10 +136,17 @@ void Harness::parse_args(int argc, char** argv) {
       prof_folded_path_ = env;
     }
   }
+  if (audit_path_.empty()) {
+    if (const char* env = std::getenv("DLTE_AUDIT_OUT")) audit_path_ = env;
+  }
 }
 
 void Harness::set_profile(obs::ProfileDoc doc) {
   profile_ = std::make_unique<obs::ProfileDoc>(std::move(doc));
+}
+
+void Harness::set_audit(obs::AuditDoc doc) {
+  audit_ = std::make_unique<obs::AuditDoc>(std::move(doc));
 }
 
 void Harness::set_trace_clock(obs::SpanTracer::NowFn now) {
@@ -223,6 +234,18 @@ int Harness::finish(int exit_code) {
           if (exit_code == 0) exit_code = 1;
         }
       }
+    }
+  }
+  if (!audit_path_.empty()) {
+    if (audit_ == nullptr) {
+      std::cerr << "bench_harness: audit output requested but the bench "
+                   "never called set_audit()\n";
+      if (exit_code == 0) exit_code = 1;
+    } else if (obs::AuditExporter::write_file(*audit_, name_, audit_path_)) {
+      std::cout << "[audit json] " << audit_path_ << "\n";
+    } else {
+      std::cerr << "bench_harness: failed to write " << audit_path_ << "\n";
+      if (exit_code == 0) exit_code = 1;
     }
   }
   if (!prof_folded_path_.empty()) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/series.h"
@@ -104,6 +105,15 @@ class Harness {
     return profile_.get();
   }
 
+  // Determinism audit plane: `--audit-out=<file>` (or $DLTE_AUDIT_OUT)
+  // asks the bench for a dlte-audit-v1 document; the bench hands its
+  // runtime's AuditDoc over via set_audit(); finish() writes it.
+  [[nodiscard]] bool audit_requested() const { return !audit_path_.empty(); }
+  [[nodiscard]] const std::string& audit_path() const { return audit_path_; }
+  void set_audit(obs::AuditDoc doc);
+  [[nodiscard]] bool has_audit() const { return audit_ != nullptr; }
+  [[nodiscard]] const obs::AuditDoc* audit() const { return audit_.get(); }
+
   // Total simulated time this bench drove (summed across scenarios).
   void add_sim_seconds(double seconds) { sim_seconds_ += seconds; }
 
@@ -162,7 +172,9 @@ class Harness {
   std::string prof_path_;
   std::string prof_trace_path_;
   std::string prof_folded_path_;
+  std::string audit_path_;
   std::unique_ptr<obs::ProfileDoc> profile_;
+  std::unique_ptr<obs::AuditDoc> audit_;
   Duration series_interval_{Duration::millis(500)};
   double sim_seconds_{0.0};
   std::uint64_t events_total_{0};

@@ -134,6 +134,11 @@ struct ShardWindowSample {
   double t_s{0.0};
   std::vector<std::uint64_t> shard_events;
   std::uint64_t messages{0};
+  // Engine-queue health at the barrier: total pending events across
+  // shards and cumulative calendar-queue recalibrations. Both live in
+  // the shard section because neither is partition-invariant.
+  std::uint64_t queue_depth{0};
+  std::uint64_t queue_resizes{0};
 };
 
 struct ShardProfile {

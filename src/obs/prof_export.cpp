@@ -93,6 +93,14 @@ void shard_profile_object(JsonWriter& w, const ShardProfile& profile) {
     w.end_array();
   }
   w.end_array();
+  w.key("queue_depth");
+  w.begin_array();
+  for (const ShardWindowSample& s : profile.samples) w.value(s.queue_depth);
+  w.end_array();
+  w.key("queue_resizes");
+  w.begin_array();
+  for (const ShardWindowSample& s : profile.samples) w.value(s.queue_resizes);
+  w.end_array();
   w.end_object();
   w.end_object();
 }
@@ -187,6 +195,10 @@ std::string ProfExporter::to_counter_trace(const ProfileDoc& doc,
     }
     counter("par.messages", ts_us, "messages",
             static_cast<double>(s.messages));
+    counter("sim.queue_depth", ts_us, "events",
+            static_cast<double>(s.queue_depth));
+    counter("sim.queue_resizes", ts_us, "resizes",
+            static_cast<double>(s.queue_resizes));
   }
   // Per-label totals as one final counter sample each: Perfetto shows
   // them as flat tracks whose value is the label's executed-event share.

@@ -51,9 +51,18 @@ MetroScenario::MetroScenario(MetroConfig config) : config_([&config] {
           std::min(config.shards, static_cast<std::size_t>(config.districts));
       return config;
     }()),
-      runtime_(ShardedConfig{config_.shards, config_.threads,
-                             config_.backbone_delay, config_.sample_interval,
-                             config_.profile}) {}
+      runtime_([this] {
+        ShardedConfig rc;
+        rc.shards = config_.shards;
+        rc.threads = config_.threads;
+        rc.lookahead = config_.backbone_delay;
+        rc.sample_interval = config_.sample_interval;
+        rc.profile = config_.profile;
+        rc.audit = config_.audit;
+        rc.audit_window = config_.audit_window;
+        rc.engine_sample_interval = config_.engine_sample_interval;
+        return rc;
+      }()) {}
 
 MetroScenario::~MetroScenario() = default;
 

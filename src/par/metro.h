@@ -57,6 +57,13 @@ struct MetroConfig {
   Duration sample_interval{};
   // Enable the runtime self-profiling plane (DESIGN.md §14).
   bool profile{false};
+  // Enable the determinism audit plane (DESIGN.md §15).
+  bool audit{false};
+  Duration audit_window{Duration::millis(250)};
+  // Engine-sampler cadence (sim.queue_depth in the merged series); zero
+  // falls back to sample_interval — set this alone to get the engine
+  // series without paying for 10k-AP domain sampling.
+  Duration engine_sample_interval{};
 };
 
 struct MetroResult {

@@ -36,6 +36,15 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config)
     if (config_.profile) {
       shard->profiler = std::make_unique<obs::EventProfiler>();
       shard->sim.set_profiler(shard->profiler.get());
+    }
+    if (config_.audit) {
+      // Auditor attaches before any label is interned so label() can
+      // register every name hash with it.
+      shard->auditor =
+          std::make_unique<obs::DigestTimeline>(config_.audit_window.ns());
+      shard->sim.set_auditor(shard->auditor.get());
+    }
+    if (config_.profile) {
       shard->delivery_label = shard->sim.label("par.delivery");
     }
     shards_.push_back(std::move(shard));
@@ -44,8 +53,21 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config)
     matrix_messages_.assign(config_.shards * config_.shards, 0);
     matrix_bytes_.assign(config_.shards * config_.shards, 0);
   }
+  if (config_.audit) {
+    ledger_ = std::make_unique<obs::MessageLedger>(config_.audit_window.ns());
+    next_audit_boundary_ = TimePoint{} + config_.audit_window;
+  }
   if (config_.sample_interval.ns() > 0) {
     next_sample_ = TimePoint{} + config_.sample_interval;
+  }
+  engine_interval_ = config_.engine_sample_interval.ns() > 0
+                         ? config_.engine_sample_interval
+                         : config_.sample_interval;
+  if (engine_interval_.ns() > 0) {
+    engine_queue_depth_ = &engine_domain_.gauge("sim.queue_depth");
+    engine_sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        engine_domain_, obs::SamplerConfig{engine_interval_});
+    next_engine_sample_ = TimePoint{} + engine_interval_;
   }
   if (config_.threads > 1) {
     workers_.reserve(config_.threads);
@@ -175,14 +197,42 @@ void ShardedSimulator::exchange() {
                  std::make_move_iterator(shard->outbox.end()));
     shard->outbox.clear();
   }
+  if (inject_held_ != nullptr) {
+    // Deliberate divergence (test hook), step 2: the message captured at
+    // the previous barrier rejoins the stream one exchange late.
+    batch.push_back(std::move(*inject_held_));
+    inject_held_.reset();
+  }
   if (batch.empty()) return;
   std::sort(batch.begin(), batch.end(), message_order);
+  if (inject_armed_) {
+    // Deliberate divergence (test hook), step 1: pull the first message
+    // for the target shard past the trigger time out of its barrier —
+    // exactly the missed-window bug a broken lookahead or an unseeded
+    // reorder in a future partitioner would introduce.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (endpoints_.at(batch[i].dst).shard != inject_dst_) continue;
+      if (batch[i].deliver_at < inject_after_) continue;
+      inject_held_ = std::make_unique<Message>(std::move(batch[i]));
+      batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(i));
+      inject_armed_ = false;
+      break;
+    }
+    if (batch.empty()) return;
+  }
   messages_ += batch.size();
   max_exchange_ = std::max(max_exchange_, batch.size());
   for (Message& msg : batch) {
     // Node-stable map: the Endpoint address outlives the run.
     const Endpoint* endpoint = &endpoints_.at(msg.dst);
     Shard& shard = *shards_[endpoint->shard];
+    if (ledger_ != nullptr) {
+      ledger_->on_message(
+          msg.deliver_at.ns(), msg.src, msg.seq, msg.kind,
+          msg.payload.data(), msg.payload.size(),
+          static_cast<std::uint32_t>(owner_of(msg.src)),
+          static_cast<std::uint32_t>(endpoint->shard));
+    }
     if (config_.profile) {
       const std::size_t cell =
           owner_of(msg.src) * shards_.size() + endpoint->shard;
@@ -204,10 +254,37 @@ void ShardedSimulator::exchange() {
 }
 
 void ShardedSimulator::emit_samples(TimePoint up_to) {
-  if (config_.sample_interval.ns() <= 0) return;
-  while (next_sample_ <= up_to) {
-    for (auto& shard : shards_) shard->sampler->sample(next_sample_);
-    next_sample_ = next_sample_ + config_.sample_interval;
+  if (config_.sample_interval.ns() > 0) {
+    while (next_sample_ <= up_to) {
+      for (auto& shard : shards_) shard->sampler->sample(next_sample_);
+      next_sample_ = next_sample_ + config_.sample_interval;
+    }
+  }
+  if (engine_sampler_ != nullptr) {
+    while (next_engine_sample_ <= up_to) {
+      // Global pending count: the partition decides which shard holds a
+      // future event, never whether it exists, so the sum at a barrier
+      // is invariant — safe inside the compared merged series.
+      std::uint64_t pending = 0;
+      for (const auto& shard : shards_) pending += shard->sim.pending_events();
+      engine_queue_depth_->set(static_cast<double>(pending));
+      engine_sampler_->sample(next_engine_sample_);
+      next_engine_sample_ = next_engine_sample_ + engine_interval_;
+    }
+  }
+}
+
+void ShardedSimulator::audit_tick(TimePoint end) {
+  if (!config_.audit) return;
+  while (next_audit_boundary_ <= end) {
+    obs::AuditDoc::MetricWindow window;
+    window.index = next_audit_boundary_.ns() / config_.audit_window.ns() - 1;
+    window.t_ns = end.ns();
+    for (const auto& shard : shards_) {
+      window.digest.merge(obs::digest_registry(shard->domain));
+    }
+    metric_windows_.push_back(window);
+    next_audit_boundary_ = next_audit_boundary_ + config_.audit_window;
   }
 }
 
@@ -245,6 +322,7 @@ void ShardedSimulator::run_until(TimePoint horizon) {
     }
     exchange();
     emit_samples(end);
+    audit_tick(end);
     now_ = end;
     ++windows_;
   }
@@ -270,6 +348,10 @@ void ShardedSimulator::record_profile_window(TimePoint end,
     sample.shard_events.push_back(shard->sim.events_executed());
   }
   sample.messages = messages_;
+  for (const auto& shard : shards_) {
+    sample.queue_depth += shard->sim.pending_events();
+    sample.queue_resizes += shard->sim.queue_resizes();
+  }
   prof_samples_.push_back(std::move(sample));
   if (prof_samples_.size() >= kMaxProfileSamples) {
     // Keep every other sample and double the stride: the buffer stays
@@ -281,6 +363,21 @@ void ShardedSimulator::record_profile_window(TimePoint end,
     prof_samples_.resize(kept);
     sample_stride_ *= 2;
   }
+}
+
+obs::AuditDoc ShardedSimulator::audit_doc() const {
+  if (!config_.audit) return obs::AuditDoc{};
+  std::vector<const obs::DigestTimeline*> timelines;
+  timelines.reserve(shards_.size());
+  for (const auto& shard : shards_) timelines.push_back(shard->auditor.get());
+  return obs::build_audit_doc(timelines, ledger_.get(), metric_windows_);
+}
+
+void ShardedSimulator::inject_exchange_reorder(TimePoint after,
+                                               std::size_t dst_shard) {
+  inject_armed_ = true;
+  inject_after_ = after;
+  inject_dst_ = dst_shard;
 }
 
 void ShardedSimulator::merged_profiler_into(obs::EventProfiler& dst) const {
@@ -330,6 +427,10 @@ std::string ShardedSimulator::merged_series_json(
   for (const auto& shard : shards_) {
     if (shard->sampler != nullptr) samplers.push_back(shard->sampler.get());
   }
+  // Engine series last: shard series keep priority on a (never
+  // expected) duplicate name. sim.queue_depth is partition-invariant at
+  // the sample grid, so it belongs in the compared merged document.
+  if (engine_sampler_ != nullptr) samplers.push_back(engine_sampler_.get());
   return obs::merged_series_json(samplers, source);
 }
 
@@ -350,6 +451,12 @@ std::uint64_t ShardedSimulator::events_executed() const {
   return total;
 }
 
+std::uint64_t ShardedSimulator::queue_resizes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.queue_resizes();
+  return total;
+}
+
 void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
                                    const std::string& prefix) {
   if (registry == nullptr) {
@@ -357,6 +464,7 @@ void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
     m_messages_ = nullptr;
     m_posts_clamped_ = nullptr;
     m_events_executed_ = nullptr;
+    m_queue_resizes_ = nullptr;
     m_shards_ = nullptr;
     m_threads_ = nullptr;
     m_max_exchange_ = nullptr;
@@ -366,6 +474,7 @@ void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
   m_messages_ = &registry->counter(prefix + "par.messages");
   m_posts_clamped_ = &registry->counter(prefix + "par.posts_clamped");
   m_events_executed_ = &registry->counter(prefix + "par.events_executed");
+  m_queue_resizes_ = &registry->counter(prefix + "par.queue_resizes");
   m_shards_ = &registry->gauge(prefix + "par.shards");
   m_threads_ = &registry->gauge(prefix + "par.threads");
   m_max_exchange_ = &registry->gauge(prefix + "par.max_exchange");
@@ -373,6 +482,7 @@ void ShardedSimulator::set_metrics(obs::MetricsRegistry* registry,
   messages_flushed_ = messages_;
   clamped_flushed_ = posts_clamped();
   events_flushed_ = events_executed();
+  resizes_flushed_ = queue_resizes();
 }
 
 void ShardedSimulator::flush_metrics() {
@@ -393,6 +503,11 @@ void ShardedSimulator::flush_metrics() {
     const std::uint64_t events = events_executed();
     m_events_executed_->inc(events - events_flushed_);
     events_flushed_ = events;
+  }
+  if (m_queue_resizes_ != nullptr) {
+    const std::uint64_t resizes = queue_resizes();
+    m_queue_resizes_->inc(resizes - resizes_flushed_);
+    resizes_flushed_ = resizes;
   }
   if (m_shards_ != nullptr) {
     m_shards_->set(static_cast<double>(shards_.size()));

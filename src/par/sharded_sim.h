@@ -43,6 +43,7 @@
 
 #include "common/pool.h"
 #include "common/time.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/series.h"
@@ -68,6 +69,17 @@ struct ShardedConfig {
   // attribution (deterministic) plus wall-clock lane timing, per-window
   // samples, and the shard-pair message matrix (not deterministic).
   bool profile{false};
+  // Enable the determinism audit plane (DESIGN.md §15): per-shard
+  // DigestTimelines on the engine execute hook, the cross-shard message
+  // ledger at every barrier exchange, and per-window metric-state
+  // digests. audit_window is the digest window width on the t=0 grid.
+  bool audit{false};
+  Duration audit_window{Duration::millis(250)};
+  // Simulated-time cadence for the coordinator's ENGINE sampler (the
+  // sim.queue_depth series in the merged document); zero falls back to
+  // sample_interval, so scenarios that sample domain metrics get the
+  // engine series for free and metro-scale runs can enable it alone.
+  Duration engine_sample_interval{};
 };
 
 class ShardedSimulator {
@@ -126,6 +138,30 @@ class ShardedSimulator {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "");
 
+  // --- Determinism audit plane (config_.audit) -----------------------
+  [[nodiscard]] bool auditing() const { return config_.audit; }
+  // Assemble the dlte-audit-v1 document: the partition-invariant merged
+  // section (windowed event/message multiset digests + metric-state
+  // digests) plus the per-shard chains and the shard-pair ledger.
+  // Zeroed doc when auditing is off.
+  [[nodiscard]] obs::AuditDoc audit_doc() const;
+  // TEST HOOK for the divergence-localization self-test: hold the first
+  // message destined for `dst_shard` with deliver_at >= `after` out of
+  // its barrier exchange and inject it one barrier late — the classic
+  // conservative-PDES bug of a message missing its window. Delivery
+  // still lands at deliver_at, so the scenario's metrics, series, and
+  // OpenMetrics artifacts stay byte-identical — the classic
+  // observability plane is blind to it. The audit plane is not: the
+  // destination engine assigns the delivery's tie-break seq late,
+  // shifting every subsequent seq in that shard (the order-sensitive
+  // chains and per-label digests split from the delivery's window on),
+  // and the re-bound execution order of same-timestamp work cascades
+  // into downstream event times (the merged event digests corroborate
+  // the window). One-shot: disarms after capturing. The trigger needs
+  // at least one barrier between `after` + lookahead and the horizon or
+  // the held message is silently dropped (loudly visible in metrics).
+  void inject_exchange_reorder(TimePoint after, std::size_t dst_shard);
+
   // --- Self-profiling plane (config_.profile) ------------------------
   [[nodiscard]] bool profiling() const { return config_.profile; }
   // Fold every shard's event-attribution profiler into `dst` by label
@@ -148,6 +184,12 @@ class ShardedSimulator {
   // time for the events/sec the perf CI gates. Flushed to
   // `par.events_executed` when metrics are attached.
   [[nodiscard]] std::uint64_t events_executed() const;
+  // Calendar-queue recalibrations summed over shard engines. Resize
+  // points depend on per-shard queue sizes, so this is deterministic
+  // for a FIXED configuration but NOT partition-invariant — it flushes
+  // to `par.queue_resizes` in the runtime metrics, never into the
+  // cross-shard-count compared artifacts.
+  [[nodiscard]] std::uint64_t queue_resizes() const;
 
  private:
   struct Endpoint {
@@ -179,6 +221,9 @@ class ShardedSimulator {
     // is written by the worker that owns the shard inside the window and
     // read by the coordinator after the barrier — never concurrently.
     std::unique_ptr<obs::EventProfiler> profiler;
+    // Audit timeline (null unless config_.audit); fed by the owning
+    // worker inside windows, read by the coordinator after the run.
+    std::unique_ptr<obs::DigestTimeline> auditor;
     std::uint32_t delivery_label{0};
     double window_run_s{0.0};
     double run_s{0.0};
@@ -192,6 +237,10 @@ class ShardedSimulator {
   // Collect all outboxes, sort by message_order, inject at the barrier.
   void exchange();
   void emit_samples(TimePoint up_to);
+  // Seal audit windows whose close time the barrier at `end` crossed:
+  // the per-window metric-state digest is taken at the first barrier at
+  // or after the close — a partition-invariant point of the run.
+  void audit_tick(TimePoint end);
   void flush_metrics();
 
   ShardedConfig config_;
@@ -202,6 +251,24 @@ class ShardedSimulator {
   std::uint64_t windows_{0};
   std::uint64_t messages_{0};
   std::uint64_t max_exchange_{0};
+
+  // Audit plane (null/empty unless config_.audit).
+  std::unique_ptr<obs::MessageLedger> ledger_;
+  std::vector<obs::AuditDoc::MetricWindow> metric_windows_;
+  TimePoint next_audit_boundary_{};
+  bool inject_armed_{false};
+  TimePoint inject_after_{};
+  std::size_t inject_dst_{0};
+  std::unique_ptr<Message> inject_held_;
+
+  // Coordinator-owned engine registry + sampler: the global
+  // sim.queue_depth gauge (sum of pending events at the sample grid —
+  // partition-invariant at barriers) sampled into the merged series.
+  obs::MetricsRegistry engine_domain_;
+  std::unique_ptr<obs::TimeSeriesSampler> engine_sampler_;
+  obs::Gauge* engine_queue_depth_{nullptr};
+  Duration engine_interval_{};
+  TimePoint next_engine_sample_{};
 
   // Shard-pair load matrix (messages/bytes), dense S×S, profiling only.
   std::vector<std::uint64_t> matrix_messages_;
@@ -228,6 +295,7 @@ class ShardedSimulator {
   obs::Counter* m_messages_{nullptr};
   obs::Counter* m_posts_clamped_{nullptr};
   obs::Counter* m_events_executed_{nullptr};
+  obs::Counter* m_queue_resizes_{nullptr};
   obs::Gauge* m_shards_{nullptr};
   obs::Gauge* m_threads_{nullptr};
   obs::Gauge* m_max_exchange_{nullptr};
@@ -235,6 +303,7 @@ class ShardedSimulator {
   std::uint64_t messages_flushed_{0};
   std::uint64_t clamped_flushed_{0};
   std::uint64_t events_flushed_{0};
+  std::uint64_t resizes_flushed_{0};
 };
 
 }  // namespace dlte::par

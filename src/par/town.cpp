@@ -68,10 +68,18 @@ struct ShardedTown::Island {
 };
 
 ShardedTown::ShardedTown(TownConfig config)
-    : config_(config),
-      runtime_(ShardedConfig{config.shards, config.threads,
-                             config.backbone_delay, config.sample_interval,
-                             config.profile}) {}
+    : config_(config), runtime_([&config] {
+        ShardedConfig rc;
+        rc.shards = config.shards;
+        rc.threads = config.threads;
+        rc.lookahead = config.backbone_delay;
+        rc.sample_interval = config.sample_interval;
+        rc.profile = config.profile;
+        rc.audit = config.audit;
+        rc.audit_window = config.audit_window;
+        rc.engine_sample_interval = config.engine_sample_interval;
+        return rc;
+      }()) {}
 
 ShardedTown::~ShardedTown() = default;
 

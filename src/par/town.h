@@ -38,6 +38,12 @@ struct TownConfig {
   Duration sample_interval{Duration::millis(500)};
   // Enable the runtime self-profiling plane (DESIGN.md §14).
   bool profile{false};
+  // Enable the determinism audit plane (DESIGN.md §15).
+  bool audit{false};
+  Duration audit_window{Duration::millis(250)};
+  // Engine-sampler cadence (sim.queue_depth in the merged series); zero
+  // falls back to sample_interval.
+  Duration engine_sample_interval{};
 };
 
 struct TownResult {

@@ -134,6 +134,9 @@ void Simulator::run_until(TimePoint deadline) {
     now_ = ev.when;
     ++events_executed_;
     if (profiler_ != nullptr) profiler_->on_execute(ev.label);
+    if (auditor_ != nullptr) {
+      auditor_->on_execute(ev.when.ns(), ev.seq, ev.label);
+    }
     ev.action();
   }
   if (now_ < deadline) now_ = deadline;
@@ -147,6 +150,9 @@ void Simulator::run_all() {
     now_ = ev.when;
     ++events_executed_;
     if (profiler_ != nullptr) profiler_->on_execute(ev.label);
+    if (auditor_ != nullptr) {
+      auditor_->on_execute(ev.when.ns(), ev.seq, ev.label);
+    }
     ev.action();
   }
   flush_metrics();

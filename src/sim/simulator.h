@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/time.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "sim/event_queue.h"
@@ -124,12 +125,20 @@ class Simulator {
   // idiom). Labels interned before attachment resolve to "sim.unlabeled".
   void set_profiler(obs::EventProfiler* profiler) { profiler_ = profiler; }
   [[nodiscard]] obs::EventProfiler* profiler() const { return profiler_; }
+  // Attach a determinism-audit timeline (DESIGN.md §15): every executed
+  // event's (when, seq, label) folds into its windowed digests, right
+  // next to the profiler hook. Null-safe; attach BEFORE interning labels
+  // so label() can register their name hashes with the auditor too.
+  void set_auditor(obs::DigestTimeline* auditor) { auditor_ = auditor; }
+  [[nodiscard]] obs::DigestTimeline* auditor() const { return auditor_; }
   // Intern an attribution label for the schedule_* label overloads.
   // Without a profiler every name maps to the unlabeled id, so callsites
   // can intern once at construction regardless of profiling state.
   [[nodiscard]] std::uint32_t label(const std::string& name) {
-    return profiler_ != nullptr ? profiler_->intern(name)
-                                : obs::kUnlabeledEvent;
+    if (profiler_ == nullptr) return obs::kUnlabeledEvent;
+    const std::uint32_t id = profiler_->intern(name);
+    if (auditor_ != nullptr) auditor_->register_label(id, name);
+    return id;
   }
 
  private:
@@ -145,6 +154,7 @@ class Simulator {
   bool stopped_{false};
 
   obs::EventProfiler* profiler_{nullptr};
+  obs::DigestTimeline* auditor_{nullptr};
 
   obs::Counter* past_counter_{nullptr};
   obs::Counter* events_counter_{nullptr};

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Compare two dlte-audit-v1 documents and localize the first divergence.
+
+The audit plane (DESIGN.md §15) turns "the determinism gate failed" into
+"shard 3 diverged in window 4, first moved labels par.delivery and
+net.hop, last agreeing barrier at t=1.000s". This tool is the diagnosis
+half: given two audit documents it reports, in window order, where the
+digest chains split and which shards, event labels, ledger pairs, and
+metric digests moved.
+
+Two comparison modes:
+
+  Full compare (default): merged section AND per-shard section (chains,
+  per-label digests, message ledger). Valid only between runs of the
+  SAME configuration — per-shard chains depend on the partition. Used
+  by the CI double-run gate and the injected-divergence self-test.
+
+      tools/audit_diff.py clean.audit.json suspect.audit.json
+
+  Merged-only (--merged-only): just the partition-invariant merged
+  section. This is the cross-shard-count compare (1-shard vs 4-shard
+  runs of the same scenario must agree here byte-for-byte).
+
+      tools/audit_diff.py --merged-only seq.audit.json par.audit.json
+
+Self-test expectations (the CI injected-divergence step): with
+--expect-divergence the exit sense inverts — the tool fails unless a
+divergence IS found, and any of --expect-window=N / --expect-shard=N /
+--expect-label=NAME must match the reported first divergence.
+
+Exit status: 0 = identical (or expectations met), 1 = divergence found
+(or expectations missed), 2 = usage or missing/malformed input.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "dlte-audit-v1"
+
+
+def die(message: str) -> None:
+    """Exit 2 (usage/input error) with a one-line diagnosis, no traceback."""
+    print(f"audit_diff: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_doc(path: pathlib.Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        die(f"missing file: {path}")
+    except json.JSONDecodeError as err:
+        die(f"malformed JSON in {path}: {err}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        die(f"{path}: not a {SCHEMA} document")
+    if "merged" not in doc:
+        die(f"{path}: no merged section")
+    return doc
+
+
+def window_seconds(doc: dict, index: int) -> float:
+    return index * doc["merged"].get("window_ns", 0) / 1e9
+
+
+class Report:
+    """Accumulates divergences; remembers the first (= earliest window)."""
+
+    def __init__(self):
+        self.lines = []
+        self.first_window = None  # earliest divergent window index
+        self.shards = set()       # shards whose chains split there
+        self.labels = set()       # labels whose digests moved there
+
+    def add(self, window: int, line: str, shard=None, labels=()):
+        if self.first_window is None or window < self.first_window:
+            self.first_window = window
+            self.shards = set()
+            self.labels = set()
+        if window == self.first_window:
+            if shard is not None:
+                self.shards.add(shard)
+            self.labels.update(labels)
+        self.lines.append((window, line))
+
+    def divergent(self) -> bool:
+        return bool(self.lines)
+
+
+def compare_merged(a: dict, b: dict, report: Report) -> None:
+    ma, mb = a["merged"], b["merged"]
+    for key in ("window_ns", "events_total", "messages_total"):
+        if ma.get(key) != mb.get(key):
+            report.add(-1, f"merged.{key}: {ma.get(key)} != {mb.get(key)}")
+    wa, wb = ma.get("windows", []), mb.get("windows", [])
+    if len(wa) != len(wb):
+        report.add(-1, f"merged window count: {len(wa)} != {len(wb)}")
+    for x, y in zip(wa, wb):
+        idx = x.get("index", -1)
+        if x.get("events") != y.get("events"):
+            report.add(idx, f"merged window {idx}: event count "
+                            f"{x.get('events')} != {y.get('events')}")
+        elif x.get("events_digest") != y.get("events_digest"):
+            report.add(idx, f"merged window {idx}: event multiset digest "
+                            "moved (same count — same number of events, "
+                            "different (time, label) population)")
+        if x.get("messages") != y.get("messages"):
+            report.add(idx, f"merged window {idx}: message count "
+                            f"{x.get('messages')} != {y.get('messages')}")
+        elif x.get("messages_digest") != y.get("messages_digest"):
+            report.add(idx, f"merged window {idx}: message multiset digest "
+                            "moved (same count, different messages)")
+    for x, y in zip(ma.get("metrics", []), mb.get("metrics", [])):
+        idx = x.get("index", -1)
+        if x != y:
+            report.add(idx, f"merged metric digest for window {idx} moved "
+                            f"(sealed at t={x.get('t_ns', 0) / 1e9:.3f}s)")
+
+
+def compare_shards(a: dict, b: dict, report: Report) -> None:
+    sa, sb = a.get("shards", {}), b.get("shards", {})
+    if sa.get("count") != sb.get("count"):
+        report.add(-1, f"shard count: {sa.get('count')} != {sb.get('count')} "
+                       "(different partitions — use --merged-only)")
+        return
+    for ta, tb in zip(sa.get("timelines", []), sb.get("timelines", [])):
+        shard = ta.get("shard")
+        for x, y in zip(ta.get("windows", []), tb.get("windows", [])):
+            if x == y:
+                continue
+            idx = x.get("index", -1)
+            moved = sorted(
+                set(x.get("labels", {})) | set(y.get("labels", {})))
+            moved = [name for name in moved
+                     if x.get("labels", {}).get(name)
+                     != y.get("labels", {}).get(name)]
+            detail = []
+            if x.get("events") != y.get("events"):
+                detail.append(f"events {x.get('events')} != {y.get('events')}")
+            if x.get("chain") != y.get("chain"):
+                detail.append("execution chain split")
+            if moved:
+                detail.append("labels moved: " + ", ".join(moved))
+            report.add(idx, f"shard {shard} window {idx}: "
+                            + "; ".join(detail), shard=shard, labels=moved)
+    for la, lb in zip(sa.get("ledger", []), sb.get("ledger", [])):
+        if la == lb:
+            continue
+        idx = la.get("index", -1)
+        pa = {(c["src"], c["dst"]): c for c in la.get("pairs", [])}
+        pb = {(c["src"], c["dst"]): c for c in lb.get("pairs", [])}
+        moved = sorted(k for k in set(pa) | set(pb) if pa.get(k) != pb.get(k))
+        pairs = ", ".join(f"{s}->{d}" for s, d in moved)
+        report.add(idx, f"ledger window {idx}: exchange digests moved for "
+                        f"pair(s) {pairs}")
+
+
+def last_agreeing_barrier(a: dict, b: dict, first_window) -> str:
+    """Latest metric-window seal (a barrier) both sides agree on."""
+    last = None
+    for x, y in zip(a["merged"].get("metrics", []),
+                    b["merged"].get("metrics", [])):
+        if x != y:
+            break
+        if first_window is not None and x.get("index", -1) >= first_window:
+            break
+        last = x
+    if last is None:
+        return "none (divergence precedes the first sealed window)"
+    return (f"window {last['index']} barrier at t={last['t_ns'] / 1e9:.3f}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="compare two dlte-audit-v1 documents")
+    parser.add_argument("a", type=pathlib.Path)
+    parser.add_argument("b", type=pathlib.Path)
+    parser.add_argument("--merged-only", action="store_true",
+                        help="compare only the partition-invariant merged "
+                             "section (cross-shard-count mode)")
+    parser.add_argument("--expect-divergence", action="store_true",
+                        help="self-test: fail unless a divergence is found")
+    parser.add_argument("--expect-window", type=int, default=None,
+                        help="self-test: required first divergent window")
+    parser.add_argument("--expect-shard", type=int, default=None,
+                        help="self-test: required shard at first divergence")
+    parser.add_argument("--expect-label", default=None,
+                        help="self-test: label that must move at first "
+                             "divergence")
+    args = parser.parse_args()
+
+    doc_a, doc_b = load_doc(args.a), load_doc(args.b)
+    report = Report()
+    compare_merged(doc_a, doc_b, report)
+    if not args.merged_only:
+        if "shards" not in doc_a or "shards" not in doc_b:
+            die("full compare needs a shards section in both documents "
+                "(use --merged-only for merged-only artifacts)")
+        compare_shards(doc_a, doc_b, report)
+
+    scope = "merged section" if args.merged_only else "full document"
+    if not report.divergent():
+        print(f"audit_diff: OK — {scope} identical "
+              f"({len(doc_a['merged'].get('windows', []))} windows)")
+        if args.expect_divergence:
+            print("audit_diff: FAIL — expected a divergence, found none",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    first = report.first_window
+    when = ("before the first window" if first is None or first < 0 else
+            f"window {first} (t={window_seconds(doc_a, first):.3f}s"
+            f"-{window_seconds(doc_a, first + 1):.3f}s)")
+    print(f"audit_diff: DIVERGENCE — first at {when}")
+    if report.shards:
+        print("  shard(s): " + ", ".join(str(s)
+                                         for s in sorted(report.shards)))
+    if report.labels:
+        print("  label(s): " + ", ".join(sorted(report.labels)))
+    print("  last agreeing metric seal: "
+          + last_agreeing_barrier(doc_a, doc_b, first))
+    for window, line in sorted(report.lines, key=lambda item: item[0])[:20]:
+        print(f"  - {line}")
+    if len(report.lines) > 20:
+        print(f"  ... and {len(report.lines) - 20} more divergent windows")
+
+    if args.expect_divergence:
+        misses = []
+        if args.expect_window is not None and first != args.expect_window:
+            misses.append(f"window {first} != expected {args.expect_window}")
+        if args.expect_shard is not None \
+                and args.expect_shard not in report.shards:
+            misses.append(f"shard {args.expect_shard} not in "
+                          f"{sorted(report.shards)}")
+        if args.expect_label is not None \
+                and args.expect_label not in report.labels:
+            misses.append(f"label {args.expect_label} not in "
+                          f"{sorted(report.labels)}")
+        if misses:
+            print("audit_diff: FAIL — divergence found but mislocalized: "
+                  + "; ".join(misses), file=sys.stderr)
+            return 1
+        print("audit_diff: OK — expected divergence found and localized")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

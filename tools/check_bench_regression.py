@@ -14,6 +14,11 @@ Two modes:
       tools/check_bench_regression.py \
           --baseline-dir bench/baselines --result-dir out
 
+  With --json PATH the gate additionally writes a machine-readable
+  dlte-bench-gate-v1 document (per-bench wall/throughput base, result,
+  delta, limit, and verdict plus the overall status) to PATH; stdout
+  keeps the human one-line-per-gate format either way.
+
   Determinism compare: byte-compare the "metrics" objects of two result
   files (the deterministic slice of the schema; wall_seconds and timings
   are wall-clock and exempt).
@@ -81,23 +86,31 @@ def compare_metrics(a_path: pathlib.Path, b_path: pathlib.Path) -> int:
 
 
 def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
-                    threshold: float, slack: float) -> int:
+                    threshold: float, slack: float,
+                    json_path: pathlib.Path = None) -> int:
     if not baseline_dir.is_dir():
         die(f"baseline directory {baseline_dir} does not exist")
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         die(f"no BENCH_*.json baselines in {baseline_dir}")
     failures = 0
+    records = []
     for base_path in baselines:
+        bench_name = base_path.stem.replace("BENCH_", "", 1)
+        record = {"bench": bench_name, "verdict": "ok",
+                  "wall": None, "throughput": None}
+        records.append(record)
         result_path = result_dir / base_path.name
         if not result_path.exists():
             print(f"FAIL: {result_path} missing (baseline exists)")
+            record["verdict"] = "missing"
             failures += 1
             continue
         base, result = load(base_path), load(result_path)
         base_wall, result_wall = base["wall_seconds"], result["wall_seconds"]
         if base_wall <= 0:
             print(f"SKIP: {base_path.name} baseline wall_seconds <= 0")
+            record["verdict"] = "skipped"
             continue
         # The absolute slack keeps sub-second benches from tripping the
         # ratio gate on scheduler noise.
@@ -109,8 +122,12 @@ def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
         print(f"{verdict}: {base_path.name} wall {result_wall:.3f}s vs "
               f"baseline {base_wall:.3f}s ({wall_delta:+.1%}, "
               f"limit {allowed:.3f}s = +{threshold:.0%} + {slack:.1f}s)")
+        record["wall"] = {"base_s": base_wall, "result_s": result_wall,
+                          "delta": wall_delta, "limit_s": allowed,
+                          "verdict": verdict.lower()}
         if verdict == "FAIL":
             failures += 1
+            record["verdict"] = "fail"
         # Throughput gate: only when BOTH sides recorded it, so adding
         # throughput() to a bench does not fail until its baseline is
         # re-recorded with the new field.
@@ -124,11 +141,27 @@ def regression_gate(baseline_dir: pathlib.Path, result_dir: pathlib.Path,
                   f"{result_tp / 1e6:.2f} Mev/s vs baseline "
                   f"{base_tp / 1e6:.2f} Mev/s ({tp_delta:+.1%}, "
                   f"floor {floor / 1e6:.2f} = -{threshold:.0%})")
+            record["throughput"] = {
+                "base_events_per_sec": base_tp,
+                "result_events_per_sec": result_tp,
+                "delta": tp_delta, "floor_events_per_sec": floor,
+                "verdict": verdict.lower()}
             if verdict == "FAIL":
                 failures += 1
+                record["verdict"] = "fail"
     if failures:
         print(f"{failures} gate(s) regressed beyond {threshold:.0%}; "
               "if intentional, refresh bench/baselines/ (see README).")
+    if json_path is not None:
+        doc = {"schema": "dlte-bench-gate-v1",
+               "status": "fail" if failures else "ok",
+               "threshold": threshold, "slack_s": slack,
+               "failures": failures, "benches": records}
+        try:
+            json_path.write_text(json.dumps(doc, indent=1) + "\n")
+        except OSError as err:
+            die(f"cannot write {json_path}: {err}")
+        print(f"[gate json] {json_path}")
     return 1 if failures else 0
 
 
@@ -148,11 +181,17 @@ def main() -> int:
                         metavar=("A", "B"),
                         help="byte-compare the metrics objects of two "
                              "result files instead of gating wall time")
+    parser.add_argument("--json", type=pathlib.Path, metavar="PATH",
+                        default=None,
+                        help="additionally write a machine-readable "
+                             "dlte-bench-gate-v1 verdict document (per-bench "
+                             "wall/throughput deltas and pass/fail) to PATH; "
+                             "the human one-line format stays on stdout")
     args = parser.parse_args()
     if args.compare_metrics:
         return compare_metrics(*args.compare_metrics)
     return regression_gate(args.baseline_dir, args.result_dir,
-                           args.threshold, args.slack)
+                           args.threshold, args.slack, args.json)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@
 #   tools/obs_check.sh par     <prefixA> <prefixB>
 #   tools/obs_check.sh metrics <benchA.json> <benchB.json>
 #   tools/obs_check.sh prof    <prof.json>   [prof_report.py args...]
+#   tools/obs_check.sh audit   <a.audit.json> <b.audit.json> [args...]
 #
 # `trace` validates/summarizes a Chrome trace-event export (--require /
 # --require-child gates); `series` validates/renders a dlte-series-v1
@@ -27,6 +28,11 @@
 # `prof` validates/renders a dlte-prof-v1 self-profiling document
 # (--require-label gates; `prof --compare A B` byte-compares the
 # deterministic event-attribution sections — the prof-determinism gate).
+#
+# `audit` diffs two dlte-audit-v1 determinism-audit documents through
+# audit_diff.py (first divergent window/shard/label localization; pass
+# --merged-only for cross-shard-count compares, --expect-* for the
+# injected-divergence self-test).
 set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
@@ -64,6 +70,23 @@ case "$mode" in
         rc=1
       fi
     done
+    # The audit document's per-shard section legitimately differs across
+    # partitions, so it goes through audit_diff.py --merged-only instead
+    # of cmp. On any divergence above, the audit diagnosis (if available)
+    # is the localization the bare cmp offsets can't give.
+    if [ -e "$a.audit.json" ] && [ -e "$b.audit.json" ]; then
+      if python3 "$here/audit_diff.py" --merged-only \
+          "$a.audit.json" "$b.audit.json"; then
+        echo "par: audit merged section identical"
+      else
+        echo "par: audit.json DIVERGED ($a.audit.json vs $b.audit.json)" >&2
+        rc=1
+      fi
+      if [ "$rc" -ne 0 ]; then
+        echo "par: audit diagnosis (full compare):" >&2
+        python3 "$here/audit_diff.py" "$a.audit.json" "$b.audit.json" >&2 || true
+      fi
+    fi
     [ "$rc" -eq 0 ] && echo "par: all artifacts byte-identical"
     exit "$rc"
     ;;
@@ -74,8 +97,11 @@ case "$mode" in
   prof)
     exec python3 "$here/prof_report.py" "$@"
     ;;
+  audit)
+    exec python3 "$here/audit_diff.py" "$@"
+    ;;
   *)
-    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par|metrics|prof)" >&2
+    echo "obs_check.sh: unknown mode '$mode' (expected trace|series|par|metrics|prof|audit)" >&2
     usage
     ;;
 esac
