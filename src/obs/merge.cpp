@@ -21,7 +21,7 @@ void merge_registry(MetricsRegistry& dst, const MetricsRegistry& src,
 
 std::string merged_series_json(
     const std::vector<const TimeSeriesSampler*>& samplers,
-    const std::string& source) {
+    const std::string& source, const SloMonitor* monitor) {
   // Union of series, sorted by name; first sampler wins on duplicates.
   std::map<std::string, const TimeSeries*> merged;
   double interval_s = 0.0;
@@ -57,11 +57,34 @@ std::string merged_series_json(
     w.end_object();
   }
   w.end_object();
+  // Rules/alerts/health render exactly as SeriesExporter::to_json does
+  // (byte-for-byte), empty when no monitor rides along.
   w.key("rules").begin_array();
+  if (monitor != nullptr) {
+    for (const auto& rule : monitor->rule_descriptions()) w.value(rule);
+  }
   w.end_array();
   w.key("alerts").begin_array();
+  if (monitor != nullptr) {
+    for (const auto& event : monitor->events()) {
+      w.begin_object();
+      w.key("t_s").value(event.t_s);
+      w.key("event").value(event.fire ? "fire" : "resolve");
+      w.key("rule").value(event.rule);
+      w.key("scope").value(event.scope);
+      w.key("metric").value(event.metric);
+      w.key("value").value(event.value);
+      w.key("threshold").value(event.threshold);
+      w.end_object();
+    }
+  }
   w.end_array();
   w.key("health").begin_object();
+  if (monitor != nullptr) {
+    for (const auto& scope : monitor->scopes()) {
+      w.key(scope).value(monitor->health(scope));
+    }
+  }
   w.end_object();
   w.end_object();
   return w.str();

@@ -21,6 +21,7 @@
 
 #include "obs/metrics.h"
 #include "obs/series.h"
+#include "obs/slo.h"
 
 namespace dlte::obs {
 
@@ -34,8 +35,14 @@ void merge_registry(MetricsRegistry& dst, const MetricsRegistry& src,
 // are none). With a single sampler this is byte-identical to
 // SeriesExporter::to_json(sampler, nullptr, source), which is what makes
 // the 1-shard-vs-N-shard series comparison meaningful.
+//
+// `monitor` (optional) embeds an SloMonitor's rules/alerts/health
+// sections exactly as SeriesExporter does — a scenario that pins its
+// monitor to one shard's registry (so its alert timeline is partition-
+// invariant) can then ship alerts inside the merged document and the
+// health-report gate reads them like any single-sim series file.
 [[nodiscard]] std::string merged_series_json(
     const std::vector<const TimeSeriesSampler*>& samplers,
-    const std::string& source);
+    const std::string& source, const SloMonitor* monitor = nullptr);
 
 }  // namespace dlte::obs

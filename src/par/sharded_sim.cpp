@@ -422,7 +422,7 @@ void ShardedSimulator::merged_metrics_into(obs::MetricsRegistry& dst) const {
 }
 
 std::string ShardedSimulator::merged_series_json(
-    const std::string& source) const {
+    const std::string& source, const obs::SloMonitor* monitor) const {
   std::vector<const obs::TimeSeriesSampler*> samplers;
   for (const auto& shard : shards_) {
     if (shard->sampler != nullptr) samplers.push_back(shard->sampler.get());
@@ -431,7 +431,7 @@ std::string ShardedSimulator::merged_series_json(
   // expected) duplicate name. sim.queue_depth is partition-invariant at
   // the sample grid, so it belongs in the compared merged document.
   if (engine_sampler_ != nullptr) samplers.push_back(engine_sampler_.get());
-  return obs::merged_series_json(samplers, source);
+  return obs::merged_series_json(samplers, source, monitor);
 }
 
 const obs::TimeSeriesSampler* ShardedSimulator::shard_sampler(

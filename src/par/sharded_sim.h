@@ -47,6 +47,7 @@
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/series.h"
+#include "obs/slo.h"
 #include "par/message.h"
 #include "sim/simulator.h"
 
@@ -123,9 +124,12 @@ class ShardedSimulator {
   // naming contract applies).
   void merged_metrics_into(obs::MetricsRegistry& dst) const;
   // One dlte-series-v1 document over all shards' samplers (empty
-  // samplers when sampling is disabled).
+  // samplers when sampling is disabled). An optional SloMonitor embeds
+  // its rules/alerts/health sections — it must watch a single shard's
+  // domain registry so the alert timeline is partition-invariant.
   [[nodiscard]] std::string merged_series_json(
-      const std::string& source) const;
+      const std::string& source,
+      const obs::SloMonitor* monitor = nullptr) const;
   [[nodiscard]] const obs::TimeSeriesSampler* shard_sampler(
       std::size_t shard) const;
 

@@ -1,0 +1,63 @@
+#include "registry/health.h"
+
+namespace dlte::registry {
+
+std::vector<obs::SloRule> churn_slo_rules(const std::string& prefix,
+                                          const std::string& scope,
+                                          double max_failure_rate,
+                                          double min_heartbeat_rate,
+                                          double max_stale_rate) {
+  std::vector<obs::SloRule> rules;
+  {
+    obs::SloRule r;
+    r.name = "registry_churn_outage";
+    r.scope = scope;
+    r.metric = prefix + "registry.heartbeats_failed";
+    r.predicate = obs::SloPredicate::kRateBelow;
+    r.threshold = max_failure_rate;
+    r.window = Duration::seconds(5.0);
+    r.fire_after = 2;
+    r.resolve_after = 2;
+    rules.push_back(r);
+  }
+  {
+    obs::SloRule r;
+    r.name = "registry_grant_failures";
+    r.scope = scope;
+    r.metric = prefix + "registry.grant_failures";
+    r.predicate = obs::SloPredicate::kRateBelow;
+    r.threshold = max_failure_rate;
+    r.window = Duration::seconds(5.0);
+    r.fire_after = 1;  // A failure burst is already a storm symptom.
+    r.resolve_after = 2;
+    rules.push_back(r);
+  }
+  {
+    obs::SloRule r;
+    r.name = "registry_heartbeat_liveness";
+    r.scope = scope;
+    r.metric = prefix + "registry.heartbeats_ok";
+    r.predicate = obs::SloPredicate::kRateAtLeast;
+    r.threshold = min_heartbeat_rate;
+    r.window = Duration::seconds(5.0);
+    // Startup grace: blocks take a few intervals to begin heartbeating.
+    r.fire_after = 4;
+    r.resolve_after = 1;
+    rules.push_back(r);
+  }
+  {
+    obs::SloRule r;
+    r.name = "registry_cache_staleness";
+    r.scope = scope;
+    r.metric = prefix + "registry.cache.stale_serves";
+    r.predicate = obs::SloPredicate::kRateBelow;
+    r.threshold = max_stale_rate;
+    r.window = Duration::seconds(5.0);
+    r.fire_after = 2;
+    r.resolve_after = 2;
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+}  // namespace dlte::registry

@@ -1,0 +1,108 @@
+// Zone-bucketed spatial index for planet-scale grant lookup (DESIGN.md
+// §16).
+//
+// spectrum::Registry's flat vector makes every region query an O(n)
+// scan — fine for a town, hopeless for the millions of leases ROADMAP
+// item 4 asks for. This index partitions the plane into kZoneSizeM-sized
+// grid zones (the same coarse grid the federated registry uses as its
+// failure domain) and, inside each zone, buckets entries per band
+// (center frequency). A query then touches only the zones within the
+// largest interference reach of any indexed entry, and a contention
+// query additionally skips buckets whose band cannot overlap.
+//
+// Determinism: zones are visited in a fixed (zx ascending, zy ascending)
+// order and bucket/entry order is insertion order, so a visit sequence
+// is a pure function of the insert/erase history. Callers that need a
+// canonical result order sort by id — the index itself promises only
+// "every matching entry exactly once".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace dlte::registry {
+
+// Packed (zx, zy) grid coordinate of `location` on a `zone_size_m` grid.
+// Unlike spectrum::Registry::zone_of's hash interleave this is exact
+// (32 bits per axis), so distinct zones never collide — cache and index
+// keys must not merge unrelated zones.
+[[nodiscard]] std::int64_t zone_key(Position location, double zone_size_m);
+[[nodiscard]] std::int64_t zone_key_of(std::int32_t zx, std::int32_t zy);
+
+// What the index knows about a grant: identity, placement, precomputed
+// interference reach, and band extent. The owner (spectrum::Registry)
+// maps ids back to full grants; keeping the entry POD-small means a
+// zone scan stays cache-friendly at millions of leases.
+struct SiteEntry {
+  std::uint64_t id{0};
+  Position location;
+  double range_m{0.0};    // Interference reach (precomputed, metres).
+  double center_hz{0.0};  // Band center.
+  double half_bw_hz{0.0};  // Half the occupied bandwidth.
+};
+
+class SpatialIndex {
+ public:
+  explicit SpatialIndex(double zone_size_m = 50'000.0);
+
+  void insert(const SiteEntry& entry);
+  // Erase by id; `location` routes the lookup to the owning zone.
+  // Returns false when no such entry is indexed there.
+  bool erase(std::uint64_t id, Position location);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] double zone_size_m() const { return zone_size_m_; }
+  // Largest reach ever indexed — the scan radius bound. Monotone (never
+  // shrinks on erase): a conservative bound keeps the visited-zone set a
+  // deterministic function of insert history alone.
+  [[nodiscard]] double max_range_m() const { return max_range_m_; }
+
+  using Visitor = std::function<void(const SiteEntry&)>;
+
+  // Every entry whose own reach covers `location` (the grants_near
+  // predicate): distance(entry, location) <= entry.range_m.
+  void for_each_reaching(Position location, const Visitor& visit) const;
+
+  // Every entry (except `skip_id`) whose band overlaps
+  // [center_hz ± half_bw_hz] and whose distance to `location` is within
+  // max(own_range_m, entry.range_m) — the contention-domain predicate.
+  void for_each_contending(Position location, double center_hz,
+                           double half_bw_hz, double own_range_m,
+                           std::uint64_t skip_id, const Visitor& visit) const;
+
+  // Every entry whose reach touches the axis-aligned square of `zone`
+  // (a packed zone_key) — the membership snapshot the hierarchical
+  // cache serves for that zone.
+  void for_each_touching_zone(std::int64_t zone, const Visitor& visit) const;
+
+ private:
+  // Entries of one band within one zone. A bucket caches the largest
+  // reach and half-bandwidth of its members so a whole band can be
+  // skipped without touching its entries.
+  struct Bucket {
+    double center_hz{0.0};
+    double max_half_bw_hz{0.0};
+    double max_range_m{0.0};
+    std::vector<SiteEntry> entries;
+  };
+  struct Zone {
+    double max_range_m{0.0};
+    std::vector<Bucket> buckets;
+  };
+
+  // Visit all zones whose square could hold an entry reaching within
+  // `radius_m` of `location`, in fixed (zx, zy) ascending order.
+  void for_each_zone_near(Position location, double radius_m,
+                          const std::function<void(const Zone&)>& visit) const;
+
+  double zone_size_m_;
+  double max_range_m_{0.0};
+  std::size_t size_{0};
+  std::unordered_map<std::int64_t, Zone> zones_;
+};
+
+}  // namespace dlte::registry

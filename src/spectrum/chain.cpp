@@ -1,5 +1,7 @@
 #include "spectrum/chain.h"
 
+#include <algorithm>
+
 #include "common/bytes.h"
 
 namespace dlte::spectrum {
@@ -41,18 +43,42 @@ void SpectrumChain::seal_block() {
   Block b;
   b.height = blocks_.back().height + 1;
   b.previous_hash = blocks_.back().hash;
+  // FIFO batch window: oldest submissions commit first; anything past
+  // the per-block cap waits for the next interval.
+  const std::size_t take = max_records_ == 0
+                               ? pending_.size()
+                               : std::min(max_records_, pending_.size());
   std::vector<InclusionCallback> callbacks;
-  for (auto& [record, cb] : pending_) {
-    b.records.push_back(std::move(record));
-    callbacks.push_back(std::move(cb));
+  callbacks.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    b.records.push_back(std::move(pending_[i].first));
+    callbacks.push_back(std::move(pending_[i].second));
   }
-  pending_.clear();
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(take));
   b.hash = block_hash(b);
   blocks_.push_back(std::move(b));
+  obs::inc(m_blocks_sealed_);
+  obs::observe(m_commits_per_block_, static_cast<double>(take));
+  obs::set(m_commit_backlog_, static_cast<double>(pending_.size()));
   const std::uint64_t height = blocks_.back().height;
   for (auto& cb : callbacks) {
     if (cb) cb(height);
   }
+}
+
+void SpectrumChain::set_metrics(obs::MetricsRegistry* metrics,
+                                const std::string& prefix) {
+  if (metrics == nullptr) {
+    m_blocks_sealed_ = nullptr;
+    m_commits_per_block_ = nullptr;
+    m_commit_backlog_ = nullptr;
+    return;
+  }
+  m_blocks_sealed_ = &metrics->counter(prefix + "registry.blocks_sealed");
+  m_commits_per_block_ =
+      &metrics->histogram(prefix + "registry.commits_per_block");
+  m_commit_backlog_ = &metrics->gauge(prefix + "registry.commit_backlog");
 }
 
 bool SpectrumChain::verify() const {

@@ -16,6 +16,7 @@
 
 #include "common/time.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dlte::spectrum {
@@ -51,6 +52,23 @@ class SpectrumChain {
   // Start sealing blocks every interval (idempotent).
   void start();
 
+  // Batched commit windows (DESIGN.md §16): cap how many queued records
+  // one block may carry. Submissions beyond the cap stay pending for the
+  // next interval, so commit throughput is records-per-block × blocks-
+  // per-second and scales with the cap. Zero (the default) keeps the
+  // historical behaviour: every pending record seals into one block.
+  void set_max_records_per_block(std::size_t cap) { max_records_ = cap; }
+  [[nodiscard]] std::size_t max_records_per_block() const {
+    return max_records_;
+  }
+
+  // Health source: counter `<prefix>registry.blocks_sealed`, histogram
+  // `<prefix>registry.commits_per_block` (records sealed per block —
+  // the batch-efficiency signal), gauge `<prefix>registry.commit_backlog`
+  // (records still pending after a seal). Null-safe.
+  void set_metrics(obs::MetricsRegistry* metrics,
+                   const std::string& prefix = "");
+
   [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] const Block& block(std::size_t index) const {
@@ -81,8 +99,13 @@ class SpectrumChain {
   sim::Simulator& sim_;
   Duration interval_;
   bool started_{false};
+  std::size_t max_records_{0};  // 0 = unbounded block size.
   std::vector<Block> blocks_;
   std::vector<std::pair<ChainRecord, InclusionCallback>> pending_;
+
+  obs::Counter* m_blocks_sealed_{nullptr};
+  obs::Histogram* m_commits_per_block_{nullptr};
+  obs::Gauge* m_commit_backlog_{nullptr};
 };
 
 }  // namespace dlte::spectrum

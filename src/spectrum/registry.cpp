@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/bytes.h"
 #include "phy/propagation.h"
@@ -75,13 +76,40 @@ Registry::Registry(sim::Simulator& sim, RegistryKind kind)
 
 void Registry::attach_chain(SpectrumChain* chain) {
   chain_ = chain;
-  if (chain_ != nullptr) chain_->start();
+  if (chain_ != nullptr) {
+    chain_->set_metrics(metrics_, metrics_prefix_);
+    chain_->start();
+  }
 }
 
 bool Registry::co_channel(const SpectrumGrant& a,
                           const SpectrumGrant& b) const {
   const double half = (a.bandwidth.hz() + b.bandwidth.hz()) / 2.0;
   return std::abs(a.center_frequency.hz() - b.center_frequency.hz()) < half;
+}
+
+double Registry::cached_range_m(const SpectrumGrant& grant) const {
+  // Sub-dBm EIRP differences don't matter for a reach bound; quantizing
+  // to milli-dBm keys the memo exactly for the repeated (band, power)
+  // pairs a deployment actually uses.
+  const std::pair<std::int64_t, std::int64_t> key{
+      static_cast<std::int64_t>(grant.center_frequency.hz()),
+      static_cast<std::int64_t>(std::lround(grant.max_eirp.value() * 1000.0))};
+  const auto it = range_cache_.find(key);
+  if (it != range_cache_.end()) return it->second;
+  const double range = interference_range_m(grant);
+  range_cache_.emplace(key, range);
+  return range;
+}
+
+void Registry::bump_zone_version(Position location) {
+  ++zone_versions_[registry::zone_key(location, kZoneSizeM)];
+}
+
+std::uint64_t Registry::zone_version(Position location) const {
+  const auto it =
+      zone_versions_.find(registry::zone_key(location, kZoneSizeM));
+  return it == zone_versions_.end() ? 0 : it->second;
 }
 
 Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
@@ -103,11 +131,33 @@ Result<SpectrumGrant> Registry::grant_now(GrantRequest request) {
   g.operator_contact = request.operator_contact;
   g.secondary_use = request.secondary_use;
   g.coordination_node = request.coordination_node;
-  if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
+  if (!lifetime_.is_zero()) {
+    g.expires_at = sim_.now() + lifetime_;
+    expiry_.push({(g.expires_at + grace_).ns(), g.id.value()});
+  }
+  slot_of_[g.id.value()] = grants_.size();
   grants_.push_back(g);
+  index_.insert(registry::SiteEntry{g.id.value(), g.location,
+                                    cached_range_m(g),
+                                    g.center_frequency.hz(),
+                                    g.bandwidth.hz() / 2.0});
+  bump_zone_version(g.location);
   obs::inc(m_grants_issued_);
   obs::set(m_active_grants_, static_cast<double>(grants_.size()));
   return g;
+}
+
+void Registry::erase_slot(std::size_t slot) {
+  SpectrumGrant& g = grants_[slot];
+  index_.erase(g.id.value(), g.location);
+  bump_zone_version(g.location);
+  slot_of_.erase(g.id.value());
+  const std::size_t last = grants_.size() - 1;
+  if (slot != last) {
+    grants_[slot] = std::move(grants_[last]);
+    slot_of_[grants_[slot].id.value()] = slot;
+  }
+  grants_.pop_back();
 }
 
 void Registry::set_tracer(obs::SpanTracer* tracer,
@@ -122,14 +172,21 @@ Status<> Registry::heartbeat(GrantId id) {
       return fail("registry unreachable");
     }
     prune_expired();
-    for (auto& g : grants_) {
-      if (g.id == id) {
-        if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
-        g.degraded = false;
-        return {};
-      }
+    const auto it = slot_of_.find(id.value());
+    if (it == slot_of_.end()) {
+      return fail("grant lapsed or unknown: re-apply");
     }
-    return fail("grant lapsed or unknown: re-apply");
+    SpectrumGrant& g = grants_[it->second];
+    // A federated registrar renews its own zone's leases: a heartbeat
+    // into an offline zone fails like any other request there. The
+    // lease itself keeps aging — if the zone comes back inside the
+    // grace window, the next heartbeat fully renews it.
+    if (!reachable_for(g.location)) {
+      return fail("registry unreachable");
+    }
+    if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
+    g.degraded = false;
+    return {};
   }();
   obs::inc(status ? m_hb_ok_ : m_hb_failed_);
   // Zero-duration marker: heartbeats are instantaneous in the model, but
@@ -144,24 +201,32 @@ Status<> Registry::heartbeat(GrantId id) {
 }
 
 void Registry::prune_expired() {
-  const TimePoint now = sim_.now();
   // Leases expire in two steps: past `expires_at` the grant is merely
-  // degraded (still listed, holder expected at conservative power); past
-  // `expires_at + grace` it lapses for good.
-  const auto first_dead = std::remove_if(
-      grants_.begin(), grants_.end(), [&](const SpectrumGrant& g) {
-        return g.expires_at.ns() != 0 && g.expires_at + grace_ < now;
-      });
-  const auto lapsed_now =
-      static_cast<std::uint64_t>(grants_.end() - first_dead);
-  lapsed_ += lapsed_now;
-  obs::inc(m_grants_lapsed_, lapsed_now);
-  grants_.erase(first_dead, grants_.end());
-  if (lapsed_now > 0) {
-    obs::set(m_active_grants_, static_cast<double>(grants_.size()));
+  // degraded (reported on copy-out, holder expected at conservative
+  // power); past `expires_at + grace` it lapses for good. The lazy heap
+  // makes mass expiry O(lapsed · log n): a popped entry whose recorded
+  // due predates a heartbeat renewal is simply re-queued at the live due.
+  const TimePoint now = sim_.now();
+  std::uint64_t lapsed_now = 0;
+  while (!expiry_.empty() && expiry_.top().first < now.ns()) {
+    const ExpiryEntry entry = expiry_.top();
+    expiry_.pop();
+    const auto it = slot_of_.find(entry.second);
+    if (it == slot_of_.end()) continue;  // Revoked since queued.
+    const SpectrumGrant& g = grants_[it->second];
+    if (g.expires_at.ns() == 0) continue;  // Became perpetual.
+    const std::int64_t due = (g.expires_at + grace_).ns();
+    if (due < now.ns()) {
+      erase_slot(it->second);
+      ++lapsed_now;
+    } else {
+      expiry_.push({due, entry.second});
+    }
   }
-  for (auto& g : grants_) {
-    if (g.expires_at.ns() != 0 && g.expires_at < now) g.degraded = true;
+  if (lapsed_now > 0) {
+    lapsed_ += lapsed_now;
+    obs::inc(m_grants_lapsed_, lapsed_now);
+    obs::set(m_active_grants_, static_cast<double>(grants_.size()));
   }
 }
 
@@ -212,7 +277,9 @@ void Registry::set_outage(RegistryOutage outage) {
   if (previous == RegistryOutage::kCommitStall &&
       outage != RegistryOutage::kCommitStall) {
     // The chain caught up / the service recovered: stalled commits land
-    // now, in submission order.
+    // now, in submission order. With a chain attached they queue into
+    // the same open commit window, so a whole stalled batch commits at
+    // the next block inclusion together.
     auto pending = std::move(stalled_commits_);
     stalled_commits_.clear();
     obs::set(m_stalled_commits_, 0.0);
@@ -283,16 +350,69 @@ void Registry::do_request_grant(GrantRequest request, GrantCallback callback,
 
 std::vector<SpectrumGrant> Registry::grants_near(Position location) const {
   const_cast<Registry*>(this)->prune_expired();
+  const TimePoint now = sim_.now();
   std::vector<SpectrumGrant> out;
-  for (const auto& g : grants_) {
-    if (distance_m(g.location, location) <= interference_range_m(g)) {
-      out.push_back(g);
-    }
-  }
+  index_.for_each_reaching(location, [&](const registry::SiteEntry& entry) {
+    out.push_back(grants_[slot_of_.at(entry.id)]);
+    out.back().degraded = degraded_now(out.back(), now);
+  });
+  // Zone visit order is an index detail; GrantId order is the canonical
+  // result order (and matches the old scan's insertion order as long as
+  // nothing was revoked).
+  std::sort(out.begin(), out.end(),
+            [](const SpectrumGrant& a, const SpectrumGrant& b) {
+              return a.id.value() < b.id.value();
+            });
   return out;
 }
 
+std::size_t Registry::count_grants_near(Position location) const {
+  const_cast<Registry*>(this)->prune_expired();
+  std::size_t count = 0;
+  index_.for_each_reaching(location,
+                           [&](const registry::SiteEntry&) { ++count; });
+  return count;
+}
+
+registry::ZoneSnapshot Registry::zone_snapshot(std::int64_t zone) const {
+  const_cast<Registry*>(this)->prune_expired();
+  auto ids = std::make_shared<std::vector<std::uint64_t>>();
+  index_.for_each_touching_zone(zone, [&](const registry::SiteEntry& entry) {
+    ids->push_back(entry.id);
+  });
+  std::sort(ids->begin(), ids->end());
+  return ids;
+}
+
+Registry::ZoneOccupancy Registry::zone_occupancy(std::uint64_t requester,
+                                                 Position location) {
+  prune_expired();
+  const std::int64_t zone = registry::zone_key(location, kZoneSizeM);
+  if (cache_ == nullptr || kind_ != RegistryKind::kFederated) {
+    return ZoneOccupancy{registry::CacheTier::kAuthoritative, false,
+                         zone_snapshot(zone)->size()};
+  }
+  const std::uint64_t version = zone_version(location);
+  const registry::CacheLookup look =
+      cache_->lookup(requester, zone, version, sim_.now());
+  if (look.snapshot != nullptr) {
+    return ZoneOccupancy{look.tier, look.stale, look.snapshot->size()};
+  }
+  const registry::ZoneSnapshot snap = zone_snapshot(zone);
+  if (look.tier == registry::CacheTier::kAuthoritative) {
+    // A shed lookup takes the slow path *without* refilling: the root
+    // refused the work, it didn't serve it.
+    cache_->fill(requester, zone, version, snap, sim_.now());
+  }
+  return ZoneOccupancy{look.tier, false, snap->size()};
+}
+
 void Registry::query_region(Position location, QueryCallback callback) {
+  query_region_as(0, location, std::move(callback));
+}
+
+void Registry::query_region_as(std::uint64_t requester, Position location,
+                               QueryCallback callback) {
   const obs::SpanId span =
       obs::span_begin(tracer_, "registry_query", span_cat_);
   if (span != obs::kNoSpan) {
@@ -314,24 +434,75 @@ void Registry::query_region(Position location, QueryCallback callback) {
     });
     return;
   }
+  serve_query(requester, location, std::move(callback), span);
+}
+
+void Registry::serve_query(std::uint64_t requester, Position location,
+                           QueryCallback callback, obs::SpanId span) {
   const auto latency = registry_latency(kind_);
-  sim_.schedule(latency.query, [this, location,
+  if (cache_ == nullptr || kind_ != RegistryKind::kFederated) {
+    sim_.schedule(latency.query, [this, location,
+                                  callback = std::move(callback)] {
+      callback(grants_near(location));
+    });
+    return;
+  }
+  prune_expired();
+  const std::int64_t zone = registry::zone_key(location, kZoneSizeM);
+  const std::uint64_t version = zone_version(location);
+  const registry::CacheLookup look =
+      cache_->lookup(requester, zone, version, sim_.now());
+  if (look.snapshot != nullptr) {
+    obs::span_annotate(tracer_, span, "cache",
+                       registry::cache_tier_name(look.tier));
+    sim_.schedule(
+        cache_->tier_latency(look.tier),
+        [this, location, snapshot = look.snapshot,
+         callback = std::move(callback)] {
+          // Resolve the cached membership against live grants at serve
+          // time; ids that lapsed meanwhile simply drop out.
+          const TimePoint now = sim_.now();
+          std::vector<SpectrumGrant> out;
+          for (const std::uint64_t id : *snapshot) {
+            const auto it = slot_of_.find(id);
+            if (it == slot_of_.end()) continue;
+            const SpectrumGrant& g = grants_[it->second];
+            if (distance_m(g.location, location) > cached_range_m(g)) {
+              continue;
+            }
+            out.push_back(g);
+            out.back().degraded = degraded_now(g, now);
+          }
+          callback(std::move(out));
+        });
+    return;
+  }
+  obs::span_annotate(tracer_, span, "cache",
+                     registry::cache_tier_name(look.tier));
+  const bool refill = look.tier == registry::CacheTier::kAuthoritative;
+  sim_.schedule(latency.query, [this, requester, zone, location, refill,
                                 callback = std::move(callback)] {
-    callback(grants_near(location));
+    auto out = grants_near(location);
+    if (refill && cache_ != nullptr) {
+      cache_->fill(requester, zone, zone_version(location),
+                   zone_snapshot(zone), sim_.now());
+    }
+    callback(std::move(out));
   });
 }
 
 void Registry::revoke(GrantId id) {
-  grants_.erase(std::remove_if(grants_.begin(), grants_.end(),
-                               [&](const SpectrumGrant& g) {
-                                 return g.id == id;
-                               }),
-                grants_.end());
+  const auto it = slot_of_.find(id.value());
+  if (it == slot_of_.end()) return;
+  erase_slot(it->second);
   obs::set(m_active_grants_, static_cast<double>(grants_.size()));
 }
 
 void Registry::set_metrics(obs::MetricsRegistry* metrics,
                            const std::string& prefix) {
+  metrics_ = metrics;
+  metrics_prefix_ = prefix;
+  if (chain_ != nullptr) chain_->set_metrics(metrics, prefix);
   if (metrics == nullptr) {
     m_hb_ok_ = nullptr;
     m_hb_failed_ = nullptr;
@@ -359,16 +530,19 @@ void Registry::set_metrics(obs::MetricsRegistry* metrics,
 std::vector<SpectrumGrant> Registry::contention_domain(
     const SpectrumGrant& grant) const {
   const_cast<Registry*>(this)->prune_expired();
+  const TimePoint now = sim_.now();
+  const double own_range = cached_range_m(grant);
   std::vector<SpectrumGrant> out;
-  const double own_range = interference_range_m(grant);
-  for (const auto& g : grants_) {
-    if (g.id == grant.id) continue;
-    if (!co_channel(grant, g)) continue;
-    const double reach = std::max(own_range, interference_range_m(g));
-    if (distance_m(g.location, grant.location) <= reach) {
-      out.push_back(g);
-    }
-  }
+  index_.for_each_contending(
+      grant.location, grant.center_frequency.hz(), grant.bandwidth.hz() / 2.0,
+      own_range, grant.id.value(), [&](const registry::SiteEntry& entry) {
+        out.push_back(grants_[slot_of_.at(entry.id)]);
+        out.back().degraded = degraded_now(out.back(), now);
+      });
+  std::sort(out.begin(), out.end(),
+            [](const SpectrumGrant& a, const SpectrumGrant& b) {
+              return a.id.value() < b.id.value();
+            });
   return out;
 }
 
@@ -377,20 +551,19 @@ void Registry::publish_subscriber(const epc::PublishedKeys& keys) {
     chain_->submit(
         ChainRecord{ChainRecordKind::kSubscriberKey, encode_key_record(keys)});
   }
-  for (auto& existing : published_) {
-    if (existing.imsi == keys.imsi) {
-      existing = keys;
-      return;
-    }
+  const auto it = imsi_slot_.find(keys.imsi.value());
+  if (it != imsi_slot_.end()) {
+    published_[it->second] = keys;
+    return;
   }
+  imsi_slot_[keys.imsi.value()] = published_.size();
   published_.push_back(keys);
 }
 
 Result<epc::PublishedKeys> Registry::lookup_subscriber(Imsi imsi) const {
-  for (const auto& k : published_) {
-    if (k.imsi == imsi) return k;
-  }
-  return fail("subscriber not published");
+  const auto it = imsi_slot_.find(imsi.value());
+  if (it == imsi_slot_.end()) return fail("subscriber not published");
+  return published_[it->second];
 }
 
 }  // namespace dlte::spectrum

@@ -17,7 +17,10 @@
 
 #include <functional>
 #include <map>
+#include <queue>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/geo.h"
@@ -27,6 +30,8 @@
 #include "epc/hss.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "registry/cache.h"
+#include "registry/spatial.h"
 #include "sim/simulator.h"
 
 namespace dlte::spectrum {
@@ -118,6 +123,11 @@ class Registry {
 
   // All grants whose interference reach touches the queried location.
   void query_region(Position location, QueryCallback callback);
+  // Same, but with a requester identity for the hierarchical cache (the
+  // federated design's per-requester local tier). With no cache attached
+  // (or a non-federated registry) this is identical to query_region.
+  void query_region_as(std::uint64_t requester, Position location,
+                       QueryCallback callback);
 
   void revoke(GrantId id);
 
@@ -153,6 +163,34 @@ class Registry {
 
   static constexpr double kZoneSizeM = 50'000.0;
 
+  // --- Hierarchical cache (federated design, DESIGN.md §16) ------------
+  // Attach a resolver hierarchy: federated query_region_as calls then
+  // walk local → zone → root caches before the authoritative store, with
+  // per-tier latency, and authoritative misses refill the tiers. The
+  // cache observes staleness against per-zone membership versions that
+  // this registry bumps on every grant/lapse/revoke.
+  void attach_cache(registry::LeaseCache* cache) { cache_ = cache; }
+  [[nodiscard]] registry::LeaseCache* cache() const { return cache_; }
+  // Current membership version of the (exact, packed) zone holding
+  // `location` — see registry::zone_key.
+  [[nodiscard]] std::uint64_t zone_version(Position location) const;
+  // Ids of all grants whose reach touches `zone`'s square, ascending —
+  // the snapshot the cache serves for that zone.
+  [[nodiscard]] registry::ZoneSnapshot zone_snapshot(std::int64_t zone) const;
+  // Synchronous occupancy probe through the cache hierarchy (the churn
+  // storm's query op): how many grants touch the zone of `location`,
+  // served from whichever tier answers. A cache serve reports the
+  // snapshot's membership (possibly stale — that is the point); an
+  // authoritative serve counts live grants and refills the tiers, and a
+  // shed serve counts live grants without refilling.
+  struct ZoneOccupancy {
+    registry::CacheTier tier{registry::CacheTier::kAuthoritative};
+    bool stale{false};
+    std::size_t grants{0};
+  };
+  [[nodiscard]] ZoneOccupancy zone_occupancy(std::uint64_t requester,
+                                             Position location);
+
   // --- Unlicensed coexistence (DESIGN.md §12) --------------------------
   // Mark a band as unlicensed spectrum shared with WiFi: the registry
   // records how many WiFi BSSs are known to occupy the channel (site
@@ -166,9 +204,18 @@ class Registry {
   [[nodiscard]] Result<SpectrumGrant> grant_now(GrantRequest request);
   [[nodiscard]] std::vector<SpectrumGrant> grants_near(
       Position location) const;
+  // Count-only variant: same predicate as grants_near without
+  // materializing (at 1M leases a dense region query can match tens of
+  // thousands of grants; occupancy probes only want the number).
+  [[nodiscard]] std::size_t count_grants_near(Position location) const;
   [[nodiscard]] std::vector<SpectrumGrant> contention_domain(
       const SpectrumGrant& grant) const;
   [[nodiscard]] std::size_t grant_count() const { return grants_.size(); }
+  // Flat storage view (slot order is arbitrary: erase is swap-pop). The
+  // C12 microbench scans this as the pre-index baseline.
+  [[nodiscard]] const std::vector<SpectrumGrant>& grants() const {
+    return grants_;
+  }
 
   // Causal tracing: request_grant opens a "registry_grant" span that
   // covers request → callback (a commit-stalled request keeps its span
@@ -206,21 +253,59 @@ class Registry {
   // commit-stall replay so the trace shows the stall as latency.
   void do_request_grant(GrantRequest request, GrantCallback callback,
                         obs::SpanId span);
+  // interference_range_m memoized per (center frequency, EIRP): the
+  // 60-step path-loss bisection is far too hot to run per grant per scan.
+  [[nodiscard]] double cached_range_m(const SpectrumGrant& grant) const;
+  // Remove slot `slot` from grants_ + every side index (swap-pop).
+  void erase_slot(std::size_t slot);
+  void bump_zone_version(Position location);
+  // A grant past expires_at (but inside grace) is degraded; computed on
+  // copy-out so the stored flag needs no O(n) refresh pass.
+  [[nodiscard]] bool degraded_now(const SpectrumGrant& grant,
+                                  TimePoint now) const {
+    return grant.expires_at.ns() != 0 && grant.expires_at < now;
+  }
+  void serve_query(std::uint64_t requester, Position location,
+                   QueryCallback callback, obs::SpanId span);
 
   sim::Simulator& sim_;
   RegistryKind kind_;
   SpectrumChain* chain_{nullptr};
+  registry::LeaseCache* cache_{nullptr};
   Duration lifetime_{};  // Zero: perpetual grants.
   Duration grace_{};     // Zero: no grace — lapse exactly at expiry.
   std::vector<SpectrumGrant> grants_;
+  // GrantId → slot in grants_; maintained by grant_now / erase_slot.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;
+  // Zone-bucketed spatial index over the same grants (DESIGN.md §16).
+  registry::SpatialIndex index_{kZoneSizeM};
+  mutable std::map<std::pair<std::int64_t, std::int64_t>, double>
+      range_cache_;  // (hz, milli-dBm) → interference reach.
+  // Lazy min-heap of (lapse-due ns, grant id): heartbeat renewals only
+  // move expires_at forward, so prune pops entries whose recorded due
+  // has passed and re-queues any grant whose live due moved later —
+  // mass expiry is O(k log n) instead of the old O(n²) erase loop.
+  using ExpiryEntry = std::pair<std::int64_t, std::uint64_t>;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                      std::greater<ExpiryEntry>>
+      expiry_;
+  // Membership version per packed zone key (registry::zone_key); bumped
+  // on grant/lapse/revoke so the cache can account staleness.
+  std::unordered_map<std::int64_t, std::uint64_t> zone_versions_;
   // WiFi BSS count per shared band, keyed by center frequency in hertz.
   std::map<std::int64_t, std::uint32_t> shared_bands_;
   std::vector<epc::PublishedKeys> published_;
+  std::unordered_map<std::uint64_t, std::size_t> imsi_slot_;
   std::uint64_t next_grant_{1};
   std::uint64_t lapsed_{0};
 
   obs::SpanTracer* tracer_{nullptr};
   std::string span_cat_{"registry"};
+
+  // Remembered so attach_chain can wire the chain's batch metrics
+  // whether set_metrics runs before or after it.
+  obs::MetricsRegistry* metrics_{nullptr};
+  std::string metrics_prefix_;
 
   obs::Counter* m_hb_ok_{nullptr};
   obs::Counter* m_hb_failed_{nullptr};

@@ -1,0 +1,137 @@
+// Batched commit windows for the blockchain registry (DESIGN.md §16):
+// per-block record caps, commits_per_block accounting, and the
+// kCommitStall × batch interaction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "spectrum/chain.h"
+#include "spectrum/registry.h"
+
+namespace dlte::spectrum {
+namespace {
+
+ChainRecord grant_record(std::uint8_t tag) {
+  return ChainRecord{ChainRecordKind::kGrant, {tag, 0x01, 0x02}};
+}
+
+GrantRequest cbrs_request(std::uint32_t ap) {
+  GrantRequest r;
+  r.ap = ApId{ap};
+  r.location = Position{ap * 100.0, 0.0};
+  r.center_frequency = Hertz::mhz(3550.0);
+  r.bandwidth = Hertz::mhz(10.0);
+  r.operator_contact = "op" + std::to_string(ap) + "@example.net";
+  r.coordination_node = NodeId{ap};
+  return r;
+}
+
+TEST(BatchCommit, CapSlicesFifoAcrossBlocks) {
+  sim::Simulator sim;
+  SpectrumChain chain{sim, Duration::seconds(10.0)};
+  chain.set_max_records_per_block(2);
+  chain.start();
+  std::vector<std::uint64_t> heights(5, 0);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    chain.submit(grant_record(i),
+                 [&heights, i](std::uint64_t h) { heights[i] = h; });
+  }
+  sim.run_until(sim.now() + Duration::seconds(35.0));
+  // 5 records at 2/block: blocks of 2, 2, 1 — strictly FIFO.
+  ASSERT_EQ(chain.block_count(), 4u);  // Genesis + 3.
+  EXPECT_EQ(chain.block(1).records.size(), 2u);
+  EXPECT_EQ(chain.block(2).records.size(), 2u);
+  EXPECT_EQ(chain.block(3).records.size(), 1u);
+  EXPECT_EQ(heights, (std::vector<std::uint64_t>{1, 1, 2, 2, 3}));
+  EXPECT_EQ(chain.block(1).records[0].payload[0], 0u);
+  EXPECT_EQ(chain.block(3).records[0].payload[0], 4u);
+  EXPECT_TRUE(chain.verify());
+}
+
+TEST(BatchCommit, UncappedKeepsHistoricalBehaviour) {
+  sim::Simulator sim;
+  SpectrumChain chain{sim, Duration::seconds(10.0)};
+  chain.start();
+  for (std::uint8_t i = 0; i < 7; ++i) chain.submit(grant_record(i));
+  sim.run_until(sim.now() + Duration::seconds(11.0));
+  ASSERT_EQ(chain.block_count(), 2u);
+  EXPECT_EQ(chain.block(1).records.size(), 7u);
+}
+
+TEST(BatchCommit, MetricsTrackBatchEfficiency) {
+  sim::Simulator sim;
+  obs::MetricsRegistry metrics;
+  SpectrumChain chain{sim, Duration::seconds(10.0)};
+  chain.set_max_records_per_block(4);
+  chain.set_metrics(&metrics, "reg.");
+  chain.start();
+  for (std::uint8_t i = 0; i < 6; ++i) chain.submit(grant_record(i));
+  sim.run_until(sim.now() + Duration::seconds(10.5));
+  // First seal: 4 committed, 2 still pending.
+  EXPECT_EQ(metrics.counter("reg.registry.blocks_sealed").value(), 1u);
+  EXPECT_EQ(metrics.histogram("reg.registry.commits_per_block").count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("reg.registry.commit_backlog").value(), 2.0);
+  sim.run_until(sim.now() + Duration::seconds(10.0));
+  EXPECT_EQ(metrics.counter("reg.registry.blocks_sealed").value(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("reg.registry.commit_backlog").value(), 0.0);
+}
+
+TEST(BatchCommit, ThroughputScalesWithBatchSize) {
+  // The C12 acceptance shape in miniature: same offered load, same
+  // horizon — commit throughput grows >= 4x from batch=1 to batch=64.
+  auto committed_with_cap = [](std::size_t cap) {
+    sim::Simulator sim;
+    SpectrumChain chain{sim, Duration::seconds(1.0)};
+    chain.set_max_records_per_block(cap);
+    chain.start();
+    std::uint64_t committed = 0;
+    for (int i = 0; i < 1'000; ++i) {
+      chain.submit(grant_record(static_cast<std::uint8_t>(i)),
+                   [&committed](std::uint64_t) { ++committed; });
+    }
+    sim.run_until(sim.now() + Duration::seconds(10.0));
+    return committed;
+  };
+  const auto batch1 = committed_with_cap(1);
+  const auto batch64 = committed_with_cap(64);
+  EXPECT_EQ(batch1, 10u);   // One record per 1 s block.
+  EXPECT_EQ(batch64, 640u);  // 64 per block.
+  EXPECT_GE(batch64, 4 * batch1);
+}
+
+TEST(BatchCommit, StalledBatchReplaysThroughChain) {
+  // kCommitStall defers grant commits; on recovery the whole stalled
+  // batch replays in submission order and commits by block inclusion.
+  sim::Simulator sim;
+  SpectrumChain chain{sim, Duration::seconds(5.0)};
+  chain.set_max_records_per_block(64);
+  chain.start();
+  Registry reg{sim, RegistryKind::kBlockchain};
+  reg.attach_chain(&chain);
+
+  reg.set_outage(RegistryOutage::kCommitStall);
+  std::vector<std::uint64_t> granted;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    reg.request_grant(cbrs_request(i),
+                      [&granted](Result<SpectrumGrant> result) {
+                        ASSERT_TRUE(result.ok());
+                        granted.push_back(result->id.value());
+                      });
+  }
+  sim.run_until(sim.now() + Duration::seconds(20.0));
+  EXPECT_TRUE(granted.empty());  // Stalled: nothing commits.
+
+  reg.set_outage(RegistryOutage::kNone);
+  sim.run_until(sim.now() + Duration::seconds(20.0));
+  // The batch lands together, in submission order.
+  ASSERT_EQ(granted.size(), 8u);
+  for (std::size_t i = 1; i < granted.size(); ++i) {
+    EXPECT_LT(granted[i - 1], granted[i]);
+  }
+  EXPECT_EQ(reg.grant_count(), 8u);
+  EXPECT_TRUE(chain.verify());
+}
+
+}  // namespace
+}  // namespace dlte::spectrum

@@ -1,0 +1,143 @@
+#include "registry/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dlte::registry {
+namespace {
+
+constexpr double kZone = 50'000.0;
+
+SiteEntry site(std::uint64_t id, double x, double y, double range_m,
+               double center_mhz = 3550.0, double bw_mhz = 10.0) {
+  SiteEntry e;
+  e.id = id;
+  e.location = Position{x, y};
+  e.range_m = range_m;
+  e.center_hz = center_mhz * 1e6;
+  e.half_bw_hz = bw_mhz * 1e6 / 2.0;
+  return e;
+}
+
+std::vector<std::uint64_t> reaching_ids(const SpatialIndex& index,
+                                        Position pos) {
+  std::vector<std::uint64_t> ids;
+  index.for_each_reaching(pos, [&](const SiteEntry& e) { ids.push_back(e.id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(ZoneKey, ExactAndDistinct) {
+  // Adjacent zones, including negative coordinates, never collide.
+  const auto a = zone_key(Position{0.0, 0.0}, kZone);
+  const auto b = zone_key(Position{kZone + 1.0, 0.0}, kZone);
+  const auto c = zone_key(Position{0.0, kZone + 1.0}, kZone);
+  const auto d = zone_key(Position{-1.0, 0.0}, kZone);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, d);
+  // Same zone → same key, wherever in the square.
+  EXPECT_EQ(a, zone_key(Position{kZone - 1.0, kZone - 1.0}, kZone));
+  EXPECT_EQ(zone_key(Position{2.5 * kZone, 3.5 * kZone}, kZone),
+            zone_key_of(2, 3));
+}
+
+TEST(SpatialIndex, ReachingMatchesPredicate) {
+  SpatialIndex index{kZone};
+  index.insert(site(1, 0.0, 0.0, 10'000.0));        // Covers origin area.
+  index.insert(site(2, 8'000.0, 0.0, 10'000.0));    // Also covers origin.
+  index.insert(site(3, 30'000.0, 0.0, 10'000.0));   // Too far.
+  index.insert(site(4, 60'000.0, 0.0, 70'000.0));   // Next zone, huge reach.
+  EXPECT_EQ(reaching_ids(index, Position{0.0, 0.0}),
+            (std::vector<std::uint64_t>{1, 2, 4}));
+  EXPECT_EQ(index.size(), 4u);
+}
+
+TEST(SpatialIndex, CrossZoneReachIsFound) {
+  SpatialIndex index{kZone};
+  // Entry sits near its zone's edge; its reach spills into the next zone.
+  index.insert(site(7, kZone - 100.0, 100.0, 5'000.0));
+  EXPECT_EQ(reaching_ids(index, Position{kZone + 1'000.0, 100.0}),
+            (std::vector<std::uint64_t>{7}));
+  // Beyond the reach: nothing.
+  EXPECT_TRUE(reaching_ids(index, Position{kZone + 20'000.0, 100.0}).empty());
+}
+
+TEST(SpatialIndex, EraseRemovesExactly) {
+  SpatialIndex index{kZone};
+  index.insert(site(1, 0.0, 0.0, 10'000.0));
+  index.insert(site(2, 100.0, 0.0, 10'000.0));
+  EXPECT_TRUE(index.erase(1, Position{0.0, 0.0}));
+  EXPECT_FALSE(index.erase(1, Position{0.0, 0.0}));  // Already gone.
+  EXPECT_FALSE(index.erase(99, Position{0.0, 0.0}));
+  EXPECT_EQ(reaching_ids(index, Position{0.0, 0.0}),
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(SpatialIndex, ContendingFiltersBandAndSelf) {
+  SpatialIndex index{kZone};
+  index.insert(site(1, 0.0, 0.0, 10'000.0, 3550.0));
+  index.insert(site(2, 1'000.0, 0.0, 10'000.0, 3550.0));  // Co-channel.
+  index.insert(site(3, 1'000.0, 0.0, 10'000.0, 3555.0));  // Overlapping.
+  index.insert(site(4, 1'000.0, 0.0, 10'000.0, 3580.0));  // Disjoint band.
+  std::vector<std::uint64_t> ids;
+  index.for_each_contending(Position{0.0, 0.0}, 3550.0 * 1e6, 5.0 * 1e6,
+                            10'000.0, /*skip_id=*/1,
+                            [&](const SiteEntry& e) { ids.push_back(e.id); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(SpatialIndex, ContendingUsesMaxOfRanges) {
+  SpatialIndex index{kZone};
+  // Entry too far for its own 1 km reach, but the querier reaches 30 km:
+  // contention is symmetric, max(own, entry) applies.
+  index.insert(site(5, 20'000.0, 0.0, 1'000.0, 3550.0));
+  std::vector<std::uint64_t> ids;
+  index.for_each_contending(Position{0.0, 0.0}, 3550.0 * 1e6, 5.0 * 1e6,
+                            30'000.0, 0,
+                            [&](const SiteEntry& e) { ids.push_back(e.id); });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{5}));
+}
+
+TEST(SpatialIndex, TouchingZoneSnapshot) {
+  SpatialIndex index{kZone};
+  const std::int64_t zone = zone_key_of(0, 0);
+  index.insert(site(1, 1'000.0, 1'000.0, 500.0));           // Inside.
+  index.insert(site(2, kZone + 3'000.0, 100.0, 5'000.0));   // Reaches in.
+  index.insert(site(3, kZone + 30'000.0, 100.0, 5'000.0));  // Does not.
+  std::vector<std::uint64_t> ids;
+  index.for_each_touching_zone(zone,
+                               [&](const SiteEntry& e) { ids.push_back(e.id); });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(SpatialIndex, VisitOrderIsDeterministic) {
+  // Two identically-built indexes produce the same visit sequence.
+  SpatialIndex a{kZone};
+  SpatialIndex b{kZone};
+  for (int i = 0; i < 200; ++i) {
+    const auto e = site(static_cast<std::uint64_t>(i + 1),
+                        (i % 17) * 9'000.0, (i % 13) * 11'000.0, 12'000.0,
+                        3550.0 + (i % 4) * 10.0);
+    a.insert(e);
+    b.insert(e);
+  }
+  std::vector<std::uint64_t> seq_a;
+  std::vector<std::uint64_t> seq_b;
+  a.for_each_reaching(Position{40'000.0, 40'000.0},
+                      [&](const SiteEntry& e) { seq_a.push_back(e.id); });
+  b.for_each_reaching(Position{40'000.0, 40'000.0},
+                      [&](const SiteEntry& e) { seq_b.push_back(e.id); });
+  EXPECT_FALSE(seq_a.empty());
+  EXPECT_EQ(seq_a, seq_b);
+}
+
+}  // namespace
+}  // namespace dlte::registry

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "registry/cache.h"
+
 namespace dlte::spectrum {
 namespace {
 
@@ -238,6 +242,154 @@ TEST(Registry, PerpetualGrantsNeverLapse) {
   (void)reg.grant_now(band5_request(1, Position{}));
   sim.run_until(sim.now() + Duration::seconds(1e6));
   EXPECT_EQ(reg.grants_near(Position{}).size(), 1u);
+}
+
+TEST(Registry, GrantSurvivesZoneOutageShorterThanGrace) {
+  // Federated zone failure × heartbeat grace: heartbeats fail while the
+  // zone is dark, but if it recovers inside the grace window the next
+  // heartbeat fully renews the lease — no lapse, no re-grant.
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kFederated};
+  reg.set_grant_lifetime(Duration::seconds(60.0));
+  reg.set_heartbeat_grace(Duration::seconds(60.0));
+  const Position pos{1'000.0, 1'000.0};
+  auto g = reg.grant_now(band5_request(1, pos));
+  ASSERT_TRUE(g.ok());
+
+  reg.set_zone_offline(Registry::zone_of(pos), true);
+  sim.run_until(sim.now() + Duration::seconds(70.0));  // Past expiry.
+  const auto hb = reg.heartbeat(g->id);
+  ASSERT_FALSE(hb.ok());
+  EXPECT_EQ(hb.error(), "registry unreachable");  // NOT "lapsed".
+  // In grace the grant is still listed, degraded.
+  const auto visible = reg.grants_near(pos);
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_TRUE(visible[0].degraded);
+
+  // Zone recovers at expiry+50 s, inside the 60 s grace.
+  sim.run_until(sim.now() + Duration::seconds(40.0));
+  reg.set_zone_offline(Registry::zone_of(pos), false);
+  EXPECT_TRUE(reg.heartbeat(g->id).ok());
+  sim.run_until(sim.now() + Duration::seconds(30.0));
+  EXPECT_EQ(reg.grants_near(pos).size(), 1u);
+  EXPECT_FALSE(reg.grants_near(pos)[0].degraded);
+  EXPECT_EQ(reg.grants_lapsed(), 0u);
+}
+
+TEST(Registry, ZoneOutageLongerThanGraceForcesRegrant) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kFederated};
+  reg.set_grant_lifetime(Duration::seconds(30.0));
+  reg.set_heartbeat_grace(Duration::seconds(10.0));
+  const Position pos{1'000.0, 1'000.0};
+  auto g = reg.grant_now(band5_request(1, pos));
+  ASSERT_TRUE(g.ok());
+
+  reg.set_zone_offline(Registry::zone_of(pos), true);
+  sim.run_until(sim.now() + Duration::seconds(45.0));  // Past 30+10 s.
+  reg.set_zone_offline(Registry::zone_of(pos), false);
+  // The lease lapsed during the outage: the heartbeat now says so (the
+  // re-apply signal), and the grant is gone from queries.
+  const auto hb = reg.heartbeat(g->id);
+  ASSERT_FALSE(hb.ok());
+  EXPECT_EQ(hb.error(), "grant lapsed or unknown: re-apply");
+  EXPECT_TRUE(reg.grants_near(pos).empty());
+  EXPECT_EQ(reg.grants_lapsed(), 1u);
+  // The re-grant path: a fresh application on the healed zone succeeds
+  // and the new lease renews normally.
+  auto fresh = reg.grant_now(band5_request(1, pos));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh->id, g->id);
+  sim.run_until(sim.now() + Duration::seconds(20.0));
+  EXPECT_TRUE(reg.heartbeat(fresh->id).ok());
+}
+
+TEST(Registry, RevokeKeepsSlotMapsConsistent) {
+  // revoke is O(1) swap-pop: the grant moved into the vacated slot must
+  // stay addressable by id (heartbeat) and by query.
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  reg.set_grant_lifetime(Duration::seconds(60.0));
+  auto a = reg.grant_now(band5_request(1, Position{0.0, 0.0}));
+  auto b = reg.grant_now(band5_request(2, Position{1'000.0, 0.0}));
+  auto c = reg.grant_now(band5_request(3, Position{2'000.0, 0.0}));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  reg.revoke(a->id);  // c swaps into a's slot.
+  EXPECT_EQ(reg.grant_count(), 2u);
+  EXPECT_TRUE(reg.heartbeat(b->id).ok());
+  EXPECT_TRUE(reg.heartbeat(c->id).ok());
+  EXPECT_FALSE(reg.heartbeat(a->id).ok());
+  const auto near = reg.grants_near(Position{0.0, 0.0});
+  ASSERT_EQ(near.size(), 2u);
+  // Canonical order: ascending grant id.
+  EXPECT_EQ(near[0].id, b->id);
+  EXPECT_EQ(near[1].id, c->id);
+}
+
+TEST(Registry, MassExpiryPrunesOnlyTheDead) {
+  // The lazy expiry heap: renewals move expires_at without re-pushing,
+  // so a mass prune must drop exactly the silent grants.
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  reg.set_grant_lifetime(Duration::seconds(60.0));
+  std::vector<GrantId> ids;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    auto g = reg.grant_now(band5_request(i, Position{i * 500.0, 0.0}));
+    ASSERT_TRUE(g.ok());
+    ids.push_back(g->id);
+  }
+  // Every third grant heartbeats at t=50; the rest go silent.
+  sim.run_until(sim.now() + Duration::seconds(50.0));
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(reg.heartbeat(ids[i]).ok());
+  }
+  sim.run_until(sim.now() + Duration::seconds(30.0));  // t=80.
+  reg.prune_expired();
+  EXPECT_EQ(reg.grant_count(), (ids.size() + 2) / 3);
+  EXPECT_EQ(reg.grants_lapsed(), ids.size() - (ids.size() + 2) / 3);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(reg.heartbeat(ids[i]).ok(), i % 3 == 0) << i;
+  }
+}
+
+TEST(Registry, CountGrantsNearMatchesQuery) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kCentralizedSas};
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    (void)reg.grant_now(band5_request(i, Position{i * 3'000.0, 0.0}));
+  }
+  for (const double x : {0.0, 30'000.0, 90'000.0, 500'000.0}) {
+    const Position probe{x, 0.0};
+    EXPECT_EQ(reg.count_grants_near(probe), reg.grants_near(probe).size())
+        << "probe x=" << x;
+  }
+}
+
+TEST(Registry, ZoneOccupancyWalksTheCacheHierarchy) {
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kFederated};
+  registry::LeaseCache cache;
+  reg.attach_cache(&cache);
+  const Position pos{1'000.0, 1'000.0};
+  (void)reg.grant_now(band5_request(1, pos));
+  (void)reg.grant_now(band5_request(2, Position{2'000.0, 1'000.0}));
+
+  // Cold: authoritative serve + refill.
+  auto first = reg.zone_occupancy(7, pos);
+  EXPECT_EQ(first.tier, registry::CacheTier::kAuthoritative);
+  EXPECT_EQ(first.grants, 2u);
+  // Warm: the local tier serves the same membership.
+  auto second = reg.zone_occupancy(7, pos);
+  EXPECT_EQ(second.tier, registry::CacheTier::kLocal);
+  EXPECT_FALSE(second.stale);
+  EXPECT_EQ(second.grants, 2u);
+  // A membership change bumps the zone version: the cached view is now
+  // served stale (DNS semantics) until its TTL runs out.
+  (void)reg.grant_now(band5_request(3, Position{1'500.0, 1'000.0}));
+  auto third = reg.zone_occupancy(7, pos);
+  EXPECT_EQ(third.tier, registry::CacheTier::kLocal);
+  EXPECT_TRUE(third.stale);
+  EXPECT_EQ(third.grants, 2u);  // The stale snapshot's count.
 }
 
 }  // namespace
