@@ -235,13 +235,16 @@ void RegistryPlaneScenario::handle_registry_message(const Message& m) {
       for (std::uint32_t i = 0; i < *count; ++i) {
         const auto id = r.u64();
         if (!id) break;
-        const Status<> status = reg.heartbeat(GrantId{*id});
-        if (status) {
-          ++ok;
-        } else if (status.error() == "registry unreachable") {
-          ++unreachable;
-        } else {
-          lapsed.push_back(*id);
+        switch (reg.heartbeat_outcome(GrantId{*id})) {
+          case spectrum::HeartbeatOutcome::kRenewed:
+            ++ok;
+            break;
+          case spectrum::HeartbeatOutcome::kUnreachable:
+            ++unreachable;
+            break;
+          case spectrum::HeartbeatOutcome::kLapsed:
+            lapsed.push_back(*id);
+            break;
         }
       }
       ByteWriter w;

@@ -80,7 +80,7 @@ bool SpatialIndex::erase(std::uint64_t id, Position location) {
 }
 
 void SpatialIndex::for_each_zone_near(
-    Position location, double radius_m,
+    Position location, double radius_m, double floor_range_m,
     const std::function<void(const Zone&)>& visit) const {
   if (zones_.empty()) return;
   const std::int32_t zx0 = axis_zone(location.x_m - radius_m, zone_size_m_);
@@ -91,12 +91,15 @@ void SpatialIndex::for_each_zone_near(
     for (std::int32_t zy = zy0; zy <= zy1; ++zy) {
       const auto it = zones_.find(zone_key_of(zx, zy));
       if (it == zones_.end()) continue;
-      // Zone-level reject: skip when even the zone's longest reach
-      // cannot bridge the gap to the query point.
+      // Zone-level reject: skip when neither the zone's longest reach
+      // nor the querier-side floor can bridge the gap to the query
+      // point. The floor matters for the contending predicate, where a
+      // short-reach entry still contends if it sits inside the
+      // querier's own range.
       const double gap =
           point_to_square_m(location, zx * zone_size_m_, zy * zone_size_m_,
                             zone_size_m_);
-      if (gap > it->second.max_range_m) continue;
+      if (gap > std::max(it->second.max_range_m, floor_range_m)) continue;
       visit(it->second);
     }
   }
@@ -104,7 +107,8 @@ void SpatialIndex::for_each_zone_near(
 
 void SpatialIndex::for_each_reaching(Position location,
                                      const Visitor& visit) const {
-  for_each_zone_near(location, max_range_m_, [&](const Zone& zone) {
+  for_each_zone_near(location, max_range_m_, /*floor_range_m=*/0.0,
+                     [&](const Zone& zone) {
     for (const Bucket& bucket : zone.buckets) {
       for (const SiteEntry& entry : bucket.entries) {
         if (distance_m(entry.location, location) <= entry.range_m) {
@@ -122,7 +126,7 @@ void SpatialIndex::for_each_contending(Position location, double center_hz,
   // Reach in a contention pair is the max of the two sides, so the scan
   // radius must cover the larger of own_range and any indexed reach.
   const double radius = std::max(own_range_m, max_range_m_);
-  for_each_zone_near(location, radius, [&](const Zone& zone) {
+  for_each_zone_near(location, radius, own_range_m, [&](const Zone& zone) {
     for (const Bucket& bucket : zone.buckets) {
       // Band-level reject: overlap requires |Δcenter| < half_a + half_b.
       if (std::abs(bucket.center_hz - center_hz) >=

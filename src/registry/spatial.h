@@ -94,9 +94,14 @@ class SpatialIndex {
     std::vector<Bucket> buckets;
   };
 
-  // Visit all zones whose square could hold an entry reaching within
-  // `radius_m` of `location`, in fixed (zx, zy) ascending order.
+  // Visit all zones whose square could hold an entry matching within
+  // `radius_m` of `location`, in fixed (zx, zy) ascending order. A zone
+  // is skipped only when its gap to `location` exceeds both the zone's
+  // own longest reach and `floor_range_m` — the querier-side reach that
+  // the contending predicate (max(own, entry) ranges) contributes.
+  // Reaching queries pass a zero floor.
   void for_each_zone_near(Position location, double radius_m,
+                          double floor_range_m,
                           const std::function<void(const Zone&)>& visit) const;
 
   double zone_size_m_;

@@ -167,37 +167,48 @@ void Registry::set_tracer(obs::SpanTracer* tracer,
 }
 
 Status<> Registry::heartbeat(GrantId id) {
-  const Status<> status = [&]() -> Status<> {
-    if (outage_ == RegistryOutage::kOffline) {
+  switch (heartbeat_outcome(id)) {
+    case HeartbeatOutcome::kRenewed:
+      return {};
+    case HeartbeatOutcome::kUnreachable:
       return fail("registry unreachable");
+    case HeartbeatOutcome::kLapsed:
+      break;
+  }
+  return fail("grant lapsed or unknown: re-apply");
+}
+
+HeartbeatOutcome Registry::heartbeat_outcome(GrantId id) {
+  const HeartbeatOutcome outcome = [&] {
+    if (outage_ == RegistryOutage::kOffline) {
+      return HeartbeatOutcome::kUnreachable;
     }
     prune_expired();
     const auto it = slot_of_.find(id.value());
-    if (it == slot_of_.end()) {
-      return fail("grant lapsed or unknown: re-apply");
-    }
+    if (it == slot_of_.end()) return HeartbeatOutcome::kLapsed;
     SpectrumGrant& g = grants_[it->second];
     // A federated registrar renews its own zone's leases: a heartbeat
     // into an offline zone fails like any other request there. The
     // lease itself keeps aging — if the zone comes back inside the
     // grace window, the next heartbeat fully renews it.
-    if (!reachable_for(g.location)) {
-      return fail("registry unreachable");
-    }
+    if (!reachable_for(g.location)) return HeartbeatOutcome::kUnreachable;
     if (!lifetime_.is_zero()) g.expires_at = sim_.now() + lifetime_;
     g.degraded = false;
-    return {};
+    return HeartbeatOutcome::kRenewed;
   }();
-  obs::inc(status ? m_hb_ok_ : m_hb_failed_);
+  obs::inc(outcome == HeartbeatOutcome::kRenewed ? m_hb_ok_ : m_hb_failed_);
   // Zero-duration marker: heartbeats are instantaneous in the model, but
   // their cadence and failures belong in the trace.
   const obs::SpanId span =
       obs::span_begin(tracer_, "registry_heartbeat", span_cat_);
   obs::span_annotate(tracer_, span, "grant", std::to_string(id.value()));
   obs::span_annotate(tracer_, span, "result",
-                     status ? "renewed" : status.error());
+                     outcome == HeartbeatOutcome::kRenewed ? "renewed"
+                     : outcome == HeartbeatOutcome::kUnreachable
+                         ? "registry unreachable"
+                         : "grant lapsed or unknown: re-apply");
   obs::span_end(tracer_, span);
-  return status;
+  return outcome;
 }
 
 void Registry::prune_expired() {
@@ -460,7 +471,10 @@ void Registry::serve_query(std::uint64_t requester, Position location,
         [this, location, snapshot = look.snapshot,
          callback = std::move(callback)] {
           // Resolve the cached membership against live grants at serve
-          // time; ids that lapsed meanwhile simply drop out.
+          // time; ids that lapsed meanwhile simply drop out. Prune
+          // first — lazy expiry means a lapsed grant may still sit in
+          // slot_of_ until something sweeps it.
+          prune_expired();
           const TimePoint now = sim_.now();
           std::vector<SpectrumGrant> out;
           for (const std::uint64_t id : *snapshot) {

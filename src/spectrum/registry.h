@@ -49,6 +49,12 @@ enum class RegistryKind { kCentralizedSas, kFederated, kBlockchain };
 // set_zone_offline()/zone_of().
 enum class RegistryOutage { kNone, kOffline, kCommitStall };
 
+// Typed heartbeat outcome: callers that react differently to "the
+// registry was down" vs "the lease is gone" (the churn storm drops and
+// re-applies only on kLapsed) branch on this, never on error-message
+// text.
+enum class HeartbeatOutcome { kRenewed, kUnreachable, kLapsed };
+
 struct SpectrumGrant {
   GrantId id;
   ApId ap;
@@ -139,6 +145,9 @@ class Registry {
   void set_grant_lifetime(Duration lifetime) { lifetime_ = lifetime; }
   [[nodiscard]] Duration grant_lifetime() const { return lifetime_; }
   [[nodiscard]] Status<> heartbeat(GrantId id);
+  // Same renewal, but with the outcome as a typed value. heartbeat() is
+  // a thin wrapper mapping this to a Status message.
+  [[nodiscard]] HeartbeatOutcome heartbeat_outcome(GrantId id);
   // Grace period past lease expiry before a grant actually lapses. While
   // in grace the grant is listed as `degraded`; a heartbeat inside the
   // window fully renews it. This is what lets an AP survive a registry

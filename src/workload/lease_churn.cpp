@@ -102,6 +102,13 @@ void LeaseChurnStorm::on_grant_reply(
     held_.push_back(*id);
   }
   std::sort(held_.begin(), held_.end());
+  if (held_.size() < config_.leases) {
+    // Partial fill: an outage or commit stall flipped mid-batch and only
+    // some requests landed. Without a re-apply here the block would sit
+    // under quota forever — lapse-driven re-grants only cover leases it
+    // once held. Same backoff as a bounced batch.
+    sim_.schedule(config_.regrant_backoff, [this] { apply_for_missing(); });
+  }
 }
 
 void LeaseChurnStorm::on_heartbeat_reply(

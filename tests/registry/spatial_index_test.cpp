@@ -105,6 +105,23 @@ TEST(SpatialIndex, ContendingUsesMaxOfRanges) {
   EXPECT_EQ(ids, (std::vector<std::uint64_t>{5}));
 }
 
+TEST(SpatialIndex, ContendingFindsShortReachEntryAcrossZones) {
+  SpatialIndex index{kZone};
+  // Entry in the next zone with a tiny 1 km reach: the gap from the
+  // query point to its zone (10 km) exceeds every reach indexed there,
+  // but the querier's own 70 km range still covers it. The zone-level
+  // reject must honour the querier-side floor, not just the zone max.
+  index.insert(site(6, 60'000.0, 0.0, 1'000.0, 3550.0));
+  std::vector<std::uint64_t> ids;
+  index.for_each_contending(Position{0.0, 0.0}, 3550.0 * 1e6, 5.0 * 1e6,
+                            70'000.0, 0,
+                            [&](const SiteEntry& e) { ids.push_back(e.id); });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{6}));
+  // A reaching query at the same point must NOT see it: 1 km reach
+  // cannot cover the origin, floor only applies to contention.
+  EXPECT_TRUE(reaching_ids(index, Position{0.0, 0.0}).empty());
+}
+
 TEST(SpatialIndex, TouchingZoneSnapshot) {
   SpatialIndex index{kZone};
   const std::int64_t zone = zone_key_of(0, 0);

@@ -392,5 +392,38 @@ TEST(Registry, ZoneOccupancyWalksTheCacheHierarchy) {
   EXPECT_EQ(third.grants, 2u);  // The stale snapshot's count.
 }
 
+TEST(Registry, CachedServeDropsGrantsLapsingBeforeServeTime) {
+  // A cached query resolves its snapshot at *serve* time (request +
+  // tier latency). A grant whose lapse due falls inside that window must
+  // drop out of the reply — the serve-time resolution prunes, it does
+  // not trust slot_of_ to have been swept already.
+  sim::Simulator sim;
+  Registry reg{sim, RegistryKind::kFederated};
+  registry::LeaseCache cache;
+  reg.attach_cache(&cache);
+  reg.set_grant_lifetime(Duration::seconds(1.0));  // No grace.
+  const Position pos{1'000.0, 1'000.0};
+  ASSERT_TRUE(reg.grant_now(band5_request(1, pos)).ok());
+
+  // Warm the cache through the authoritative path.
+  std::vector<SpectrumGrant> warm;
+  reg.query_region_as(7, pos, [&](std::vector<SpectrumGrant> g) {
+    warm = std::move(g);
+  });
+  sim.run_until(sim.now() + Duration::millis(500));
+  ASSERT_EQ(warm.size(), 1u);
+
+  // Query just before expiry (t=0.998s): the local tier serves, but its
+  // 5 ms latency lands the serve at t=1.003s — past the lapse due.
+  sim.run_until(TimePoint{} + Duration::millis(998));
+  std::vector<SpectrumGrant> served{warm};
+  reg.query_region_as(7, pos, [&](std::vector<SpectrumGrant> g) {
+    served = std::move(g);
+  });
+  sim.run_until(sim.now() + Duration::millis(100));
+  EXPECT_TRUE(served.empty());
+  EXPECT_EQ(reg.grants_lapsed(), 1u);
+}
+
 }  // namespace
 }  // namespace dlte::spectrum

@@ -1,0 +1,118 @@
+// LeaseChurnStorm client-side protocol behaviour, driven against a
+// hand-rolled registry stub: the storm must re-apply after a partial
+// grant fill (an outage flipping mid-batch fills only part of the
+// quota), not just after a bounced batch or a reported lapse.
+#include "workload/lease_churn.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/simulator.h"
+
+namespace dlte::workload {
+namespace {
+
+struct SentMessage {
+  std::uint16_t kind{0};
+  std::vector<std::uint8_t> payload;
+};
+
+struct Fixture {
+  sim::Simulator sim;
+  std::vector<SentMessage> sent;
+  ChurnConfig config;
+
+  Fixture() {
+    config.block = 3;
+    config.leases = 10;
+    config.location = Position{1'000.0, 1'000.0};
+    config.regrant_backoff = Duration::seconds(4.0);
+    // Long intervals: the test drives grant traffic only.
+    config.heartbeat_interval = Duration::seconds(1'000.0);
+    config.query_interval = Duration::seconds(1'000.0);
+  }
+
+  LeaseChurnStorm make_storm() {
+    return LeaseChurnStorm{
+        sim, config,
+        [this](std::uint16_t kind, std::vector<std::uint8_t> payload) {
+          sent.push_back({kind, std::move(payload)});
+        },
+        LeaseChurnStorm::Hooks{}};
+  }
+
+  // Captured grant applications only (heartbeat/query ticks also send).
+  std::vector<const SentMessage*> grant_batches() const {
+    std::vector<const SentMessage*> out;
+    for (const SentMessage& m : sent) {
+      if (m.kind == kLeaseGrantBatch) out.push_back(&m);
+    }
+    return out;
+  }
+
+  // Requested lease count of a captured grant batch.
+  static std::uint32_t batch_count(const SentMessage& m) {
+    ByteReader r{m.payload};
+    (void)r.u32();  // block
+    return *r.u32();
+  }
+
+  static std::vector<std::uint8_t> grant_reply(std::uint32_t block,
+                                               std::uint8_t ok,
+                                               std::uint64_t first_id,
+                                               std::uint32_t count) {
+    ByteWriter w;
+    w.u32(block);
+    w.u8(ok);
+    w.u32(count);
+    for (std::uint32_t i = 0; i < count; ++i) w.u64(first_id + i);
+    return w.take();
+  }
+
+  void run_for(double s) { sim.run_until(sim.now() + Duration::seconds(s)); }
+};
+
+TEST(LeaseChurnStorm, PartialGrantFillReappliesAfterBackoff) {
+  Fixture f;
+  LeaseChurnStorm storm = f.make_storm();
+  storm.start();
+  ASSERT_EQ(f.grant_batches().size(), 1u);
+  EXPECT_EQ(Fixture::batch_count(*f.grant_batches()[0]), 10u);
+
+  // Successful-but-short reply: only 6 of 10 landed.
+  storm.on_message(kLeaseGrantReply, Fixture::grant_reply(3, 1, 100, 6));
+  EXPECT_EQ(storm.leases_held(), 6u);
+
+  // Before the backoff elapses: no re-apply yet.
+  f.run_for(3.0);
+  EXPECT_EQ(f.grant_batches().size(), 1u);
+  // After the backoff: a fresh application for exactly the shortfall.
+  f.run_for(2.0);
+  ASSERT_EQ(f.grant_batches().size(), 2u);
+  EXPECT_EQ(Fixture::batch_count(*f.grant_batches()[1]), 4u);
+
+  // A full fill of the shortfall ends the retry loop.
+  storm.on_message(kLeaseGrantReply, Fixture::grant_reply(3, 1, 200, 4));
+  EXPECT_EQ(storm.leases_held(), 10u);
+  f.run_for(10.0);
+  EXPECT_EQ(f.grant_batches().size(), 2u);
+}
+
+TEST(LeaseChurnStorm, BouncedBatchStillRetries) {
+  Fixture f;
+  LeaseChurnStorm storm = f.make_storm();
+  storm.start();
+  ASSERT_EQ(f.grant_batches().size(), 1u);
+  storm.on_message(kLeaseGrantReply, Fixture::grant_reply(3, 0, 0, 0));
+  EXPECT_EQ(storm.grant_rejections(), 1u);
+  f.run_for(5.0);
+  ASSERT_EQ(f.grant_batches().size(), 2u);
+  EXPECT_EQ(Fixture::batch_count(*f.grant_batches()[1]), 10u);
+}
+
+}  // namespace
+}  // namespace dlte::workload
